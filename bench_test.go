@@ -1,0 +1,588 @@
+// Benchmark harness: one benchmark per experiment of DESIGN.md's
+// per-experiment index. Each benchmark regenerates the paper quantity it is
+// named for and asserts it inside the loop, so `go test -bench=.` doubles
+// as a reproduction run: a benchmark that completes has re-derived its
+// paper result b.N times.
+package kpa
+
+import (
+	"fmt"
+	"testing"
+
+	"kpa/internal/adversary"
+	"kpa/internal/betting"
+	"kpa/internal/canon"
+	"kpa/internal/coordattack"
+	"kpa/internal/core"
+	"kpa/internal/logic"
+	"kpa/internal/measure"
+	"kpa/internal/primality"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+	"kpa/internal/twoaces"
+)
+
+// --- FIG1: Figure 1's labelled computation tree ---
+
+func BenchmarkFig1Tree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys := canon.Fig1()
+		tree := sys.Trees()[0]
+		if tree.NumRuns() != 4 {
+			b.Fatal("Fig1 runs")
+		}
+		// Path probabilities multiply: 1/2·3/4 = 3/8 on the rightmost run.
+		if !tree.RunProb(3).Equal(rat.New(3, 8)) {
+			b.Fatal("Fig1 path probability")
+		}
+	}
+}
+
+// --- E-VARDI: §3's fair-vs-biased coin ---
+
+func BenchmarkVardiCoin(b *testing.B) {
+	heads := canon.Heads()
+	for i := 0; i < b.N; i++ {
+		sys := canon.VardiCoin()
+		for name, want := range map[string]rat.Rat{
+			"input=0": rat.Half, "input=1": rat.New(2, 3),
+		} {
+			tree := sys.TreeByAdversary(name)
+			sp := measure.MustSpace(system.NewPointSet(sys.PointsAtTime(tree, 1)...))
+			pr, err := sp.ProbFact(heads)
+			if err != nil || !pr.Equal(want) {
+				b.Fatalf("%s: %v %v", name, pr, err)
+			}
+		}
+	}
+}
+
+// --- E-PRIME: §3's primality-testing model ---
+
+func BenchmarkPrimality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := primality.NewModel([]uint64{9, 13, 91}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.WorstCaseCorrectness().Less(m.RabinBound()) {
+			b.Fatal("Rabin bound violated")
+		}
+	}
+}
+
+// --- E-CA-RUNS: §4's run-level analysis ---
+
+func BenchmarkCoordAttackBuild(b *testing.B) {
+	cfg := coordattack.DefaultConfig()
+	want := rat.New(2047, 2048)
+	for i := 0; i < b.N; i++ {
+		sys, err := coordattack.Build(coordattack.VariantCA1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !coordattack.RunProbability(sys).Equal(want) {
+			b.Fatal("run probability")
+		}
+	}
+}
+
+// --- E-COIN: §5–6's post-vs-fut coin assignments ---
+
+func BenchmarkCoinAssignments(b *testing.B) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	tree := sys.Trees()[0]
+	var h system.Point
+	for _, p := range sys.PointsAtTime(tree, 1) {
+		if p.Env() == "heads" {
+			h = p
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		post := core.NewProbAssignment(sys, core.Post(sys))
+		fut := core.NewProbAssignment(sys, core.Future(sys))
+		ok, err := post.KnowsPrInterval(canon.P1, h, heads, rat.Half, rat.Half)
+		if err != nil || !ok {
+			b.Fatal("post interval")
+		}
+		pr, err := fut.MustSpace(canon.P1, h).ProbFact(heads)
+		if err != nil || !pr.IsOne() {
+			b.Fatal("fut probability")
+		}
+	}
+}
+
+// --- E-DIE: §5's die subdivision ---
+
+func BenchmarkDieSubdivision(b *testing.B) {
+	sys := canon.Die()
+	even := canon.Even()
+	tree := sys.Trees()[0]
+	all := system.NewPointSet(sys.PointsAtTime(tree, 1)...)
+	low := all.Filter(func(p system.Point) bool {
+		return p.Env() == "face=1" || p.Env() == "face=2" || p.Env() == "face=3"
+	})
+	for i := 0; i < b.N; i++ {
+		sp := measure.MustSpace(all)
+		pr, err := sp.ProbFact(even)
+		if err != nil || !pr.Equal(rat.Half) {
+			b.Fatal("full space")
+		}
+		sub, err := sp.Condition(low)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr2, err := sub.ProbFact(even)
+		if err != nil || !pr2.Equal(rat.New(1, 3)) {
+			b.Fatal("conditioned space")
+		}
+	}
+}
+
+// --- P1–P2: induced spaces are probability spaces ---
+
+func BenchmarkInducedSpace(b *testing.B) {
+	sys := canon.AsyncCoins(6)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := measure.NewSpace(sample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := sp.Prob(sp.Sample())
+		if err != nil || !full.IsOne() {
+			b.Fatal("total mass")
+		}
+	}
+}
+
+// --- P3: measurability of facts in synchronous systems ---
+
+func BenchmarkMeasurability(b *testing.B) {
+	sys := canon.Die()
+	facts := []system.Fact{canon.Even(), canon.DieFace(3), system.Not(canon.Even())}
+	for i := 0; i < b.N; i++ {
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		for _, phi := range facts {
+			ok, err := P.IsFactMeasurable(phi)
+			if err != nil || !ok {
+				b.Fatal("measurability")
+			}
+		}
+	}
+}
+
+// --- P4–P5: lattice refinement and conditioning ---
+
+func BenchmarkLatticeRefinement(b *testing.B) {
+	sys := canon.Die()
+	for i := 0; i < b.N; i++ {
+		if !core.LessEq(sys, core.Future(sys), core.Post(sys)) {
+			b.Fatal("lattice order")
+		}
+		post := core.Post(sys)
+		fut := core.Future(sys)
+		for c := range sys.Points() {
+			if _, ok := core.Partition(fut, canon.P2, post.Sample(canon.P2, c)); !ok {
+				b.Fatal("Proposition 4 partition")
+			}
+		}
+	}
+}
+
+// --- P6: Tree-safety ≡ Tree^j-safety ---
+
+func BenchmarkSafetyEquivalence(b *testing.B) {
+	sys := canon.Die()
+	even := canon.Even()
+	rule := betting.MustRule(even, rat.Half)
+	offers := []betting.Offer{betting.NoBet, betting.OfferOf(rule.Threshold())}
+	locals := betting.LocalStatesOf(canon.P1, sys.Points())
+	strategies := betting.Enumerate(canon.P1, locals, offers)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post := core.NewProbAssignment(sys, core.Post(sys))
+		opp := core.NewProbAssignment(sys, core.Opponent(sys, canon.P1))
+		a, _, _, err := betting.SafeAgainstStrategies(post, canon.P2, canon.P1, c, rule, strategies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb, _, _, err := betting.SafeAgainstStrategies(opp, canon.P2, canon.P1, c, rule, strategies)
+		if err != nil || a != bb {
+			b.Fatal("Proposition 6")
+		}
+	}
+}
+
+// --- T7: the safe-bets theorem ---
+
+func BenchmarkTheorem7(b *testing.B) {
+	sys := canon.Die()
+	even := canon.Even()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 1, Time: 1}
+	alphas := []rat.Rat{rat.New(1, 3), rat.Half, rat.New(2, 3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range sys.Agents() {
+			P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+			for _, alpha := range alphas {
+				rep, err := betting.CheckTheorem7(P, canon.P2, j, c, even, alpha)
+				if err != nil || !rep.Agree() {
+					b.Fatal("Theorem 7")
+				}
+			}
+		}
+	}
+}
+
+// --- T8: maximality of S^j ---
+
+func BenchmarkTheorem8(b *testing.B) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	var c system.Point
+	for _, p := range sys.PointsAtTime(tree, 1) {
+		if p.Env() == "face=1" {
+			c = p
+		}
+	}
+	d, ok := betting.FindOutsidePoint(sys, core.Post(sys), canon.P2, canon.P1, c)
+	if !ok {
+		b.Fatal("no outside point")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boosted, err := betting.RelabelSystem(sys, map[string]func(system.EdgeRef) (rat.Rat, bool){
+			tree.Adversary: betting.BoostPathLabelling(tree, d, 100),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cB, err := betting.TranslatePoint(boosted, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phi := system.Not(system.AtState(c.State()))
+		post := core.NewProbAssignment(boosted, core.Post(boosted))
+		alpha := post.MustSpace(canon.P2, cB).InnerFact(phi)
+		knows, err := post.KnowsPrAtLeast(canon.P2, cB, phi, alpha)
+		if err != nil || !knows {
+			b.Fatal("knowledge side")
+		}
+		opp := core.NewProbAssignment(boosted, core.Opponent(boosted, canon.P1))
+		safe, _, _, err := betting.Safe(opp, canon.P2, canon.P1, cB, betting.MustRule(phi, alpha))
+		if err != nil || safe {
+			b.Fatal("Theorem 8(b): bet should be unsafe")
+		}
+	}
+}
+
+// --- T9: interval monotonicity across the lattice ---
+
+func BenchmarkTheorem9(b *testing.B) {
+	sys := canon.Die()
+	even := canon.Even()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := core.NewProbAssignment(sys, core.Future(sys))
+		hi := core.NewProbAssignment(sys, core.Post(sys))
+		aLo, bLo, err := lo.SharpInterval(canon.P2, c, even)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, err := hi.KnowsPrInterval(canon.P2, c, even, aLo, bLo)
+		if err != nil || !ok {
+			b.Fatal("Theorem 9(a)")
+		}
+		aHi, bHi, err := hi.SharpInterval(canon.P2, c, even)
+		if err != nil || !aHi.Equal(rat.Half) || !bHi.Equal(rat.Half) {
+			b.Fatal("Theorem 9(b) sharp post interval")
+		}
+	}
+}
+
+// --- E-ASYNC: §7's inner/outer measures ---
+
+func BenchmarkAsyncCoin(b *testing.B) {
+	const n = 10
+	sys := canon.AsyncCoins(n)
+	tree := sys.Trees()[0]
+	phi := canon.LastTossHeads()
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	wantInner := rat.Pow(rat.Half, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := measure.MustSpace(sample)
+		if !sp.InnerFact(phi).Equal(wantInner) {
+			b.Fatal("inner")
+		}
+		if !sp.OuterFact(phi).Equal(rat.One.Sub(wantInner)) {
+			b.Fatal("outer")
+		}
+	}
+}
+
+// --- P10: P^post ≡ P^pts ---
+
+func BenchmarkProposition10(b *testing.B) {
+	sys := canon.AsyncCoins(3)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	phi := canon.LastTossHeads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := adversary.CheckProposition10(sys, canon.P1, c, phi)
+		if err != nil || !rep.Agree() {
+			b.Fatal("Proposition 10")
+		}
+	}
+}
+
+// --- E-PTS-STATE: §7's biased coin ---
+
+func BenchmarkPtsVsState(b *testing.B) {
+	sys := canon.BiasedPtsState()
+	tree := sys.Trees()[0]
+	phi := canon.CoinLandsHeads(sys)
+	var c system.Point
+	for _, p := range sys.PointsAtTime(tree, 0) {
+		if !phi.Holds(p) {
+			c = p
+		}
+	}
+	base := core.Post(sys)
+	p99 := rat.New(99, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo, hi, err := adversary.KnowsIntervalUnderClass(adversary.PtsClass{}, sys, base, canon.P2, c, phi)
+		if err != nil || !lo.Equal(p99) || !hi.Equal(p99) {
+			b.Fatal("pts interval")
+		}
+		slo, shi, err := adversary.KnowsIntervalUnderClass(adversary.StateClass{}, sys, base, canon.P2, c, phi)
+		if err != nil || !slo.IsZero() || !shi.Equal(p99) {
+			b.Fatal("state interval")
+		}
+	}
+}
+
+// --- P11: the coordinated-attack matrix ---
+
+func BenchmarkProposition11(b *testing.B) {
+	cfg := coordattack.DefaultConfig()
+	alpha := rat.New(99, 100)
+	for i := 0; i < b.N; i++ {
+		cells, err := coordattack.Proposition11Table(cfg, alpha)
+		if err != nil {
+			b.Fatal(err)
+		}
+		achieved := 0
+		for _, c := range cells {
+			if c.Achieves {
+				achieved++
+			}
+		}
+		// CA1/prior; CA2/prior+post; CA3 (adaptive)/prior+post; never×3.
+		if achieved != 8 {
+			b.Fatalf("matrix achieved = %d", achieved)
+		}
+	}
+}
+
+// --- B1: the two aces ---
+
+func BenchmarkTwoAces(b *testing.B) {
+	bothAces := twoaces.BothAces()
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			variant twoaces.Variant
+			match   string
+			want    rat.Rat
+		}{
+			{twoaces.VariantFixedQuestions, "spades-yes", rat.New(1, 3)},
+			{twoaces.VariantRandomAce, "suit=spades", rat.New(1, 5)},
+		} {
+			sys, err := twoaces.Build(tc.variant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			post := core.NewProbAssignment(sys, core.Post(sys))
+			tree := sys.Trees()[0]
+			found := false
+			for _, p := range sys.PointsAtTime(tree, 3) {
+				if !contains(string(p.Local(twoaces.Listener)), tc.match) {
+					continue
+				}
+				pr, err := post.MustSpace(twoaces.Listener, p).ProbFact(bothAces)
+				if err != nil || !pr.Equal(tc.want) {
+					b.Fatalf("%s: %v %v", tc.variant, pr, err)
+				}
+				found = true
+				break
+			}
+			if !found {
+				b.Fatal("no matching point")
+			}
+		}
+	}
+}
+
+// --- B2: inner expectation ---
+
+func BenchmarkInnerExpectation(b *testing.B) {
+	sys := canon.AsyncCoins(8)
+	tree := sys.Trees()[0]
+	phi := canon.LastTossHeads()
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	sp := measure.MustSpace(sample)
+	set := sample.Filter(phi.Holds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sp.InnerExpectTwoValued(rat.One, rat.FromInt(-1), set)
+		if e.Sign() >= 0 {
+			b.Fatal("inner expectation should be negative here")
+		}
+	}
+}
+
+// --- B3: the embedded betting game ---
+
+func BenchmarkEmbeddedGame(b *testing.B) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	base := []betting.Strategy{betting.Constant(rat.New(2, 1)), betting.Never()}
+	locals := betting.LocalStatesOf(canon.P3, sys.Points())
+	family := betting.WithDistinguishers(base, locals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		game, err := betting.EmbedGame(sys, canon.P1, canon.P3, heads, family)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lifted := game.LiftFact(heads)
+		origOpp := core.NewProbAssignment(sys, core.Opponent(sys, canon.P3))
+		embPost := core.NewProbAssignment(game.Sys, core.Post(game.Sys))
+		tree := sys.Trees()[0]
+		c := system.Point{Tree: tree, Run: 0, Time: 1}
+		off, err := game.OfferPoint(c, base[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := origOpp.KnowsPrAtLeast(canon.P1, c, heads, rat.Half)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cc, err := embPost.KnowsPrAtLeast(canon.P1, off, lifted, rat.Half)
+		if err != nil || a != cc {
+			b.Fatal("Theorem 11")
+		}
+	}
+}
+
+// --- SCALE: parameter sweeps ---
+
+func BenchmarkScaleTreeDepth(b *testing.B) {
+	for _, n := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("depth=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys := canon.AsyncCoins(n)
+				if sys.Points().Len() == 0 {
+					b.Fatal("empty")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScaleInnerMeasure(b *testing.B) {
+	for _, n := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("depth=%d", n), func(b *testing.B) {
+			sys := canon.AsyncCoins(n)
+			tree := sys.Trees()[0]
+			c := system.Point{Tree: tree, Run: 0, Time: 1}
+			sample := sys.KInTree(canon.P1, c)
+			sp := measure.MustSpace(sample)
+			phi := canon.LastTossHeads()
+			set := sample.Filter(phi.Holds)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sp.Inner(set)
+			}
+		})
+	}
+}
+
+func BenchmarkScaleModelChecking(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("depth=%d", n), func(b *testing.B) {
+			sys := canon.AsyncCoins(n)
+			props := map[string]system.Fact{"lastHeads": canon.LastTossHeads()}
+			f := logic.MustParse("K2 (Pr2(lastHeads) >= 1/2)")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				P := core.NewProbAssignment(sys, core.Opponent(sys, canon.P2))
+				e := logic.NewEvaluator(sys, P, props)
+				if _, err := e.Extension(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScaleCoordAttackMessengers(b *testing.B) {
+	alpha := rat.New(99, 100)
+	for _, m := range []int{2, 6, 10, 14} {
+		b.Run(fmt.Sprintf("messengers=%d", m), func(b *testing.B) {
+			cfg := coordattack.Config{Messengers: m, LossProb: rat.Half}
+			for i := 0; i < b.N; i++ {
+				sys, err := coordattack.Build(coordattack.VariantCA2, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := coordattack.Achieves(sys, coordattack.AssignPost, alpha); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScaleCutEnumeration(b *testing.B) {
+	for _, n := range []int{2, 3} {
+		b.Run(fmt.Sprintf("depth=%d", n), func(b *testing.B) {
+			sys := canon.AsyncCoins(n)
+			tree := sys.Trees()[0]
+			c := system.Point{Tree: tree, Run: 0, Time: 1}
+			sample := sys.KInTree(canon.P1, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cuts, err := (adversary.PtsClass{}).Cuts(sys, sample)
+				if err != nil || len(cuts) == 0 {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+// Command betsim simulates the Section 6 betting game by Monte Carlo and
+// compares the empirical average winnings with the exact expectation,
+// demonstrating Theorem 7: accepting bets on φ at payoff 1/α against
+// opponent p_j is safe exactly when K_i^α φ holds under the assignment S^j.
+//
+// Usage:
+//
+//	betsim -system introcoin -fact heads -bettor 1 -opponent 3 -alpha 1/2 -rounds 100000
+//	betsim -system die -fact even -bettor 2 -opponent 1 -alpha 1/2
+//
+// The opponent plays the worst strategy allowed (the paper's witness when
+// the bet is unsafe, the threshold offer otherwise).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"kpa/internal/betting"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/registry"
+	"kpa/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "betsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("betsim", flag.ContinueOnError)
+	var (
+		sysName  = fs.String("system", "introcoin", "example system (see kpacheck -list)")
+		factName = fs.String("fact", "heads", "proposition to bet on")
+		bettor   = fs.Int("bettor", 1, "agent p_i accepting bets (1-based)")
+		opponent = fs.Int("opponent", 3, "agent p_j offering bets (1-based)")
+		alphaStr = fs.String("alpha", "1/2", "threshold α: accept payoffs ≥ 1/α")
+		time     = fs.Int("time", 1, "time at which bets are placed")
+		rounds   = fs.Int("rounds", 200000, "Monte Carlo rounds")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entry, err := registry.Lookup(*sysName)
+	if err != nil {
+		return err
+	}
+	phi, ok := entry.Props[*factName]
+	if !ok {
+		return fmt.Errorf("system %s has no proposition %q", entry.Name, *factName)
+	}
+	alpha, err := rat.Parse(*alphaStr)
+	if err != nil {
+		return fmt.Errorf("bad -alpha: %v", err)
+	}
+	sys := entry.Sys
+	if *bettor < 1 || *bettor > sys.NumAgents() || *opponent < 1 || *opponent > sys.NumAgents() {
+		return fmt.Errorf("agents are 1..%d", sys.NumAgents())
+	}
+	i := system.AgentID(*bettor - 1)
+	j := system.AgentID(*opponent - 1)
+
+	rule, err := betting.NewRule(phi, alpha)
+	if err != nil {
+		return err
+	}
+	P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+
+	// Pick the betting point: first point of the first tree at the given time.
+	tree := sys.Trees()[0]
+	pts := sys.PointsAtTime(tree, *time)
+	if len(pts) == 0 {
+		return fmt.Errorf("no points at time %d", *time)
+	}
+	c := pts[0]
+
+	rep, err := betting.CheckTheorem7(P, i, j, c, phi, alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system    : %s\n", entry.Name)
+	fmt.Printf("bet       : p%d accepts bets on %q from p%d at payoff ≥ %s (α = %s)\n",
+		*bettor, *factName, *opponent, rule.Threshold(), alpha)
+	fmt.Printf("at point  : %v\n", c)
+	fmt.Printf("K_i^α φ   : %v  (under S^%s)\n", rep.Knows, P.Name())
+	fmt.Printf("safe bet  : %v  (Theorem 7 says these always agree: %v)\n", rep.Safe, rep.Agree())
+
+	// The opponent's strategy: the unsafety witness if there is one,
+	// otherwise the threshold offer everywhere (a fair fight). When the bet
+	// is unsafe, the interesting point is the one where p_i actually loses —
+	// some point p_i considers possible at c.
+	var strat betting.Strategy
+	if rep.Witness != nil {
+		strat = rep.Witness
+		c = rep.BadAt
+		fmt.Printf("opponent  : witness strategy %s (designed to win)\n", strat.Name())
+		fmt.Printf("            simulating at the losing point %v\n", c)
+	} else {
+		strat = betting.Constant(rule.Threshold())
+		fmt.Printf("opponent  : constant offer %s\n", rule.Threshold())
+	}
+
+	// Exact expectation at the (possibly relocated) betting point.
+	sp, err := P.Space(i, c)
+	if err != nil {
+		return err
+	}
+	exact, err := betting.ExpectedWinnings(sp, rule, strat, j)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact E[W]: %s ≈ %.6f per round (at this point)\n", exact, exact.Float64())
+
+	// Monte Carlo over the whole system: sample a run of c's tree by its
+	// probability, let the bet happen at the sampled run's point at the
+	// chosen time, pay out by φ.
+	rng := rand.New(rand.NewSource(*seed))
+	cum := cumulative(tree)
+	totalWinnings := 0.0
+	played := 0
+	// Condition on runs through the sample space (the bet only happens
+	// when the agents are in the information state of c).
+	sample := sp.Sample()
+	for n := 0; n < *rounds; n++ {
+		r := sampleRun(rng, cum)
+		p := system.Point{Tree: tree, Run: r, Time: c.Time}
+		if !p.IsValid() || !sample.Contains(p) {
+			continue
+		}
+		played++
+		w := rule.Winnings(strat, j, p)
+		totalWinnings += w.Float64()
+	}
+	if played == 0 {
+		return fmt.Errorf("no Monte Carlo round hit the betting point's information state")
+	}
+	avg := totalWinnings / float64(played)
+	fmt.Printf("simulated : %d bets played, average winnings %.6f per round\n", played, avg)
+	diff := avg - exact.Float64()
+	fmt.Printf("difference: %+.6f (Monte Carlo noise)\n", diff)
+	if rep.Safe && avg < -0.05 {
+		return fmt.Errorf("safe bet lost money decisively — Theorem 7 violated?")
+	}
+	if !rep.Safe && avg > 0.05 {
+		return fmt.Errorf("unsafe bet won money decisively — witness not working?")
+	}
+	return nil
+}
+
+// cumulative returns the cumulative run distribution of a tree as float64s.
+func cumulative(t *system.Tree) []float64 {
+	out := make([]float64, t.NumRuns())
+	acc := 0.0
+	for r := 0; r < t.NumRuns(); r++ {
+		acc += t.RunProb(r).Float64()
+		out[r] = acc
+	}
+	return out
+}
+
+func sampleRun(rng *rand.Rand, cum []float64) int {
+	x := rng.Float64() * cum[len(cum)-1]
+	for r, c := range cum {
+		if x <= c {
+			return r
+		}
+	}
+	return len(cum) - 1
+}

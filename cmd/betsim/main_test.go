@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunSafeBet(t *testing.T) {
+	args := []string{"-system", "die", "-fact", "even", "-bettor", "2",
+		"-opponent", "2", "-alpha", "1/2", "-rounds", "5000"}
+	if err := run(args); err != nil {
+		t.Fatalf("safe bet: %v", err)
+	}
+}
+
+func TestRunUnsafeBet(t *testing.T) {
+	args := []string{"-system", "introcoin", "-fact", "heads", "-bettor", "1",
+		"-opponent", "3", "-alpha", "1/2", "-rounds", "5000"}
+	if err := run(args); err != nil {
+		t.Fatalf("unsafe bet: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-system", "nonsense"},
+		{"-system", "die", "-fact", "nosuch"},
+		{"-system", "die", "-fact", "even", "-alpha", "x"},
+		{"-system", "die", "-fact", "even", "-bettor", "9"},
+		{"-system", "die", "-fact", "even", "-time", "99"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command coordattack reproduces the paper's coordinated-attack analysis
+// (Sections 4 and 8): the probability of coordination over the runs, each
+// general's pointwise confidence, and the Proposition 11 matrix of which
+// protocol achieves probabilistic common knowledge of coordination under
+// which probability assignment.
+//
+// Usage:
+//
+//	coordattack                       # paper parameters: 10 messengers, loss 1/2, α = .99
+//	coordattack -messengers 4 -loss 1/2 -alpha 0.95
+//	coordattack -sweep 12             # sweep messenger counts 1..12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kpa/internal/coordattack"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coordattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("coordattack", flag.ContinueOnError)
+	var (
+		messengers = fs.Int("messengers", 10, "messengers A sends on heads")
+		loss       = fs.String("loss", "1/2", "per-messenger capture probability")
+		alphaStr   = fs.String("alpha", "99/100", "required confidence α")
+		sweep      = fs.Int("sweep", 0, "if > 0, sweep messenger counts 1..N and report achievement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lossProb, err := rat.Parse(*loss)
+	if err != nil {
+		return fmt.Errorf("bad -loss: %v", err)
+	}
+	alpha, err := rat.Parse(*alphaStr)
+	if err != nil {
+		return fmt.Errorf("bad -alpha: %v", err)
+	}
+
+	if *sweep > 0 {
+		return runSweep(*sweep, lossProb, alpha)
+	}
+
+	cfg := coordattack.Config{Messengers: *messengers, LossProb: lossProb}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("configuration: %d messengers, loss probability %s, α = %s\n\n",
+		cfg.Messengers, cfg.LossProb, alpha)
+
+	// Per-protocol run probabilities and pointwise confidences.
+	for _, v := range []coordattack.Variant{coordattack.VariantCA1, coordattack.VariantCA2, coordattack.VariantCA3} {
+		sys, err := coordattack.Build(v, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: P(coordinated) over the runs = %s ≈ %.6f\n",
+			v, coordattack.RunProbability(sys), coordattack.RunProbability(sys).Float64())
+		printConfidences(sys)
+		fmt.Println()
+	}
+
+	// The Proposition 11 matrix.
+	cells, err := coordattack.Proposition11Table(cfg, alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Proposition 11 matrix (achieves C^α(coordinated) at all points, α = %s):\n", alpha)
+	fmt.Printf("  %-14s %-7s %-9s %s\n", "protocol", "assign", "achieves", "counterexample")
+	for _, c := range cells {
+		fmt.Printf("  %-14s %-7s %-9v %s\n", c.Variant, c.Assignment, c.Achieves, c.Counterexample)
+	}
+	return nil
+}
+
+// printConfidences reports the minimum pointwise posterior confidence each
+// general has in coordination.
+func printConfidences(sys *system.System) {
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	phi := coordattack.Coordinated()
+	for _, g := range []struct {
+		name string
+		id   system.AgentID
+	}{{"A", coordattack.GeneralA}, {"B", coordattack.GeneralB}} {
+		min := rat.One
+		var at system.Point
+		for p := range sys.Points() {
+			sp, err := post.Space(g.id, p)
+			if err != nil {
+				continue
+			}
+			if pr := sp.InnerFact(phi); pr.Less(min) {
+				min = pr
+				at = p
+			}
+		}
+		fmt.Printf("  general %s: min posterior confidence %s ≈ %.6f (at %v: %s)\n",
+			g.name, min, min.Float64(), at, at.Local(g.id))
+	}
+}
+
+func runSweep(maxMessengers int, lossProb, alpha rat.Rat) error {
+	fmt.Printf("CA2 achievement sweep (loss %s, α = %s):\n", lossProb, alpha)
+	fmt.Printf("  %-12s %-22s %-12s %-12s\n", "messengers", "P(coordinated)", "post", "prior")
+	for m := 1; m <= maxMessengers; m++ {
+		cfg := coordattack.Config{Messengers: m, LossProb: lossProb}
+		sys, err := coordattack.Build(coordattack.VariantCA2, cfg)
+		if err != nil {
+			return err
+		}
+		postOK, _, err := coordattack.Achieves(sys, coordattack.AssignPost, alpha)
+		if err != nil {
+			return err
+		}
+		priorOK, _, err := coordattack.Achieves(sys, coordattack.AssignPrior, alpha)
+		if err != nil {
+			return err
+		}
+		pr := coordattack.RunProbability(sys)
+		fmt.Printf("  %-12d %-22s %-12v %-12v\n", m, pr, postOK, priorOK)
+	}
+	return nil
+}

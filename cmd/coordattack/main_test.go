@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+}
+
+func TestRunCustom(t *testing.T) {
+	if err := run([]string{"-messengers", "3", "-loss", "1/3", "-alpha", "0.9"}); err != nil {
+		t.Fatalf("custom run: %v", err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run([]string{"-sweep", "4"}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-loss", "x"},
+		{"-alpha", "y"},
+		{"-messengers", "0"},
+		{"-loss", "3/2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Command kpacheck model-checks formulas of the Halpern–Tuttle logic over
+// the library's example systems.
+//
+// Usage:
+//
+//	kpacheck -system introcoin -assign post -formula "K1^1/2 heads"
+//	kpacheck -system die -assign fut -formula "K2 ((Pr2(even) >= 1) | (Pr2(even) <= 0))"
+//	kpacheck -system ca2 -assign post -formula "C{1,2}^0.99 coordinated"
+//	kpacheck -file mysystem.json -formula "K1 p"
+//	kpacheck -system die -export die.json
+//	kpacheck -list
+//
+// The tool evaluates the formula at every point of the system and reports
+// validity plus counterexamples; with -points it prints the per-point truth
+// table instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kpa/internal/core"
+	"kpa/internal/encode"
+	"kpa/internal/logic"
+	"kpa/internal/registry"
+	"kpa/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kpacheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kpacheck", flag.ContinueOnError)
+	var (
+		sysName = fs.String("system", "introcoin", "example system (see -list)")
+		file    = fs.String("file", "", "load the system from a JSON description instead of -system")
+		export  = fs.String("export", "", "write the selected system as JSON to this file and exit")
+		dot     = fs.Bool("dot", false, "print the system's computation trees in Graphviz dot format and exit")
+		repl    = fs.Bool("repl", false, "read formulas from stdin and evaluate them interactively")
+		assign  = fs.String("assign", "post", "probability assignment: post, fut, prior, opp:J")
+		formula = fs.String("formula", "", "formula to check (required unless -list or -props)")
+		points  = fs.Bool("points", false, "print the per-point truth table")
+		list    = fs.Bool("list", false, "list available systems and exit")
+		props   = fs.Bool("props", false, "list the system's propositions and exit")
+		maxRows = fs.Int("max", 40, "maximum rows printed for -points and counterexamples")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println("available systems:")
+		for _, n := range registry.Names() {
+			fmt.Println("  " + n)
+		}
+		return nil
+	}
+
+	var entry registry.Entry
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		sys, propTable, err := encode.Decode(data)
+		if err != nil {
+			return err
+		}
+		entry = registry.Entry{Name: *file, Description: "loaded from " + *file, Sys: sys, Props: propTable}
+	} else {
+		var err error
+		entry, err = registry.Lookup(*sysName)
+		if err != nil {
+			return err
+		}
+	}
+	if *export != "" {
+		data, err := encode.Marshal(encode.Encode(entry.Sys))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*export, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *export, len(data))
+		return nil
+	}
+	if *dot {
+		fmt.Print(system.SystemDOT(entry.Sys))
+		return nil
+	}
+	if *props {
+		fmt.Printf("%s — %s\n", entry.Name, entry.Description)
+		names := make([]string, 0, len(entry.Props))
+		for n := range entry.Props {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("propositions:")
+		for _, n := range names {
+			fmt.Println("  " + n)
+		}
+		return nil
+	}
+	if *repl {
+		sa, err := pickAssignment(entry.Sys, *assign)
+		if err != nil {
+			return err
+		}
+		return runREPL(entry, sa, os.Stdin, os.Stdout)
+	}
+	if *formula == "" {
+		return fmt.Errorf("-formula is required (or use -list / -props / -repl)")
+	}
+
+	f, err := logic.Parse(*formula)
+	if err != nil {
+		return err
+	}
+	sa, err := pickAssignment(entry.Sys, *assign)
+	if err != nil {
+		return err
+	}
+	P := core.NewProbAssignment(entry.Sys, sa)
+	e := logic.NewEvaluator(entry.Sys, P, entry.Props)
+
+	fmt.Printf("system   : %s — %s\n", entry.Name, entry.Description)
+	fmt.Printf("           %d trees, %d points, synchronous=%v\n",
+		len(entry.Sys.Trees()), entry.Sys.Points().Len(), entry.Sys.IsSynchronous())
+	fmt.Printf("assign   : %s\n", sa.Name())
+	fmt.Printf("formula  : %s\n", f)
+
+	ext, err := e.Extension(f)
+	if err != nil {
+		return err
+	}
+	if *points {
+		fmt.Println("points:")
+		rows := 0
+		for _, p := range entry.Sys.Points().Sorted() {
+			if rows >= *maxRows {
+				fmt.Printf("  ... (%d more)\n", entry.Sys.Points().Len()-rows)
+				break
+			}
+			mark := " "
+			if ext.Contains(p) {
+				mark = "✓"
+			}
+			fmt.Printf("  %s %v  %s\n", mark, p, p.State())
+			rows++
+		}
+		return nil
+	}
+
+	total := entry.Sys.Points().Len()
+	fmt.Printf("holds at : %d / %d points\n", ext.Len(), total)
+	if ext.Len() == total {
+		fmt.Println("verdict  : VALID (holds at every point)")
+		return nil
+	}
+	fmt.Println("verdict  : NOT VALID; counterexamples:")
+	ces, err := e.CounterExamples(f)
+	if err != nil {
+		return err
+	}
+	for i, p := range ces {
+		if i >= *maxRows {
+			fmt.Printf("  ... (%d more)\n", len(ces)-i)
+			break
+		}
+		fmt.Printf("  %v  %s\n", p, p.State())
+	}
+	return nil
+}
+
+func pickAssignment(sys *system.System, name string) (core.SampleAssignment, error) {
+	switch {
+	case name == "post":
+		return core.Post(sys), nil
+	case name == "fut":
+		return core.Future(sys), nil
+	case name == "prior":
+		return core.Prior(sys), nil
+	case strings.HasPrefix(name, "opp:"):
+		j, err := strconv.Atoi(strings.TrimPrefix(name, "opp:"))
+		if err != nil || j < 1 || j > sys.NumAgents() {
+			return nil, fmt.Errorf("opp:J needs 1 ≤ J ≤ %d, got %q", sys.NumAgents(), name)
+		}
+		return core.Opponent(sys, system.AgentID(j-1)), nil
+	default:
+		return nil, fmt.Errorf("unknown assignment %q (post, fut, prior, opp:J)", name)
+	}
+}
+
+// runREPL evaluates formulas read line by line. Lines starting with ":"
+// are commands: ":props" lists propositions, ":assign <name>" switches the
+// probability assignment, ":quit" exits.
+func runREPL(entry registry.Entry, sa core.SampleAssignment, in io.Reader, out io.Writer) error {
+	P := core.NewProbAssignment(entry.Sys, sa)
+	e := logic.NewEvaluator(entry.Sys, P, entry.Props)
+	fmt.Fprintf(out, "%s (%d points, assignment %s) — enter formulas, :quit to exit\n",
+		entry.Name, entry.Sys.Points().Len(), sa.Name())
+	scanner := bufio.NewScanner(in)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit" || line == ":q":
+			return nil
+		case line == ":props":
+			names := make([]string, 0, len(entry.Props))
+			for n := range entry.Props {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintln(out, strings.Join(names, " "))
+			continue
+		case strings.HasPrefix(line, ":assign "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ":assign "))
+			newSA, err := pickAssignment(entry.Sys, name)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			sa = newSA
+			P = core.NewProbAssignment(entry.Sys, sa)
+			e = logic.NewEvaluator(entry.Sys, P, entry.Props)
+			fmt.Fprintln(out, "assignment:", sa.Name())
+			continue
+		case strings.HasPrefix(line, ":"):
+			fmt.Fprintln(out, "commands: :props, :assign <post|fut|prior|opp:J>, :quit")
+			continue
+		}
+		f, err := logic.Parse(line)
+		if err != nil {
+			fmt.Fprintln(out, "parse error:", err)
+			continue
+		}
+		ext, err := e.Extension(f)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			continue
+		}
+		total := entry.Sys.Points().Len()
+		verdict := "NOT VALID"
+		if ext.Len() == total {
+			verdict = "VALID"
+		}
+		fmt.Fprintf(out, "%s — holds at %d/%d points\n", verdict, ext.Len(), total)
+	}
+	return scanner.Err()
+}

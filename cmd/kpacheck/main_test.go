@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kpa/internal/registry"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunProps(t *testing.T) {
+	if err := run([]string{"-system", "die", "-props"}); err != nil {
+		t.Fatalf("-props: %v", err)
+	}
+}
+
+func TestRunValidFormula(t *testing.T) {
+	cases := [][]string{
+		{"-system", "introcoin", "-formula", "K1^1/2 heads"},
+		{"-system", "introcoin", "-assign", "fut", "-formula", "K1 ((Pr1(heads) >= 1) | (Pr1(heads) <= 0))"},
+		{"-system", "die", "-assign", "opp:1", "-formula", "K2 (even | !even)"},
+		{"-system", "ca2", "-assign", "post", "-formula", "C{1,2}^0.99 coordinated"},
+		{"-system", "introcoin", "-formula", "heads", "-points"},
+		{"-system", "async:3", "-assign", "prior", "-formula", "Pr1(lastHeads) >= 0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-system", "nonsense", "-formula", "p"},
+		{"-system", "die"}, // missing formula
+		{"-system", "die", "-formula", "(("},
+		{"-system", "die", "-assign", "bogus", "-formula", "even"},
+		{"-system", "die", "-assign", "opp:9", "-formula", "even"},
+		{"-system", "die", "-formula", "unknownprop"},
+		{"-file", "/nonexistent/file.json", "-formula", "p"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunExportAndFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "die.json")
+	if err := run([]string{"-system", "die", "-export", path}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("export wrote nothing: %v", err)
+	}
+	// Loading the exported file works (it has no props, so use a tautology
+	// built from constants).
+	if err := run([]string{"-file", path, "-formula", "K1 true"}); err != nil {
+		t.Fatalf("load exported: %v", err)
+	}
+}
+
+func TestREPL(t *testing.T) {
+	entry, err := registry.Lookup("introcoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := pickAssignment(entry.Sys, "post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(strings.Join([]string{
+		"K1^1/2 heads",
+		":props",
+		":assign fut",
+		"K1 ((Pr1(heads) >= 1) | (Pr1(heads) <= 0))",
+		":assign bogus",
+		"((",
+		"unknownprop",
+		":help",
+		"",
+		":quit",
+		"never reached",
+	}, "\n"))
+	var out bytes.Buffer
+	if err := runREPL(entry, sa, in, &out); err != nil {
+		t.Fatalf("runREPL: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"holds at 2/4",
+		"heads tails",
+		"assignment: fut",
+		"VALID — holds at 4/4",
+		"error:",
+		"parse error:",
+		"commands:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "never reached") {
+		t.Error(":quit did not stop the REPL")
+	}
+}

@@ -1,0 +1,100 @@
+// Asynchrony and the third adversary (Section 7): ten coin tosses, one per
+// clock tick, and an agent with no clock.
+//
+// What is the probability that "the most recent coin toss landed heads"?
+// For the clockless agent p1 the event is not even measurable: its inner
+// and outer measures are 1/1024 and 1023/1024. For the clocked agent p2 it
+// is exactly 1/2 at every time. The gap is the third adversary: someone
+// must choose *when* the question is asked. If the adversary may pick any
+// point per run (the pts class), the bounds are exactly p1's inner/outer
+// measures (Proposition 10); if it must pick a single time, the answer
+// snaps back to 1/2.
+//
+// The program also reproduces the biased-coin example separating the pts
+// class from the state class of [FZ88a].
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kpa"
+	"kpa/internal/adversary"
+	"kpa/internal/canon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 10
+	sys := kpa.AsyncCoins(n)
+	tree := sys.Trees()[0]
+	phi := kpa.LastTossHeads()
+	c := kpa.Point{Tree: tree, Run: 0, Time: 1}
+
+	// p1's view (clockless): non-measurable, inner/outer bounds.
+	post := kpa.NewProbAssignment(sys, kpa.Post(sys))
+	sp := post.MustSpace(canon.P1, c)
+	fmt.Printf("clockless p1, all %d post-toss points in its sample space:\n", sp.Sample().Len())
+	fmt.Printf("  measurable: %v\n", sp.IsFactMeasurable(phi))
+	fmt.Printf("  inner measure: %s\n", sp.InnerFact(phi))
+	fmt.Printf("  outer measure: %s\n", sp.OuterFact(phi))
+
+	// p2's view (clocked): exactly 1/2 at every time.
+	for _, k := range []int{1, 5, 10} {
+		s2 := kpa.NewProbAssignment(sys, kpa.Opponent(sys, canon.P2))
+		d := kpa.Point{Tree: tree, Run: 0, Time: k}
+		pr, err := s2.MustSpace(canon.P1, d).ProbFact(phi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("clocked sample space at time %2d: Pr(lastHeads) = %s\n", k, pr)
+	}
+
+	// Proposition 10: P^post and P^pts give the same interval.
+	rep, err := kpa.CheckProposition10(sys, canon.P1, c, phi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nProposition 10: post interval [%s, %s] == pts interval [%s, %s]: %v\n",
+		rep.PostLo, rep.PostHi, rep.PtsLo, rep.PtsHi, rep.Agree())
+
+	// Horizontal cuts (a synchronizing adversary) restore 1/2.
+	small := kpa.AsyncCoins(3)
+	st := small.Trees()[0]
+	sc := kpa.Point{Tree: st, Run: 0, Time: 1}
+	sample := small.KInTree(canon.P1, sc)
+	lo, hi, err := kpa.IntervalOverCuts(kpa.WidthClass{Delta: 0}, small, sample, phi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("width-0 (horizontal) cuts on the 3-toss system: [%s, %s]\n", lo, hi)
+
+	// pts vs state: the biased-coin example.
+	bsys := kpa.BiasedPtsState()
+	bphi := canon.CoinLandsHeads(bsys)
+	var bc kpa.Point
+	for _, p := range bsys.PointsAtTime(bsys.Trees()[0], 0) {
+		if !bphi.Holds(p) {
+			bc = p
+		}
+	}
+	base := kpa.Post(bsys)
+	ptsLo, ptsHi, err := kpa.KnowsIntervalUnderClass(adversary.PtsClass{}, bsys, base, canon.P2, bc, bphi)
+	if err != nil {
+		return err
+	}
+	stLo, stHi, err := kpa.KnowsIntervalUnderClass(adversary.StateClass{}, bsys, base, canon.P2, bc, bphi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbiased coin (heads with probability 99/100), p2's interval for 'lands heads':\n")
+	fmt.Printf("  pts   adversaries: [%s, %s]  — the sensible answer\n", ptsLo, ptsHi)
+	fmt.Printf("  state adversaries: [%s, %s] — [FZ88a]'s class lets the adversary\n", stLo, stHi)
+	fmt.Println("        skip the heads run entirely by testing only at the tails node")
+	return nil
+}

@@ -1,0 +1,75 @@
+// Probabilistic primality testing as a system of knowledge (Sections 1 and
+// 3): why "n is prime with high probability" is the wrong statement and
+// "the algorithm answers correctly with high probability, for every input"
+// is the right one.
+//
+// The program first runs a real Miller–Rabin test, then builds the
+// knowledge model: one computation tree per input (the type-1 adversary
+// choice — the paper refuses to put a distribution on inputs), with k
+// random witness draws in each. Per input, the verdict is correct with
+// probability at least 1 − (1/4)^k; across inputs, no probability can be
+// assigned to "the input is composite" at all — the observer's candidate
+// sample space spans computation trees, violating REQ1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kpa"
+	"kpa/internal/measure"
+	"kpa/internal/primality"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The real algorithm.
+	fmt.Println("Miller–Rabin over uint64 (deterministic witness set):")
+	for _, n := range []uint64{561, 2047, 104729, 1000000007, 18446744073709551557} {
+		fmt.Printf("  IsPrime(%d) = %v\n", n, kpa.IsPrime(n))
+	}
+
+	// The knowledge model.
+	inputs := []uint64{9, 13, 15, 21, 25, 91, 561}
+	const draws = 3
+	m, err := kpa.NewPrimalityModel(inputs, draws)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nknowledge model: %d inputs × %d witness draws\n", len(inputs), draws)
+	fmt.Printf("  %-8s %-8s %-22s %-22s\n", "input", "prime?", "witness density", "P(correct verdict)")
+	per := m.CorrectnessPerInput()
+	for _, n := range inputs {
+		w, _ := m.WitnessDensity(n)
+		fmt.Printf("  %-8d %-8v %-22s %-22s\n", n, kpa.IsPrime(n), w, per[n])
+	}
+	fmt.Printf("worst-case correctness %s ≥ Rabin bound %s: %v\n",
+		m.WorstCaseCorrectness(), m.RabinBound(),
+		m.WorstCaseCorrectness().GreaterEq(m.RabinBound()))
+
+	// The structural point: no probability on the inputs.
+	var c kpa.Point
+	for p := range m.Sys.Points() {
+		if p.Time == 0 {
+			c = p
+			break
+		}
+	}
+	k := m.Sys.K(primality.Observer, c)
+	fmt.Printf("\nthe observer considers %d points possible at time 0, spanning %d trees;\n",
+		k.Len(), len(m.Sys.Trees()))
+	if _, err := measure.NewSpace(k); err != nil {
+		fmt.Printf("building a probability space over them fails as the paper demands:\n  %v\n", err)
+	} else {
+		return fmt.Errorf("unexpected: cross-tree space was accepted")
+	}
+	fmt.Println("\nso \"the input is prime with probability …\" has no meaning, while")
+	fmt.Println("\"for every input, the verdict is correct with probability ≥ 1 − (1/4)^k\"")
+	fmt.Println("is checked above, tree by tree.")
+	return nil
+}

@@ -1,0 +1,93 @@
+// Quickstart: the introduction's coin-toss story, end to end.
+//
+// Agent p3 tosses a fair coin at time 0 and sees the outcome at time 1;
+// agents p1 and p2 never learn it. What probability should p1 assign to
+// heads at time 1? The paper's answer: it depends on who is offering you
+// the bet. Against p2 (who knows nothing more than you), 1/2 is right and
+// a $2 payoff is a fair bet; against p3 (who saw the coin), the only sound
+// stance is "the probability is 0 or 1, I don't know which" — and indeed
+// there is a p3 strategy that takes your money if you bet at 1/2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kpa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := kpa.IntroCoin()
+	heads := kpa.Heads()
+
+	// Find the (heads, 1) point.
+	tree := sys.Trees()[0]
+	var h kpa.Point
+	for _, p := range sys.PointsAtTime(tree, 1) {
+		if p.Env() == "heads" {
+			h = p
+		}
+	}
+
+	const p1, p2, p3 = kpa.AgentID(0), kpa.AgentID(1), kpa.AgentID(2)
+
+	// The two canonical probability assignments.
+	post := kpa.NewProbAssignment(sys, kpa.Post(sys))  // opponent = your equal
+	fut := kpa.NewProbAssignment(sys, kpa.Future(sys)) // opponent knows the past
+
+	prPost, err := post.MustSpace(p1, h).ProbFact(heads)
+	if err != nil {
+		return err
+	}
+	prFut, err := fut.MustSpace(p1, h).ProbFact(heads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after the toss, p1's probability of heads:\n")
+	fmt.Printf("  posterior (betting against p2): %s\n", prPost)
+	fmt.Printf("  future    (betting against p3): %s at the heads point\n", prFut)
+
+	// The same statements in the logic.
+	e := kpa.NewEvaluator(sys, post, map[string]kpa.Fact{"heads": heads})
+	f := kpa.MustParseFormula("K1^1/2 heads")
+	ok, err := e.Holds(f, h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nP^post, (heads,1) ⊨ %s : %v\n", f, ok)
+
+	eFut := kpa.NewEvaluator(sys, fut, map[string]kpa.Fact{"heads": heads})
+	g := kpa.MustParseFormula("K1 ((Pr1(heads) >= 1) | (Pr1(heads) <= 0))")
+	ok, err = eFut.Holds(g, h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P^fut,  (heads,1) ⊨ %s : %v\n", g, ok)
+
+	// The betting game behind the two answers (Theorem 7).
+	alpha := kpa.RatHalf
+	for _, opp := range []struct {
+		name string
+		id   kpa.AgentID
+	}{{"p2", p2}, {"p3", p3}} {
+		P := kpa.NewProbAssignment(sys, kpa.Opponent(sys, opp.id))
+		rep, err := kpa.CheckTheorem7(P, p1, opp.id, h, heads, alpha)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nbetting on heads at payoff 2 against %s:\n", opp.name)
+		fmt.Printf("  K1^{1/2} heads under S^{%s}: %v\n", opp.name, rep.Knows)
+		fmt.Printf("  bet is safe:                 %v\n", rep.Safe)
+		if rep.Witness != nil {
+			fmt.Printf("  losing strategy:             %s (loses at %v)\n",
+				rep.Witness.Name(), rep.BadAt)
+		}
+	}
+	return nil
+}

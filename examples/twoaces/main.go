@@ -1,0 +1,86 @@
+// Freund's puzzle of the two aces (Appendix B.1): conditioning is only
+// well-defined relative to a protocol.
+//
+// From the four-card deck {A♠, A♥, 2♠, 2♥}, two cards are dealt to p1.
+// After p1 says "I hold an ace", p2's probability that p1 holds both aces
+// rises from 1/6 to 1/5. After p1 says "I hold the ace of spades" — does
+// it rise to 1/3 or stay at 1/5? Both, says Shafer: it depends on the
+// protocol the agents agreed on, and once the protocol is part of the
+// system, the posterior assignment P^post mechanically produces the right
+// answer in each case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kpa"
+	"kpa/internal/core"
+	"kpa/internal/twoaces"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	bothAces := twoaces.BothAces()
+
+	for _, v := range []kpa.TwoAcesVariant{kpa.AcesFixed, kpa.AcesRandom} {
+		sys, err := kpa.BuildTwoAces(v)
+		if err != nil {
+			return err
+		}
+		post := core.NewProbAssignment(sys, core.Post(sys))
+		fmt.Printf("protocol %s:\n", v)
+
+		show := func(k int, match string, label string) error {
+			tree := sys.Trees()[0]
+			for _, p := range sys.PointsAtTime(tree, k) {
+				l := string(p.Local(twoaces.Listener))
+				if match != "" && !strings.Contains(l, match) {
+					continue
+				}
+				pr, err := post.MustSpace(twoaces.Listener, p).ProbFact(bothAces)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  %-38s Pr(both aces) = %s\n", label, pr)
+				return nil
+			}
+			return fmt.Errorf("no listener point matching %q at time %d", match, k)
+		}
+
+		if err := show(1, "", "after the deal:"); err != nil {
+			return err
+		}
+		if err := show(2, ",ace", `after "I hold an ace":`); err != nil {
+			return err
+		}
+		switch v {
+		case kpa.AcesFixed:
+			if err := show(3, "spades-yes", `after "yes, I hold the ace of spades":`); err != nil {
+				return err
+			}
+			if err := show(3, "spades-no", `after "no ace of spades":`); err != nil {
+				return err
+			}
+		default:
+			if err := show(3, "suit=spades", `after "one of my aces is a spade":`); err != nil {
+				return err
+			}
+			if err := show(3, "suit=hearts", `after "one of my aces is a heart":`); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("moral: 1/3 under the agreed-questions protocol, 1/5 under the")
+	fmt.Println("random-ace protocol — the protocol must be part of the model")
+	fmt.Println("before \"conditioning on everything the agent knows\" makes sense.")
+	return nil
+}

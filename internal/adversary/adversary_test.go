@@ -1,0 +1,301 @@
+package adversary
+
+import (
+	"errors"
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func TestPtsCutsEnumeration(t *testing.T) {
+	sys := canon.AsyncCoins(2) // 4 runs × fibers of 2 points (times 1,2)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+
+	cuts, err := PtsClass{}.Cuts(sys, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 choices per run × 4 runs = 16 total cuts.
+	if len(cuts) != 16 {
+		t.Fatalf("pts cuts = %d, want 16", len(cuts))
+	}
+	for _, cut := range cuts {
+		if cut.Len() != 4 {
+			t.Errorf("total cut has %d points, want 4 (one per run)", cut.Len())
+		}
+		perRun := make(map[int]int)
+		for p := range cut {
+			perRun[p.Run]++
+		}
+		for r, n := range perRun {
+			if n != 1 {
+				t.Errorf("cut has %d points on run %d", n, r)
+			}
+		}
+	}
+}
+
+func TestWidthCuts(t *testing.T) {
+	sys := canon.AsyncCoins(2)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+
+	// Width 0: horizontal cuts only — times all-1 or all-2.
+	cuts0, err := WidthClass{Delta: 0}.Cuts(sys, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts0) != 2 {
+		t.Fatalf("width-0 cuts = %d, want 2", len(cuts0))
+	}
+	// Width 1 covers everything here (times span {1,2}).
+	cuts1, err := WidthClass{Delta: 1}.Cuts(sys, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts1) != 16 {
+		t.Fatalf("width-1 cuts = %d, want 16", len(cuts1))
+	}
+	// Horizontal cuts give probability exactly 1/2 for lastHeads.
+	lo, hi, err := IntervalOverCuts(WidthClass{Delta: 0}, sys, sample, canon.LastTossHeads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal(rat.Half) || !hi.Equal(rat.Half) {
+		t.Errorf("horizontal interval = [%s,%s], want [1/2,1/2]", lo, hi)
+	}
+}
+
+func TestPtsIntervalClosedFormMatchesEnumeration(t *testing.T) {
+	sys := canon.AsyncCoins(3)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	phi := canon.LastTossHeads()
+
+	lo1, hi1, err := IntervalOverCuts(PtsClass{}, sys, sample, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := PtsInterval(sample, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo1.Equal(lo2) || !hi1.Equal(hi2) {
+		t.Errorf("enumeration [%s,%s] != closed form [%s,%s]", lo1, hi1, lo2, hi2)
+	}
+	// The values themselves: inner 1/8, outer 7/8.
+	if !lo2.Equal(rat.New(1, 8)) || !hi2.Equal(rat.New(7, 8)) {
+		t.Errorf("pts interval = [%s,%s], want [1/8,7/8]", lo2, hi2)
+	}
+}
+
+// TestProposition10 checks P^post ≡ P^pts on the K^[α,β] operators over
+// asynchronous systems of several depths, for both the run-fact and the
+// point-fact flavors.
+func TestProposition10(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		sys := canon.AsyncCoins(n)
+		tree := sys.Trees()[0]
+		c := system.Point{Tree: tree, Run: 0, Time: 1}
+		for _, phi := range []system.Fact{canon.LastTossHeads(), canon.AllHeads(sys)} {
+			rep, err := CheckProposition10(sys, canon.P1, c, phi)
+			if err != nil {
+				t.Fatalf("n=%d φ=%s: %v", n, phi, err)
+			}
+			if !rep.Agree() {
+				t.Errorf("n=%d φ=%s: post [%s,%s] != pts [%s,%s]",
+					n, phi, rep.PostLo, rep.PostHi, rep.PtsLo, rep.PtsHi)
+			}
+		}
+	}
+	// Larger instance through the closed form (enumeration infeasible).
+	sys := canon.AsyncCoins(10)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	rep, err := CheckProposition10(sys, canon.P1, c, canon.LastTossHeads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Agree() {
+		t.Errorf("n=10: post [%s,%s] != pts [%s,%s]", rep.PostLo, rep.PostHi, rep.PtsLo, rep.PtsHi)
+	}
+	want := rat.Pow(rat.Half, 10)
+	if !rep.PtsLo.Equal(want) || !rep.PtsHi.Equal(rat.One.Sub(want)) {
+		t.Errorf("n=10 interval = [%s,%s], want [1/1024, 1023/1024]", rep.PtsLo, rep.PtsHi)
+	}
+}
+
+// TestPtsVsState reproduces the biased-coin example of Section 7: with
+// respect to pts, p2 knows the coin lands heads with probability exactly
+// .99 at the time-0 tails point; with respect to state, only the interval
+// [0, .99] — the state adversary may choose the node T, where the
+// probability of heads is 0.
+func TestPtsVsState(t *testing.T) {
+	sys := canon.BiasedPtsState()
+	tree := sys.Trees()[0]
+	phi := canon.CoinLandsHeads(sys)
+	// c = (t, 0): a time-0 point; p2 considers (h,0), (t,0), (t,1) possible.
+	var c system.Point
+	for _, p := range sys.PointsAtTime(tree, 0) {
+		if !phi.Holds(p) {
+			c = p
+		}
+	}
+	if c.Tree == nil {
+		t.Fatal("no time-0 tails point found")
+	}
+	if got := sys.K(canon.P2, c).Len(); got != 3 {
+		t.Fatalf("K_2(c) has %d points, want 3", got)
+	}
+
+	p99 := rat.New(99, 100)
+	base := core.Post(sys)
+
+	loPts, hiPts, err := KnowsIntervalUnderClass(PtsClass{}, sys, base, canon.P2, c, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loPts.Equal(p99) || !hiPts.Equal(p99) {
+		t.Errorf("pts interval = [%s,%s], want [99/100,99/100]", loPts, hiPts)
+	}
+
+	loSt, hiSt, err := KnowsIntervalUnderClass(StateClass{}, sys, base, canon.P2, c, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loSt.IsZero() || !hiSt.Equal(p99) {
+		t.Errorf("state interval = [%s,%s], want [0,99/100]", loSt, hiSt)
+	}
+}
+
+func TestStateCutsStructure(t *testing.T) {
+	sys := canon.BiasedPtsState()
+	tree := sys.Trees()[0]
+	phi := canon.CoinLandsHeads(sys)
+	var c system.Point
+	for _, p := range sys.PointsAtTime(tree, 0) {
+		if !phi.Holds(p) {
+			c = p
+		}
+	}
+	sample := core.Post(sys).Sample(canon.P2, c) // {(h,0),(t,0),(t,1)}: nodes R and T
+	cuts, err := StateClass{}.Cuts(sys, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Antichains of {R, T}: {R}, {T} (R and T share run t).
+	if len(cuts) != 2 {
+		t.Fatalf("state cuts = %d, want 2", len(cuts))
+	}
+	sizes := map[int]int{}
+	for _, cut := range cuts {
+		sizes[cut.Len()]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("state cut sizes = %v, want one 2-point (R) and one 1-point (T)", sizes)
+	}
+}
+
+func TestPartialCuts(t *testing.T) {
+	sys := canon.AsyncCoins(2)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+
+	cuts, err := PartialClass{}.Cuts(sys, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2+1)^4 − 1 = 80 non-empty partial cuts.
+	if len(cuts) != 80 {
+		t.Fatalf("partial cuts = %d, want 80", len(cuts))
+	}
+	// Partial cuts can push the interval to [0,1]: a cut containing only a
+	// ¬φ point gives probability 0, only a φ point gives 1.
+	lo, hi, err := IntervalOverCuts(PartialClass{}, sys, sample, canon.LastTossHeads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.IsZero() || !hi.IsOne() {
+		t.Errorf("partial interval = [%s,%s], want [0,1]", lo, hi)
+	}
+}
+
+func TestTooManyCuts(t *testing.T) {
+	sys := canon.AsyncCoins(10)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	if _, err := (PtsClass{}).Cuts(sys, sample); !errors.Is(err, ErrTooManyCuts) {
+		t.Errorf("err = %v, want ErrTooManyCuts", err)
+	}
+	if _, err := (PartialClass{}).Cuts(sys, sample); !errors.Is(err, ErrTooManyCuts) {
+		t.Errorf("partial err = %v, want ErrTooManyCuts", err)
+	}
+}
+
+func TestIntervalOverCutsErrors(t *testing.T) {
+	sys := canon.AsyncCoins(2)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	// Width -1 admits no cuts.
+	_, _, err := IntervalOverCuts(WidthClass{Delta: -1}, sys, sample, canon.LastTossHeads())
+	if err == nil {
+		t.Error("expected error for a class with no cuts")
+	}
+}
+
+// TestPartialSynchronyInterpolation reproduces the interpolation the paper
+// sketches for partially synchronous systems: with p2's clock accurate to
+// a window of the given width, the sharp interval p2 attaches to "the most
+// recent toss landed heads" widens from [1/2,1/2] (width 0, synchronous)
+// through [1/4,3/4] (width 1) toward the clockless [1/2ⁿ, 1−1/2ⁿ].
+func TestPartialSynchronyInterpolation(t *testing.T) {
+	const n = 4
+	phi := canon.LastTossHeads()
+	want := []struct {
+		width  int
+		lo, hi rat.Rat
+	}{
+		{0, rat.Half, rat.Half},
+		{1, rat.New(1, 4), rat.New(3, 4)},
+		{3, rat.New(1, 16), rat.New(15, 16)},
+	}
+	for _, tc := range want {
+		sys := canon.DriftClockCoins(n, tc.width)
+		tree := sys.Trees()[0]
+		c := system.Point{Tree: tree, Run: 0, Time: 1}
+		// p2's own posterior spaces (windows of times).
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		lo, hi, err := P.SharpInterval(canon.P2, c, phi)
+		if err != nil {
+			t.Fatalf("width %d: %v", tc.width, err)
+		}
+		if !lo.Equal(tc.lo) || !hi.Equal(tc.hi) {
+			t.Errorf("width %d: interval [%s,%s], want [%s,%s]", tc.width, lo, hi, tc.lo, tc.hi)
+		}
+	}
+	// The width-class cut adversary over the clockless agent's sample
+	// space gives the same interval as p2's posterior at matching width:
+	// width-Δ cuts are exactly what a Δ-accurate clock buys. (n = 3 keeps
+	// the cut enumeration within bounds.)
+	sys := canon.DriftClockCoins(3, 1)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	lo, hi, err := IntervalOverCuts(WidthClass{Delta: 1}, sys, sample, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal(rat.New(1, 4)) || !hi.Equal(rat.New(3, 4)) {
+		t.Errorf("width-1 cuts: [%s,%s], want [1/4,3/4]", lo, hi)
+	}
+}

@@ -1,0 +1,244 @@
+// Package adversary implements the third type of adversary of Section 7:
+// in an asynchronous system, an agent does not know exactly when the event
+// it is betting on is being tested, so an adversary chooses where in each
+// run the test happens — a cut through the agent's sample space.
+//
+// A (total) cut through a set of points S selects exactly one point of S on
+// every run through S; a partial cut selects at most one. The paper's two
+// named classes are:
+//
+//   - pts: all total point cuts (the class yielding P^pts, which Proposition
+//     10 shows is indistinguishable from P^post by the K_i^[α,β] operators);
+//   - state: the class of [FZ88a] — cuts of *global states* (no two on the
+//     same run), which need not touch every run, and whose induced intervals
+//     can differ from pts (the biased-coin example of Section 7).
+//
+// The package also provides the width-bounded cuts the paper suggests for
+// partially synchronous systems, and fully general partial cuts.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"kpa/internal/system"
+)
+
+// maxEnumeration bounds explicit cut enumeration; classes whose cut count
+// would exceed it return ErrTooManyCuts.
+const maxEnumeration = 1 << 20
+
+// ErrTooManyCuts is returned when a cut class would have to enumerate more
+// cuts than maxEnumeration; use the analytic interval (PtsInterval) where
+// one exists.
+var ErrTooManyCuts = fmt.Errorf("adversary: cut enumeration exceeds %d cuts", maxEnumeration)
+
+// Class is a class of type-3 adversaries: a rule producing, for a sample
+// space of points (all within one tree), the set of cuts an adversary of
+// the class may choose.
+type Class interface {
+	// Name identifies the class ("pts", "state", ...).
+	Name() string
+	// Cuts enumerates the cuts through the sample (each cut is a non-empty
+	// point set, at most one point per run).
+	Cuts(sys *system.System, sample system.PointSet) ([]system.PointSet, error)
+}
+
+// fibers groups the sample's points by run, in deterministic order.
+func fibers(sample system.PointSet) (runs []int, byRun map[int][]system.Point) {
+	byRun = make(map[int][]system.Point)
+	for _, p := range sample.Sorted() {
+		byRun[p.Run] = append(byRun[p.Run], p)
+	}
+	runs = make([]int, 0, len(byRun))
+	for r := range byRun {
+		runs = append(runs, r)
+	}
+	sort.Ints(runs)
+	return runs, byRun
+}
+
+// cartesianCuts enumerates all selections of one point per run, filtered by
+// accept (nil accepts everything).
+func cartesianCuts(sample system.PointSet, accept func([]system.Point) bool) ([]system.PointSet, error) {
+	runs, byRun := fibers(sample)
+	total := 1
+	for _, r := range runs {
+		total *= len(byRun[r])
+		if total > maxEnumeration {
+			return nil, ErrTooManyCuts
+		}
+	}
+	choice := make([]system.Point, len(runs))
+	var out []system.PointSet
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(runs) {
+			if accept == nil || accept(choice) {
+				out = append(out, system.NewPointSet(choice...))
+			}
+			return
+		}
+		for _, p := range byRun[runs[k]] {
+			choice[k] = p
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// PtsClass is the class pts: all total point cuts.
+type PtsClass struct{}
+
+var _ Class = PtsClass{}
+
+// Name implements Class.
+func (PtsClass) Name() string { return "pts" }
+
+// Cuts implements Class by explicit enumeration (small systems only; use
+// PtsInterval for the closed form).
+func (PtsClass) Cuts(_ *system.System, sample system.PointSet) ([]system.PointSet, error) {
+	return cartesianCuts(sample, nil)
+}
+
+// WidthClass is the class of total cuts whose points' times span at most
+// Delta — the paper's suggestion for partially synchronous systems, where
+// processors take their k-th step within a window of width Delta. Delta = 0
+// gives horizontal (synchronous) cuts.
+type WidthClass struct {
+	Delta int
+}
+
+var _ Class = WidthClass{}
+
+// Name implements Class.
+func (w WidthClass) Name() string { return fmt.Sprintf("width(%d)", w.Delta) }
+
+// Cuts implements Class.
+func (w WidthClass) Cuts(_ *system.System, sample system.PointSet) ([]system.PointSet, error) {
+	return cartesianCuts(sample, func(choice []system.Point) bool {
+		lo, hi := choice[0].Time, choice[0].Time
+		for _, p := range choice[1:] {
+			if p.Time < lo {
+				lo = p.Time
+			}
+			if p.Time > hi {
+				hi = p.Time
+			}
+		}
+		return hi-lo <= w.Delta
+	})
+}
+
+// StateClass is the class of [FZ88a]: cuts of global states through the
+// sample — non-empty sets of tree nodes occurring in the sample such that
+// no two chosen nodes lie on a common run. A chosen node contributes all of
+// the sample's points on it; runs through no chosen node are simply not bet
+// on (the test is not performed there).
+type StateClass struct{}
+
+var _ Class = StateClass{}
+
+// Name implements Class.
+func (StateClass) Name() string { return "state" }
+
+// Cuts implements Class.
+func (StateClass) Cuts(_ *system.System, sample system.PointSet) ([]system.PointSet, error) {
+	tree := sample.SingleTree()
+	if tree == nil {
+		return nil, fmt.Errorf("adversary: sample spans trees")
+	}
+	// Collect the distinct nodes of the sample with their run sets.
+	type nodeInfo struct {
+		id   system.NodeID
+		runs system.RunSet
+		pts  []system.Point
+	}
+	byNode := make(map[system.NodeID]*nodeInfo)
+	for _, p := range sample.Sorted() {
+		id := p.Tree.Run(p.Run)[p.Time]
+		ni, ok := byNode[id]
+		if !ok {
+			ni = &nodeInfo{id: id, runs: system.NewRunSet(tree.NumRuns())}
+			byNode[id] = ni
+		}
+		ni.runs.Add(p.Run)
+		ni.pts = append(ni.pts, p)
+	}
+	nodes := make([]*nodeInfo, 0, len(byNode))
+	for _, ni := range byNode {
+		nodes = append(nodes, ni)
+	}
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a].id < nodes[b].id })
+	if len(nodes) > 20 {
+		return nil, ErrTooManyCuts
+	}
+	// Enumerate non-empty antichains (no two nodes sharing a run).
+	var out []system.PointSet
+	var rec func(k int, used system.RunSet, acc []*nodeInfo)
+	rec = func(k int, used system.RunSet, acc []*nodeInfo) {
+		if k == len(nodes) {
+			if len(acc) > 0 {
+				cut := make(system.PointSet)
+				for _, ni := range acc {
+					for _, p := range ni.pts {
+						cut.Add(p)
+					}
+				}
+				out = append(out, cut)
+			}
+			return
+		}
+		// Skip nodes[k].
+		rec(k+1, used, acc)
+		// Take nodes[k] if it conflicts with nothing chosen.
+		if nodes[k].runs.Intersect(used).IsEmpty() {
+			rec(k+1, used.Union(nodes[k].runs), append(acc, nodes[k]))
+		}
+	}
+	rec(0, system.NewRunSet(tree.NumRuns()), nil)
+	return out, nil
+}
+
+// PartialClass is the fully general class the paper sketches at the end of
+// Section 7: at most one point per run, not necessarily touching every run
+// ("this adversary simply does not give p_i the chance to bet in certain
+// runs").
+type PartialClass struct{}
+
+var _ Class = PartialClass{}
+
+// Name implements Class.
+func (PartialClass) Name() string { return "partial" }
+
+// Cuts implements Class.
+func (PartialClass) Cuts(_ *system.System, sample system.PointSet) ([]system.PointSet, error) {
+	runs, byRun := fibers(sample)
+	total := 1
+	for _, r := range runs {
+		total *= len(byRun[r]) + 1 // +1 for "skip this run"
+		if total > maxEnumeration {
+			return nil, ErrTooManyCuts
+		}
+	}
+	var out []system.PointSet
+	choice := make([]system.Point, 0, len(runs))
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(runs) {
+			if len(choice) > 0 {
+				out = append(out, system.NewPointSet(choice...))
+			}
+			return
+		}
+		rec(k + 1) // skip run
+		for _, p := range byRun[runs[k]] {
+			choice = append(choice, p)
+			rec(k + 1)
+			choice = choice[:len(choice)-1]
+		}
+	}
+	rec(0)
+	return out, nil
+}

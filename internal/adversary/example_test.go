@@ -1,0 +1,53 @@
+package adversary_test
+
+import (
+	"fmt"
+
+	"kpa/internal/adversary"
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/system"
+)
+
+// ExampleCheckProposition10 compares the post assignment with the pts
+// cut-adversary class: they induce the same knowledge intervals.
+func ExampleCheckProposition10() {
+	sys := canon.AsyncCoins(10)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	rep, err := adversary.CheckProposition10(sys, canon.P1, c, canon.LastTossHeads())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("post [%s, %s] pts [%s, %s] agree=%v\n",
+		rep.PostLo, rep.PostHi, rep.PtsLo, rep.PtsHi, rep.Agree())
+	// Output:
+	// post [1/1024, 1023/1024] pts [1/1024, 1023/1024] agree=true
+}
+
+// ExampleKnowsIntervalUnderClass reproduces the pts-vs-state separation on
+// the biased-coin system.
+func ExampleKnowsIntervalUnderClass() {
+	sys := canon.BiasedPtsState()
+	tree := sys.Trees()[0]
+	phi := canon.CoinLandsHeads(sys)
+	var c system.Point
+	for _, p := range sys.PointsAtTime(tree, 0) {
+		if !phi.Holds(p) {
+			c = p
+		}
+	}
+	base := core.Post(sys)
+	for _, cls := range []adversary.Class{adversary.PtsClass{}, adversary.StateClass{}} {
+		lo, hi, err := adversary.KnowsIntervalUnderClass(cls, sys, base, canon.P2, c, phi)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: [%s, %s]\n", cls.Name(), lo, hi)
+	}
+	// Output:
+	// pts: [99/100, 99/100]
+	// state: [0, 99/100]
+}

@@ -1,0 +1,198 @@
+package adversary
+
+import (
+	"fmt"
+
+	"kpa/internal/core"
+	"kpa/internal/measure"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// CutSpace builds the probability space induced by one cut: the cut's
+// points form the sample space, and since a cut has at most one point per
+// run, every fact is measurable in it.
+func CutSpace(cut system.PointSet) (*measure.Space, error) {
+	return measure.NewSpace(cut)
+}
+
+// IntervalOverCuts returns the tightest [lo, hi] such that for every cut of
+// the class through the sample, the cut-space probability of φ lies in
+// [lo, hi].
+func IntervalOverCuts(
+	cls Class,
+	sys *system.System,
+	sample system.PointSet,
+	phi system.Fact,
+) (lo, hi rat.Rat, err error) {
+	cuts, err := cls.Cuts(sys, sample)
+	if err != nil {
+		return rat.Rat{}, rat.Rat{}, err
+	}
+	if len(cuts) == 0 {
+		return rat.Rat{}, rat.Rat{}, fmt.Errorf("adversary: class %s admits no cuts", cls.Name())
+	}
+	lo, hi = rat.One, rat.Zero
+	for _, cut := range cuts {
+		sp, err := CutSpace(cut)
+		if err != nil {
+			return rat.Rat{}, rat.Rat{}, fmt.Errorf("cut space: %w", err)
+		}
+		p, err := sp.ProbFact(phi)
+		if err != nil {
+			// At most one point per run ⇒ measurable; a failure means the
+			// cut violated that invariant.
+			return rat.Rat{}, rat.Rat{}, fmt.Errorf("cut not measurable: %w", err)
+		}
+		lo = rat.Min(lo, p)
+		hi = rat.Max(hi, p)
+	}
+	return lo, hi, nil
+}
+
+// PtsInterval returns the pts-class interval in closed form, without
+// enumeration: over total point cuts, the minimum probability of φ is
+// attained by selecting a ¬φ point on every run that has one — giving the
+// inner measure of S(φ) — and the maximum by selecting a φ point wherever
+// possible — the outer measure. This identity is the engine of
+// Proposition 10.
+func PtsInterval(sample system.PointSet, phi system.Fact) (lo, hi rat.Rat, err error) {
+	sp, err := measure.NewSpace(sample)
+	if err != nil {
+		return rat.Rat{}, rat.Rat{}, err
+	}
+	return sp.InnerFact(phi), sp.OuterFact(phi), nil
+}
+
+// KnowsIntervalUnderClass returns the tightest interval [α, β] such that,
+// with the second-type adversary fixed by the base sample-space assignment
+// and the third-type adversary ranging over the class, agent i at point c
+// knows Pr(φ) ∈ [α, β]: the min/max over all d ∈ K_i(c) and all cuts
+// through base's sample at d.
+func KnowsIntervalUnderClass(
+	cls Class,
+	sys *system.System,
+	base core.SampleAssignment,
+	i system.AgentID,
+	c system.Point,
+	phi system.Fact,
+) (lo, hi rat.Rat, err error) {
+	lo, hi = rat.One, rat.Zero
+	seen := make(map[string]bool)
+	for _, d := range sys.K(i, c).Sorted() {
+		sample := base.Sample(i, d)
+		// Many points of K_i(c) share a sample space; enumerate each
+		// distinct sample once.
+		sig := sampleSignature(sample)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		l, h, err := IntervalOverCuts(cls, sys, sample, phi)
+		if err != nil {
+			return rat.Rat{}, rat.Rat{}, err
+		}
+		lo = rat.Min(lo, l)
+		hi = rat.Max(hi, h)
+	}
+	return lo, hi, nil
+}
+
+// sampleSignature canonically encodes a point set for deduplication.
+func sampleSignature(sample system.PointSet) string {
+	out := make([]byte, 0, sample.Len()*8)
+	for _, p := range sample.Sorted() {
+		out = append(out, p.Tree.Adversary...)
+		out = append(out, '#')
+		out = appendInt(out, p.Run)
+		out = append(out, '@')
+		out = appendInt(out, p.Time)
+		out = append(out, ';')
+	}
+	return string(out)
+}
+
+func appendInt(b []byte, n int) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// PtsKnowsInterval is KnowsIntervalUnderClass for the pts class using the
+// closed form (no enumeration), so it scales to large asynchronous systems.
+func PtsKnowsInterval(
+	sys *system.System,
+	base core.SampleAssignment,
+	i system.AgentID,
+	c system.Point,
+	phi system.Fact,
+) (lo, hi rat.Rat, err error) {
+	lo, hi = rat.One, rat.Zero
+	seen := make(map[string]bool)
+	keyed, _ := base.(core.KeyedAssignment)
+	for _, d := range sys.K(i, c).Sorted() {
+		if keyed != nil {
+			if k, ok := keyed.SampleKey(i, d); ok {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+		}
+		l, h, err := PtsInterval(base.Sample(i, d), phi)
+		if err != nil {
+			return rat.Rat{}, rat.Rat{}, err
+		}
+		lo = rat.Min(lo, l)
+		hi = rat.Max(hi, h)
+	}
+	return lo, hi, nil
+}
+
+// Proposition10Report compares the K_i^[α,β] intervals of P^post and P^pts
+// at a point.
+type Proposition10Report struct {
+	PostLo, PostHi rat.Rat
+	PtsLo, PtsHi   rat.Rat
+}
+
+// Agree reports whether the intervals coincide, as Proposition 10 asserts.
+func (r Proposition10Report) Agree() bool {
+	return r.PostLo.Equal(r.PtsLo) && r.PostHi.Equal(r.PtsHi)
+}
+
+// CheckProposition10 evaluates both sides of Proposition 10 at a point:
+// the sharp K_i^[α,β] interval of P^post (inner/outer measures over
+// Tree_id, d ∈ K_i(c)) against the pts-class interval over the same sample
+// spaces. The pts side is computed by explicit cut enumeration when
+// feasible and by the closed form otherwise, so small systems genuinely
+// exercise the adversary semantics.
+func CheckProposition10(
+	sys *system.System,
+	i system.AgentID,
+	c system.Point,
+	phi system.Fact,
+) (Proposition10Report, error) {
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	postLo, postHi, err := post.SharpInterval(i, c, phi)
+	if err != nil {
+		return Proposition10Report{}, err
+	}
+	base := core.Post(sys)
+	ptsLo, ptsHi, err := KnowsIntervalUnderClass(PtsClass{}, sys, base, i, c, phi)
+	if err == ErrTooManyCuts {
+		ptsLo, ptsHi, err = PtsKnowsInterval(sys, base, i, c, phi)
+	}
+	if err != nil {
+		return Proposition10Report{}, err
+	}
+	return Proposition10Report{PostLo: postLo, PostHi: postHi, PtsLo: ptsLo, PtsHi: ptsHi}, nil
+}

@@ -1,0 +1,357 @@
+// Package agreement implements the game-theoretic result the paper invokes
+// at the end of Appendix B.3: Aumann's agreement theorem [Aum76] — agents
+// with a common prior whose posteriors of an event are common knowledge
+// must have equal posteriors ("rational agents cannot agree to disagree") —
+// together with the Geanakoplos–Polemarchakis dialogue in which agents
+// repeatedly announce their posteriors and provably converge to agreement.
+//
+// The paper's setting supplies everything Aumann needs: within one
+// computation tree the run distribution is a common prior, an agent's
+// information partition at a time is the set of its knowledge cells, and
+// the posterior is exactly the P^post probability of the event. The package
+// works over any synchronous time-slice of a tree (FromSystem) or over an
+// explicitly given finite partition model (NewModel).
+package agreement
+
+import (
+	"fmt"
+
+	"kpa/internal/measure"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Model is a finite common-prior information model: a universe of points
+// carrying a probability measure (induced by the run distribution of their
+// computation tree) and one information partition per agent.
+type Model struct {
+	space      *measure.Space
+	universe   system.PointSet
+	partitions [][]system.PointSet
+
+	cellOf []map[system.Point]int // agent → point → index into partitions[agent]
+}
+
+// NewModel builds a model from a universe and per-agent partitions. Every
+// partition must exactly partition the universe, and every cell must be
+// measurable with positive probability (so posteriors are well-defined).
+func NewModel(universe system.PointSet, partitions ...[]system.PointSet) (*Model, error) {
+	if len(partitions) == 0 {
+		return nil, fmt.Errorf("agreement: need at least one agent partition")
+	}
+	sp, err := measure.NewSpace(universe)
+	if err != nil {
+		return nil, fmt.Errorf("agreement: universe: %w", err)
+	}
+	m := &Model{
+		space:      sp,
+		universe:   universe.Clone(),
+		partitions: make([][]system.PointSet, len(partitions)),
+		cellOf:     make([]map[system.Point]int, len(partitions)),
+	}
+	for i, cells := range partitions {
+		m.cellOf[i] = make(map[system.Point]int)
+		seen := make(system.PointSet)
+		for ci, cell := range cells {
+			if cell.IsEmpty() {
+				return nil, fmt.Errorf("agreement: agent %d has an empty cell", i)
+			}
+			if !m.space.IsMeasurable(cell) {
+				return nil, fmt.Errorf("agreement: agent %d cell %d is not measurable", i, ci)
+			}
+			p, err := m.space.Prob(cell)
+			if err != nil || p.Sign() <= 0 {
+				return nil, fmt.Errorf("agreement: agent %d cell %d has non-positive probability", i, ci)
+			}
+			for pt := range cell {
+				if seen.Contains(pt) {
+					return nil, fmt.Errorf("agreement: agent %d cells overlap at %v", i, pt)
+				}
+				seen.Add(pt)
+				m.cellOf[i][pt] = ci
+			}
+			m.partitions[i] = append(m.partitions[i], cell.Clone())
+		}
+		if !seen.Equal(universe) {
+			return nil, fmt.Errorf("agreement: agent %d cells do not cover the universe", i)
+		}
+	}
+	return m, nil
+}
+
+// FromSystem builds the model for the given agents over the time-k points
+// of a tree: the common prior is the run distribution and each agent's
+// partition is its knowledge cells restricted to the slice. The slice must
+// contain one point per run (which holds at any time of a synchronous
+// system), so that every knowledge cell is measurable.
+func FromSystem(sys *system.System, t *system.Tree, k int, agents []system.AgentID) (*Model, error) {
+	slice := system.NewPointSet(sys.PointsAtTime(t, k)...)
+	if slice.IsEmpty() {
+		return nil, fmt.Errorf("agreement: no points at time %d", k)
+	}
+	partitions := make([][]system.PointSet, 0, len(agents))
+	for _, i := range agents {
+		var cells []system.PointSet
+		assigned := make(system.PointSet)
+		for _, p := range slice.Sorted() {
+			if assigned.Contains(p) {
+				continue
+			}
+			cell := sys.K(i, p).Intersect(slice)
+			for q := range cell {
+				assigned.Add(q)
+			}
+			cells = append(cells, cell)
+		}
+		partitions = append(partitions, cells)
+	}
+	return NewModel(slice, partitions...)
+}
+
+// NumAgents returns the number of agents in the model.
+func (m *Model) NumAgents() int { return len(m.partitions) }
+
+// Universe returns the model's universe. It must not be modified.
+func (m *Model) Universe() system.PointSet { return m.universe }
+
+// Cell returns agent i's information cell containing p.
+func (m *Model) Cell(i int, p system.Point) (system.PointSet, error) {
+	ci, ok := m.cellOf[i][p]
+	if !ok {
+		return nil, fmt.Errorf("agreement: %v outside the universe", p)
+	}
+	return m.partitions[i][ci], nil
+}
+
+// Posterior returns agent i's posterior probability of event E at point p:
+// μ(E | Π_i(p)) under the common prior.
+func (m *Model) Posterior(i int, p system.Point, event system.PointSet) (rat.Rat, error) {
+	cell, err := m.Cell(i, p)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	pCell, err := m.space.Prob(cell)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	pBoth, err := m.space.Prob(cell.Intersect(event))
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	return pBoth.Div(pCell), nil
+}
+
+// MeetCell returns the cell of the meet (finest common coarsening) of all
+// partitions containing p: the smallest set containing p that is a union of
+// cells of every agent. An event is common knowledge at p exactly when it
+// contains MeetCell(p).
+func (m *Model) MeetCell(p system.Point) (system.PointSet, error) {
+	if _, ok := m.cellOf[0][p]; !ok {
+		return nil, fmt.Errorf("agreement: %v outside the universe", p)
+	}
+	cur := system.NewPointSet(p)
+	for {
+		next := cur.Clone()
+		for i := range m.partitions {
+			for q := range cur {
+				cell, err := m.Cell(i, q)
+				if err != nil {
+					return nil, err
+				}
+				next = next.Union(cell)
+			}
+		}
+		if next.Equal(cur) {
+			return cur, nil
+		}
+		cur = next
+	}
+}
+
+// IsCommonKnowledge reports whether the event is common knowledge at p:
+// whether MeetCell(p) ⊆ event.
+func (m *Model) IsCommonKnowledge(p system.Point, event system.PointSet) (bool, error) {
+	mc, err := m.MeetCell(p)
+	if err != nil {
+		return false, err
+	}
+	return mc.SubsetOf(event), nil
+}
+
+// AumannReport is the outcome of checking Aumann's theorem at a point.
+type AumannReport struct {
+	// Posteriors holds each agent's posterior of the event at the point.
+	Posteriors []rat.Rat
+	// CommonKnowledge reports whether the joint event "each agent's
+	// posterior equals its actual value" is common knowledge at the point.
+	CommonKnowledge bool
+	// Equal reports whether all posteriors coincide.
+	Equal bool
+}
+
+// Consistent reports whether the instance respects Aumann's theorem:
+// common knowledge of the posteriors implies their equality.
+func (r AumannReport) Consistent() bool { return !r.CommonKnowledge || r.Equal }
+
+// CheckAumann evaluates Aumann's theorem at p for the event: it computes
+// every agent's posterior, determines whether the profile of posteriors is
+// common knowledge at p (the set where every agent's posterior takes the
+// same value as at p contains the meet cell), and whether the posteriors
+// agree. Aumann's theorem is the implication CommonKnowledge ⇒ Equal.
+func (m *Model) CheckAumann(p system.Point, event system.PointSet) (AumannReport, error) {
+	rep := AumannReport{Posteriors: make([]rat.Rat, m.NumAgents())}
+	for i := range m.partitions {
+		q, err := m.Posterior(i, p, event)
+		if err != nil {
+			return AumannReport{}, err
+		}
+		rep.Posteriors[i] = q
+	}
+	// The event "∀i: q_i = rep.Posteriors[i]".
+	profile := make(system.PointSet)
+	for q := range m.universe {
+		all := true
+		for i := range m.partitions {
+			qi, err := m.Posterior(i, q, event)
+			if err != nil {
+				return AumannReport{}, err
+			}
+			if !qi.Equal(rep.Posteriors[i]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			profile.Add(q)
+		}
+	}
+	ck, err := m.IsCommonKnowledge(p, profile)
+	if err != nil {
+		return AumannReport{}, err
+	}
+	rep.CommonKnowledge = ck
+	rep.Equal = true
+	for i := 1; i < len(rep.Posteriors); i++ {
+		if !rep.Posteriors[i].Equal(rep.Posteriors[0]) {
+			rep.Equal = false
+		}
+	}
+	return rep, nil
+}
+
+// VerifyAumannEverywhere checks Aumann's implication at every point of the
+// universe, returning the first violating point if any.
+func (m *Model) VerifyAumannEverywhere(event system.PointSet) (bool, system.Point, error) {
+	for _, p := range m.universe.Sorted() {
+		rep, err := m.CheckAumann(p, event)
+		if err != nil {
+			return false, system.Point{}, err
+		}
+		if !rep.Consistent() {
+			return false, p, nil
+		}
+	}
+	return true, system.Point{}, nil
+}
+
+// DialogueResult records a Geanakoplos–Polemarchakis posterior dialogue.
+type DialogueResult struct {
+	// Rounds is the number of announcement rounds until the partitions
+	// stopped refining.
+	Rounds int
+	// History[t][i] is agent i's announced posterior in round t at the
+	// dialogue's actual point.
+	History [][]rat.Rat
+	// Final holds the agents' posteriors at the point after convergence.
+	Final []rat.Rat
+	// Agreed reports whether the final posteriors are all equal — which
+	// the G–P theorem guarantees.
+	Agreed bool
+}
+
+// Dialogue runs the posterior dialogue about the event starting at p: in
+// each round every agent announces its current posterior (as a function of
+// its information), and everyone refines its partition by the joint
+// announcement profile. The process must terminate within maxRounds (the
+// partitions strictly refine, so any maxRounds ≥ |universe| suffices); at
+// the fixed point the posteriors are common knowledge and hence, by
+// Aumann's theorem, equal.
+//
+// The receiver is not modified: the dialogue runs on a copy of the
+// partitions.
+func (m *Model) Dialogue(p system.Point, event system.PointSet, maxRounds int) (DialogueResult, error) {
+	if _, ok := m.cellOf[0][p]; !ok {
+		return DialogueResult{}, fmt.Errorf("agreement: %v outside the universe", p)
+	}
+	cur, err := NewModel(m.universe, m.partitions...)
+	if err != nil {
+		return DialogueResult{}, err
+	}
+	var res DialogueResult
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return DialogueResult{}, fmt.Errorf("agreement: dialogue exceeded %d rounds", maxRounds)
+		}
+		// Announce.
+		announced := make([]rat.Rat, cur.NumAgents())
+		for i := range announced {
+			q, err := cur.Posterior(i, p, event)
+			if err != nil {
+				return DialogueResult{}, err
+			}
+			announced[i] = q
+		}
+		res.History = append(res.History, announced)
+
+		// Refine every partition by the joint announcement profile: two
+		// points stay together only if every agent announces the same
+		// posterior at both.
+		profile := make(map[system.Point]string, cur.universe.Len())
+		for q := range cur.universe {
+			key := ""
+			for i := 0; i < cur.NumAgents(); i++ {
+				qi, err := cur.Posterior(i, q, event)
+				if err != nil {
+					return DialogueResult{}, err
+				}
+				key += qi.Key() + ";"
+			}
+			profile[q] = key
+		}
+		refined := make([][]system.PointSet, cur.NumAgents())
+		changed := false
+		for i := range cur.partitions {
+			for _, cell := range cur.partitions[i] {
+				parts := make(map[string]system.PointSet)
+				for q := range cell {
+					k := profile[q]
+					if parts[k] == nil {
+						parts[k] = make(system.PointSet)
+					}
+					parts[k].Add(q)
+				}
+				if len(parts) > 1 {
+					changed = true
+				}
+				for _, sub := range parts {
+					refined[i] = append(refined[i], sub)
+				}
+			}
+		}
+		if !changed {
+			res.Rounds = round + 1
+			res.Final = announced
+			res.Agreed = true
+			for i := 1; i < len(announced); i++ {
+				if !announced[i].Equal(announced[0]) {
+					res.Agreed = false
+				}
+			}
+			return res, nil
+		}
+		cur, err = NewModel(cur.universe, refined...)
+		if err != nil {
+			return DialogueResult{}, err
+		}
+	}
+}

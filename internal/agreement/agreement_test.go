@@ -1,0 +1,317 @@
+package agreement
+
+import (
+	"math/rand"
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// dieModel builds the agreement model over the die's time-1 points: p1
+// (agent 0 of the model) saw the face, p2 (agent 1) saw nothing.
+func dieModel(t *testing.T) (*Model, *system.System) {
+	t.Helper()
+	sys := canon.Die()
+	m, err := FromSystem(sys, sys.Trees()[0], 1, []system.AgentID{canon.P1, canon.P2})
+	if err != nil {
+		t.Fatalf("FromSystem: %v", err)
+	}
+	return m, sys
+}
+
+func facePoint(t *testing.T, sys *system.System, face string) system.Point {
+	t.Helper()
+	tree := sys.Trees()[0]
+	for _, p := range sys.PointsAtTime(tree, 1) {
+		if p.Env() == "face="+face {
+			return p
+		}
+	}
+	t.Fatalf("no point for face %s", face)
+	return system.Point{}
+}
+
+func TestModelValidation(t *testing.T) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	slice := system.NewPointSet(sys.PointsAtTime(tree, 1)...)
+	if _, err := NewModel(slice); err == nil {
+		t.Error("accepted zero agents")
+	}
+	// Non-covering partition.
+	half := slice.Filter(canon.Even().Holds)
+	if _, err := NewModel(slice, []system.PointSet{half}); err == nil {
+		t.Error("accepted a non-covering partition")
+	}
+	// Overlapping cells.
+	if _, err := NewModel(slice, []system.PointSet{slice, half}); err == nil {
+		t.Error("accepted overlapping cells")
+	}
+	// Empty cell.
+	if _, err := NewModel(slice, []system.PointSet{slice, system.NewPointSet()}); err == nil {
+		t.Error("accepted an empty cell")
+	}
+}
+
+func TestPosteriors(t *testing.T) {
+	m, sys := dieModel(t)
+	even := m.Universe().Filter(canon.Even().Holds)
+	p2 := facePoint(t, sys, "2")
+	p3 := facePoint(t, sys, "3")
+
+	// The informed agent's posterior is 0/1; the blind agent's is 1/2.
+	q, err := m.Posterior(0, p2, even)
+	if err != nil || !q.IsOne() {
+		t.Errorf("informed posterior at face2 = %v, %v", q, err)
+	}
+	q, err = m.Posterior(0, p3, even)
+	if err != nil || !q.IsZero() {
+		t.Errorf("informed posterior at face3 = %v, %v", q, err)
+	}
+	q, err = m.Posterior(1, p2, even)
+	if err != nil || !q.Equal(rat.Half) {
+		t.Errorf("blind posterior = %v, %v", q, err)
+	}
+	// Outside the universe.
+	bad := system.Point{Tree: sys.Trees()[0], Run: 0, Time: 0}
+	if _, err := m.Posterior(0, bad, even); err == nil {
+		t.Error("accepted a point outside the universe")
+	}
+}
+
+func TestMeetCell(t *testing.T) {
+	m, sys := dieModel(t)
+	p2 := facePoint(t, sys, "2")
+	// p1's cells are singletons, p2's cell is everything: the meet cell is
+	// the whole universe.
+	mc, err := m.MeetCell(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mc.Equal(m.Universe()) {
+		t.Errorf("meet cell has %d points, want the whole universe", mc.Len())
+	}
+	// With two agents sharing a nontrivial partition, the meet is finer.
+	sys2 := canon.Die()
+	tree := sys2.Trees()[0]
+	slice := system.NewPointSet(sys2.PointsAtTime(tree, 1)...)
+	even := slice.Filter(canon.Even().Holds)
+	odd := slice.Minus(even)
+	both := []system.PointSet{even, odd}
+	m2, err := NewModel(slice, both, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := facePoint(t, sys2, "2")
+	// The die points of sys2 differ from sys — rebuild the lookup.
+	mc2, err := m2.MeetCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mc2.Equal(even) {
+		t.Errorf("meet cell = %d points, want the even half", mc2.Len())
+	}
+	ck, err := m2.IsCommonKnowledge(p, even)
+	if err != nil || !ck {
+		t.Errorf("the even half should be common knowledge at an even point: %v %v", ck, err)
+	}
+}
+
+// TestAumannDie: in the die model the posteriors (0/1 vs 1/2) differ, so by
+// the contrapositive of Aumann's theorem they cannot be common knowledge —
+// and the theorem holds at every point.
+func TestAumannDie(t *testing.T) {
+	m, sys := dieModel(t)
+	even := m.Universe().Filter(canon.Even().Holds)
+	p2 := facePoint(t, sys, "2")
+
+	rep, err := m.CheckAumann(p2, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equal {
+		t.Error("posteriors 1 and 1/2 reported equal")
+	}
+	if rep.CommonKnowledge {
+		t.Error("unequal posteriors reported common knowledge (contradicts Aumann)")
+	}
+	if !rep.Consistent() {
+		t.Error("Aumann violated")
+	}
+	ok, bad, err := m.VerifyAumannEverywhere(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("Aumann violated at %v", bad)
+	}
+}
+
+// TestAumannAgreementCase: when both agents have the same partition, the
+// posteriors are trivially common knowledge and equal.
+func TestAumannAgreementCase(t *testing.T) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	slice := system.NewPointSet(sys.PointsAtTime(tree, 1)...)
+	even := slice.Filter(canon.Even().Holds)
+	odd := slice.Minus(even)
+	cells := []system.PointSet{even, odd}
+	m, err := NewModel(slice, cells, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range slice.Sorted() {
+		rep, err := m.CheckAumann(p, even)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.CommonKnowledge || !rep.Equal {
+			t.Errorf("at %v: ck=%v equal=%v, want both true", p, rep.CommonKnowledge, rep.Equal)
+		}
+	}
+}
+
+// TestDialogueDie runs the Geanakoplos–Polemarchakis dialogue on the die:
+// the blind agent learns the parity from the informed agent's announcement
+// and the posteriors converge in two rounds.
+func TestDialogueDie(t *testing.T) {
+	m, sys := dieModel(t)
+	even := m.Universe().Filter(canon.Even().Holds)
+	p2 := facePoint(t, sys, "2")
+
+	res, err := m.Dialogue(p2, even, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreed {
+		t.Fatalf("dialogue did not reach agreement: %+v", res)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Rounds)
+	}
+	// Round 1: informed says 1, blind says 1/2. Round 2: both say 1.
+	if !res.History[0][0].IsOne() || !res.History[0][1].Equal(rat.Half) {
+		t.Errorf("round 1 announcements = %v", res.History[0])
+	}
+	if !res.Final[0].IsOne() || !res.Final[1].IsOne() {
+		t.Errorf("final posteriors = %v", res.Final)
+	}
+	// The original model is untouched.
+	q, err := m.Posterior(1, p2, even)
+	if err != nil || !q.Equal(rat.Half) {
+		t.Error("Dialogue mutated the receiver")
+	}
+}
+
+// TestDialogueCrossCutting exercises a dialogue needing genuine multi-round
+// refinement: partitions {12}{3456} vs {1234}{56} over a uniform 6-point
+// space with E = {1,4,5}. (A classic G–P-style example.)
+func TestDialogueCrossCutting(t *testing.T) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	slice := system.NewPointSet(sys.PointsAtTime(tree, 1)...)
+	pt := func(face string) system.Point {
+		for _, p := range slice.Sorted() {
+			if p.Env() == "face="+face {
+				return p
+			}
+		}
+		t.Fatalf("missing face %s", face)
+		return system.Point{}
+	}
+	mk := func(faces ...string) system.PointSet {
+		s := make(system.PointSet)
+		for _, f := range faces {
+			s.Add(pt(f))
+		}
+		return s
+	}
+	alice := []system.PointSet{mk("1", "2"), mk("3", "4", "5", "6")}
+	bob := []system.PointSet{mk("1", "2", "3", "4"), mk("5", "6")}
+	m, err := NewModel(slice, alice, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event := mk("1", "4", "5")
+	res, err := m.Dialogue(pt("3"), event, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreed {
+		t.Fatalf("no agreement: %+v", res)
+	}
+	// Aumann holds everywhere in this model too.
+	ok, bad, err := m.VerifyAumannEverywhere(event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("Aumann violated at %v", bad)
+	}
+}
+
+// TestDialogueAlwaysAgreesRandom: property test — on random partitions of
+// the 8-point async slice, the dialogue always terminates in agreement and
+// Aumann's implication never fails.
+func TestDialogueAlwaysAgreesRandom(t *testing.T) {
+	sys := canon.AsyncCoins(3)
+	tree := sys.Trees()[0]
+	slice := system.NewPointSet(sys.PointsAtTime(tree, 3)...) // 8 leaf points
+	pts := slice.Sorted()
+	rng := rand.New(rand.NewSource(7))
+
+	randomPartition := func() []system.PointSet {
+		k := rng.Intn(3) + 1 // 1..3 cells
+		cells := make([]system.PointSet, k)
+		for i := range cells {
+			cells[i] = make(system.PointSet)
+		}
+		for _, p := range pts {
+			cells[rng.Intn(k)].Add(p)
+		}
+		out := cells[:0]
+		for _, c := range cells {
+			if !c.IsEmpty() {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		m, err := NewModel(slice, randomPartition(), randomPartition())
+		if err != nil {
+			t.Fatal(err)
+		}
+		event := make(system.PointSet)
+		for _, p := range pts {
+			if rng.Intn(2) == 0 {
+				event.Add(p)
+			}
+		}
+		ok, bad, err := m.VerifyAumannEverywhere(event)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: Aumann violated at %v", trial, bad)
+		}
+		res, err := m.Dialogue(pts[rng.Intn(len(pts))], event, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreed {
+			t.Fatalf("trial %d: dialogue disagreement %+v", trial, res)
+		}
+	}
+}
+
+func TestFromSystemErrors(t *testing.T) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	if _, err := FromSystem(sys, tree, 99, []system.AgentID{0}); err == nil {
+		t.Error("accepted an empty time slice")
+	}
+}

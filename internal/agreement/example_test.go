@@ -1,0 +1,41 @@
+package agreement_test
+
+import (
+	"fmt"
+
+	"kpa/internal/agreement"
+	"kpa/internal/canon"
+	"kpa/internal/system"
+)
+
+// ExampleModel_Dialogue runs the posterior dialogue about "the die landed
+// even" between the agent who saw the face and the one who did not.
+func ExampleModel_Dialogue() {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	m, err := agreement.FromSystem(sys, tree, 1, []system.AgentID{canon.P1, canon.P2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	even := m.Universe().Filter(canon.Even().Holds)
+	var at system.Point
+	for _, p := range m.Universe().Sorted() {
+		if p.Env() == "face=2" {
+			at = p
+		}
+	}
+	res, err := m.Dialogue(at, even, 20)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for t, round := range res.History {
+		fmt.Printf("round %d: %s vs %s\n", t+1, round[0], round[1])
+	}
+	fmt.Println("agreed:", res.Agreed)
+	// Output:
+	// round 1: 1 vs 1/2
+	// round 2: 1 vs 1
+	// agreed: true
+}

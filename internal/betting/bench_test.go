@@ -1,0 +1,74 @@
+package betting
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func BenchmarkSafeCheck(b *testing.B) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	rule := MustRule(canon.Even(), rat.Half)
+	P := core.NewProbAssignment(sys, core.Opponent(sys, canon.P2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Safe(P, canon.P2, canon.P2, c, rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpectedWinnings(b *testing.B) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	rule := MustRule(canon.Even(), rat.Half)
+	P := core.NewProbAssignment(sys, core.Opponent(sys, canon.P2))
+	sp := P.MustSpace(canon.P2, c)
+	f := Constant(rule.Threshold())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExpectedWinnings(sp, rule, f, canon.P2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrategyEnumeration(b *testing.B) {
+	locals := []system.LocalState{"a", "b", "c"}
+	offers := []Offer{NoBet, OfferOf(rat.New(2, 1)), OfferOf(rat.New(3, 1))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Enumerate(0, locals, offers)
+	}
+}
+
+func BenchmarkEmbedGameBuild(b *testing.B) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	family := []Strategy{Constant(rat.New(2, 1)), Never()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EmbedGame(sys, canon.P1, canon.P3, heads, family); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsRational(b *testing.B) {
+	sys := canon.IntroCoin()
+	rule := MustRule(canon.Heads(), rat.Half)
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	f := Constant(rat.New(2, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IsRational(post, rule, f, canon.P2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

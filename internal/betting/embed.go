@@ -1,0 +1,283 @@
+package betting
+
+import (
+	"fmt"
+	"strings"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// embedSep separates the original environment from the embedding phase tag;
+// it must not occur in environment strings of embedded systems.
+const embedSep = "\x01"
+
+// EmbeddedGame is the system R^φ of Appendix B.3: the original synchronous
+// system with a betting game on φ — run by opponent p_j, offers heard by
+// agent p_i — inserted at the end of every round. The embedded system has
+// one computation tree T_{Af} per original tree T_A and per strategy f in
+// the supplied family: the strategy is a type-1 adversary choice, which is
+// exactly why hearing an offer does not immediately reveal p_j's local
+// state (many strategies could have produced the same offer).
+//
+// Each original point (r, m) of tree T_A corresponds, for every strategy f,
+// to two points of T_{Af}: the ask point (r_f, 2m), where p_i has heard no
+// offer yet (local state (s, ?)), and the offer point (r_f, 2m+1), where
+// p_i has heard p_j's offer β (local state (s, β)).
+//
+// Theorem 11 then states, for propositional φ: P^j, c ⊨ K_i^α φ iff
+// P^j, c_f ⊨ K_i^α φ iff P^post, c⁺_f ⊨ K_i^α φ. Its proof requires the
+// strategy family to contain, for each strategy g and local state t, a
+// "distinguishing" strategy h with h(t) = g(t) that maps distinct local
+// states to distinct payoffs; WithDistinguishers extends a family
+// accordingly.
+type EmbeddedGame struct {
+	// Sys is the embedded system R^φ.
+	Sys *system.System
+	// Orig is the original system R.
+	Orig *system.System
+	// Strategies is the family embedded as type-1 adversary choices.
+	Strategies []Strategy
+
+	bettor   system.AgentID
+	opponent system.AgentID
+	stratIdx map[string]int
+}
+
+// EmbedGame builds R^φ from a synchronous system R: opponent j may follow
+// any strategy of the family for offering bets on φ to agent i. φ should be
+// a fact about the global state (a "propositional formula" in the paper's
+// statement) so that its truth value transfers to both embedded copies of
+// each point. Strategy names must be unique within the family.
+func EmbedGame(
+	orig *system.System,
+	i, j system.AgentID,
+	phi system.Fact,
+	strategies []Strategy,
+) (*EmbeddedGame, error) {
+	if !orig.IsSynchronous() {
+		return nil, fmt.Errorf("betting: EmbedGame requires a synchronous system")
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("betting: EmbedGame requires at least one strategy")
+	}
+	stratIdx := make(map[string]int, len(strategies))
+	var trees []*system.Tree
+	for fi, f := range strategies {
+		if _, dup := stratIdx[f.Name()]; dup {
+			return nil, fmt.Errorf("betting: duplicate strategy name %q", f.Name())
+		}
+		stratIdx[f.Name()] = fi
+		for _, t := range orig.Trees() {
+			nt, err := embedTree(t, orig.NumAgents(), i, j, f)
+			if err != nil {
+				return nil, err
+			}
+			trees = append(trees, nt)
+		}
+	}
+	sys, err := system.New(orig.NumAgents(), trees...)
+	if err != nil {
+		return nil, fmt.Errorf("betting: embedded system invalid: %w", err)
+	}
+	return &EmbeddedGame{
+		Sys:        sys,
+		Orig:       orig,
+		Strategies: strategies,
+		bettor:     i,
+		opponent:   j,
+		stratIdx:   stratIdx,
+	}, nil
+}
+
+// embeddedAdversary names the tree T_{Af}.
+func embeddedAdversary(orig string, f Strategy) string {
+	return orig + embedSep + f.Name()
+}
+
+// embedTree doubles every node of t: an "ask" node at time 2m (p_i has
+// local (s,?)) and an "offer" node at time 2m+1 (p_i has local (s,β) where
+// β is f's offer given p_j's local state at the original node).
+func embedTree(t *system.Tree, numAgents int, i, j system.AgentID, f Strategy) (*system.Tree, error) {
+	mk := func(orig system.GlobalState, phase string, offer string) system.GlobalState {
+		locals := make([]system.LocalState, numAgents)
+		copy(locals, orig.Locals)
+		if phase == "ask" {
+			locals[i] = orig.Locals[i] + system.LocalState(embedSep+"?")
+		} else {
+			locals[i] = orig.Locals[i] + system.LocalState(embedSep+offer)
+		}
+		// The environment must make global states unique per tree, so it
+		// includes the strategy name alongside the phase tag.
+		return system.GlobalState{
+			Env:    orig.Env + embedSep + f.Name() + embedSep + phase + offer,
+			Locals: locals,
+		}
+	}
+	offerTag := func(st system.GlobalState) string {
+		o := f.OfferAt(st.Locals[j])
+		if !o.Bet {
+			return "nobet"
+		}
+		return o.Payoff.Key()
+	}
+
+	root := t.Root()
+	tb := system.NewTree(embeddedAdversary(t.Adversary, f), mk(root.State, "ask", ""))
+	askID := make(map[system.NodeID]system.NodeID, t.NumNodes())
+	askID[root.ID] = 0
+
+	var walk func(orig system.NodeID) error
+	walk = func(orig system.NodeID) error {
+		n := t.Node(orig)
+		offerNode := tb.Child(askID[orig], rat.One, mk(n.State, "off", offerTag(n.State)))
+		for _, e := range n.Edges {
+			child := t.Node(e.Child)
+			askID[e.Child] = tb.Child(offerNode, e.Prob, mk(child.State, "ask", ""))
+			if err := walk(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root.ID); err != nil {
+		return nil, err
+	}
+	return tb.Build()
+}
+
+// AskPoint returns c_f = (r_f, 2m) in the tree of the named strategy: the
+// embedded point before the offer, corresponding to the original point c.
+func (g *EmbeddedGame) AskPoint(c system.Point, f Strategy) (system.Point, error) {
+	return g.translate(c, f, 0)
+}
+
+// OfferPoint returns c⁺_f = (r_f, 2m+1): the embedded point after p_i has
+// heard the offer.
+func (g *EmbeddedGame) OfferPoint(c system.Point, f Strategy) (system.Point, error) {
+	return g.translate(c, f, 1)
+}
+
+func (g *EmbeddedGame) translate(c system.Point, f Strategy, phase int) (system.Point, error) {
+	if _, ok := g.stratIdx[f.Name()]; !ok {
+		return system.Point{}, fmt.Errorf("betting: strategy %q not in the embedded family", f.Name())
+	}
+	t := g.Sys.TreeByAdversary(embeddedAdversary(c.Tree.Adversary, f))
+	if t == nil {
+		return system.Point{}, fmt.Errorf("betting: no embedded tree for %q / %q",
+			c.Tree.Adversary, f.Name())
+	}
+	// Run order is preserved by construction (children are visited in the
+	// original edge order), so run indices coincide.
+	p := system.Point{Tree: t, Run: c.Run, Time: 2*c.Time + phase}
+	if !p.IsValid() {
+		return system.Point{}, fmt.Errorf("betting: point %v has no embedded counterpart", c)
+	}
+	return p, nil
+}
+
+// OrigPoint maps an embedded point back to the original point (r, m) it
+// came from.
+func (g *EmbeddedGame) OrigPoint(p system.Point) (system.Point, error) {
+	name := p.Tree.Adversary
+	idx := strings.Index(name, embedSep)
+	if idx < 0 {
+		return system.Point{}, fmt.Errorf("betting: %q is not an embedded tree", name)
+	}
+	t := g.Orig.TreeByAdversary(name[:idx])
+	if t == nil {
+		return system.Point{}, fmt.Errorf("betting: no original tree %q", name[:idx])
+	}
+	c := system.Point{Tree: t, Run: p.Run, Time: p.Time / 2}
+	if !c.IsValid() {
+		return system.Point{}, fmt.Errorf("betting: embedded point %v maps outside the original", p)
+	}
+	return c, nil
+}
+
+// StrategyOf returns the strategy whose tree the embedded point lies in.
+func (g *EmbeddedGame) StrategyOf(p system.Point) (Strategy, error) {
+	name := p.Tree.Adversary
+	idx := strings.Index(name, embedSep)
+	if idx < 0 {
+		return nil, fmt.Errorf("betting: %q is not an embedded tree", name)
+	}
+	si, ok := g.stratIdx[name[idx+1:]]
+	if !ok {
+		return nil, fmt.Errorf("betting: unknown embedded strategy %q", name[idx+1:])
+	}
+	return g.Strategies[si], nil
+}
+
+// LiftFact lifts a fact about the original system to the embedded system:
+// the lifted fact holds at an embedded point iff the original holds at the
+// corresponding original point. (This realizes the paper's condition that
+// propositional truth values agree at (r, m), (r_f, 2m) and (r_f, 2m+1).)
+func (g *EmbeddedGame) LiftFact(phi system.Fact) system.Fact {
+	return system.NewFact("embed("+phi.String()+")", func(p system.Point) bool {
+		c, err := g.OrigPoint(p)
+		if err != nil {
+			return false
+		}
+		return phi.Holds(c)
+	})
+}
+
+// IsAskPoint reports whether the embedded point is a pre-offer point.
+func (g *EmbeddedGame) IsAskPoint(p system.Point) bool { return p.Time%2 == 0 }
+
+// OfferHeard returns the offer p_i hears at the given embedded offer-point,
+// decoded from p_i's local state.
+func (g *EmbeddedGame) OfferHeard(p system.Point) (Offer, error) {
+	l := string(p.Local(g.bettor))
+	idx := strings.LastIndex(l, embedSep)
+	if idx < 0 {
+		return Offer{}, fmt.Errorf("betting: %v is not an embedded point", p)
+	}
+	tag := l[idx+1:]
+	switch tag {
+	case "?":
+		return Offer{}, fmt.Errorf("betting: %v is an ask point, no offer yet", p)
+	case "nobet":
+		return NoBet, nil
+	default:
+		payoff, err := rat.Parse(tag)
+		if err != nil {
+			return Offer{}, fmt.Errorf("betting: bad offer tag %q: %v", tag, err)
+		}
+		return OfferOf(payoff), nil
+	}
+}
+
+// WithDistinguishers extends a strategy family with the distinguishing
+// strategies required by the proof of Theorem 11: for every base strategy g
+// and every local state t in locals, a strategy h_{g,t} with h(t) = g(t)
+// that maps the remaining local states to pairwise-distinct fresh payoffs
+// (and distinct from h(t)).
+func WithDistinguishers(base []Strategy, locals []system.LocalState) []Strategy {
+	out := make([]Strategy, 0, len(base)*(1+len(locals)))
+	out = append(out, base...)
+	// Fresh payoffs: 1000+k/1 are far above anything a test family uses,
+	// and pairwise distinct.
+	fresh := func(k int) Offer { return OfferOf(rat.New(int64(1000+k), 1)) }
+	for gi, g := range base {
+		for ti, t := range locals {
+			table := make(map[system.LocalState]Offer, len(locals))
+			table[t] = g.OfferAt(t)
+			k := 0
+			for _, other := range locals {
+				if other == t {
+					continue
+				}
+				table[other] = fresh(k)
+				k++
+			}
+			out = append(out, &MapStrategy{
+				Label:   fmt.Sprintf("dist-%d-%d", gi, ti),
+				Table:   table,
+				Default: NoBet,
+			})
+		}
+	}
+	return out
+}

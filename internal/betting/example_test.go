@@ -1,0 +1,57 @@
+package betting_test
+
+import (
+	"fmt"
+
+	"kpa/internal/betting"
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// ExampleCheckTheorem7 evaluates both sides of the safe-bets theorem on
+// the introduction's coin system.
+func ExampleCheckTheorem7() {
+	sys := canon.IntroCoin()
+	tree := sys.Trees()[0]
+	var h system.Point
+	for _, p := range sys.PointsAtTime(tree, 1) {
+		if p.Env() == "heads" {
+			h = p
+		}
+	}
+	// Against the blind p2 the bet is knowledge-backed and safe; against
+	// the tosser p3 it is neither.
+	for _, j := range []system.AgentID{canon.P2, canon.P3} {
+		P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+		rep, err := betting.CheckTheorem7(P, canon.P1, j, h, canon.Heads(), rat.Half)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("vs p%d: knows=%v safe=%v agree=%v\n", j+1, rep.Knows, rep.Safe, rep.Agree())
+	}
+	// Output:
+	// vs p2: knows=true safe=true agree=true
+	// vs p3: knows=false safe=false agree=true
+}
+
+// ExampleExpectedWinnings computes the exact expected winnings of a fair
+// bet.
+func ExampleExpectedWinnings() {
+	sys := canon.IntroCoin()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	P := core.NewProbAssignment(sys, core.Opponent(sys, canon.P2))
+	sp := P.MustSpace(canon.P1, c)
+	rule := betting.MustRule(canon.Heads(), rat.Half)
+	e, err := betting.ExpectedWinnings(sp, rule, betting.Constant(rat.New(2, 1)), canon.P2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(e)
+	// Output:
+	// 0
+}

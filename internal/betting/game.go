@@ -1,0 +1,211 @@
+package betting
+
+import (
+	"fmt"
+
+	"kpa/internal/core"
+	"kpa/internal/measure"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Rule is p_i's acceptance rule Bet_j(φ, α): accept any bet on φ whose
+// payoff is at least 1/α. The paper shows (footnote 13) that threshold rules
+// of this form are fully general: any safe acceptance strategy is equivalent
+// to one.
+type Rule struct {
+	Phi   system.Fact
+	Alpha rat.Rat // 0 < α ≤ 1
+}
+
+// NewRule returns Bet(φ, α), validating 0 < α ≤ 1.
+func NewRule(phi system.Fact, alpha rat.Rat) (Rule, error) {
+	if alpha.Sign() <= 0 || alpha.Greater(rat.One) {
+		return Rule{}, fmt.Errorf("betting: α must be in (0,1], got %s", alpha)
+	}
+	return Rule{Phi: phi, Alpha: alpha}, nil
+}
+
+// MustRule is NewRule but panics on error.
+func MustRule(phi system.Fact, alpha rat.Rat) Rule {
+	r, err := NewRule(phi, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Threshold returns 1/α, the lowest payoff the rule accepts.
+func (r Rule) Threshold() rat.Rat { return r.Alpha.Inv() }
+
+// Accepts reports whether the rule accepts the offer.
+func (r Rule) Accepts(o Offer) bool {
+	return o.Bet && o.Payoff.GreaterEq(r.Threshold())
+}
+
+// Winnings returns p_i's profit W_f(φ, α) at point d when p_i follows the
+// rule and p_j follows strategy f: payoff−1 if the accepted bet is won, −1
+// if lost, 0 if no bet is offered or the offer is rejected.
+func (r Rule) Winnings(f Strategy, j system.AgentID, d system.Point) rat.Rat {
+	offer := f.OfferAt(d.Local(j))
+	if !r.Accepts(offer) {
+		return rat.Zero
+	}
+	if r.Phi.Holds(d) {
+		return offer.Payoff.Sub(rat.One)
+	}
+	return rat.FromInt(-1)
+}
+
+// ExpectedWinnings returns E_{sp}[W_f], the expected winnings of the rule
+// against strategy f over the probability space sp, using inner expectation
+// (Appendix B.2) on each constant-offer cell so that non-measurable facts φ
+// are handled: within a cell the winnings are two-valued (payoff−1 on φ, −1
+// on ¬φ) and Ê_*(W) = (payoff−1)·μ_*(φ) − (1−μ_*(φ)).
+//
+// The sample space is partitioned into p_j-local-state cells. For
+// P^j-induced spaces (Tree^j_ic) there is a single cell; for larger spaces
+// (e.g. Tree_ic in Proposition 6) the law of total expectation applies and
+// each cell must be measurable — an error is returned otherwise.
+func ExpectedWinnings(sp *measure.Space, r Rule, f Strategy, j system.AgentID) (rat.Rat, error) {
+	cells := make(map[system.LocalState]system.PointSet)
+	for p := range sp.Sample() {
+		l := p.Local(j)
+		if cells[l] == nil {
+			cells[l] = make(system.PointSet)
+		}
+		cells[l].Add(p)
+	}
+	if len(cells) == 1 {
+		for l := range cells {
+			return cellExpectation(sp, r, f.OfferAt(l), sp.Sample()), nil
+		}
+	}
+	total := rat.Zero
+	for l, cell := range cells {
+		pCell, err := sp.Prob(cell)
+		if err != nil {
+			return rat.Rat{}, fmt.Errorf("betting: p_j cell %q not measurable in sample space: %w",
+				l, err)
+		}
+		if pCell.IsZero() {
+			continue
+		}
+		sub, err := sp.Condition(cell)
+		if err != nil {
+			return rat.Rat{}, err
+		}
+		total = total.Add(pCell.Mul(cellExpectation(sub, r, f.OfferAt(l), sub.Sample())))
+	}
+	return total, nil
+}
+
+// cellExpectation computes the (inner) expected winnings over a space in
+// which the offer is constant.
+func cellExpectation(sp *measure.Space, r Rule, offer Offer, sample system.PointSet) rat.Rat {
+	if !r.Accepts(offer) {
+		return rat.Zero
+	}
+	phiSet := sample.Filter(r.Phi.Holds)
+	high := offer.Payoff.Sub(rat.One)
+	low := rat.FromInt(-1)
+	if high.Equal(low) { // cannot happen (payoff > 0) but stay defensive
+		return low
+	}
+	return sp.InnerExpectTwoValued(high, low, phiSet)
+}
+
+// MinExpectedWinnings returns inf_f E_{sp}[W_f] over all strategies f for
+// p_j, for a space on which p_j's local state is constant (a Tree^j_ic
+// space). The infimum over all strategies reduces to an infimum over single
+// offers because W_f depends on f only through f's offer at that one local
+// state; and among accepted offers, Ê_*(W) = payoff·μ_*(φ) − 1 is increasing
+// in the payoff, so the worst accepted offer is the threshold 1/α:
+//
+//	inf_f E[W_f] = min(0, μ_*(φ)/α − 1).
+//
+// The second return value is the minimizing strategy (the paper's witness:
+// offer exactly 1/α at p_j's local state, nothing elsewhere), or Never()
+// when no strategy makes the expectation negative.
+func MinExpectedWinnings(sp *measure.Space, r Rule, j system.AgentID) (rat.Rat, Strategy, error) {
+	locals := LocalStatesOf(j, sp.Sample())
+	if len(locals) != 1 {
+		return rat.Rat{}, nil, fmt.Errorf(
+			"betting: MinExpectedWinnings needs a constant p_j local state, found %d", len(locals))
+	}
+	inner := sp.Inner(sp.Sample().Filter(r.Phi.Holds))
+	worst := inner.Mul(r.Threshold()).Sub(rat.One) // μ_*(φ)/α − 1
+	if worst.Sign() >= 0 {
+		return rat.Zero, Never(), nil
+	}
+	witness := &MapStrategy{
+		Label:   "worst-offer(" + r.Threshold().String() + "@" + string(locals[0]) + ")",
+		Table:   map[system.LocalState]Offer{locals[0]: OfferOf(r.Threshold())},
+		Default: NoBet,
+	}
+	return worst, witness, nil
+}
+
+// BreaksEven reports whether p_i breaks even with the rule at point d with
+// respect to the P^j space at d: E[W_f] ≥ 0 for every strategy f of p_j.
+func BreaksEven(P *core.ProbAssignment, i, j system.AgentID, d system.Point, r Rule) (bool, error) {
+	sp, err := P.Space(i, d)
+	if err != nil {
+		return false, err
+	}
+	min, _, err := MinExpectedWinnings(sp, r, j)
+	if err != nil {
+		return false, err
+	}
+	return min.Sign() >= 0, nil
+}
+
+// Safe reports whether the rule is P-safe for p_i at c against opponent
+// p_j: p_i knows it breaks even, i.e. it breaks even at every point of
+// K_i(c). If unsafe, the witness strategy and the bad point are returned.
+func Safe(P *core.ProbAssignment, i, j system.AgentID, c system.Point, r Rule) (bool, Strategy, system.Point, error) {
+	for d := range P.System().K(i, c) {
+		sp, err := P.Space(i, d)
+		if err != nil {
+			return false, nil, system.Point{}, err
+		}
+		min, witness, err := MinExpectedWinnings(sp, r, j)
+		if err != nil {
+			return false, nil, system.Point{}, err
+		}
+		if min.Sign() < 0 {
+			return false, witness, d, nil
+		}
+	}
+	return true, nil, system.Point{}, nil
+}
+
+// SafeAgainstStrategies reports whether the rule breaks even at every point
+// of K_i(c) against every strategy in the explicit list, computing exact
+// expectations. It is the brute-force counterpart of Safe used to validate
+// the analytic reduction (and to implement Tree-safety in Proposition 6,
+// where the space may contain several p_j cells).
+func SafeAgainstStrategies(
+	P *core.ProbAssignment,
+	i, j system.AgentID,
+	c system.Point,
+	r Rule,
+	strategies []Strategy,
+) (bool, Strategy, system.Point, error) {
+	for d := range P.System().K(i, c) {
+		sp, err := P.Space(i, d)
+		if err != nil {
+			return false, nil, system.Point{}, err
+		}
+		for _, f := range strategies {
+			e, err := ExpectedWinnings(sp, r, f, j)
+			if err != nil {
+				return false, nil, system.Point{}, err
+			}
+			if e.Sign() < 0 {
+				return false, f, d, nil
+			}
+		}
+	}
+	return true, nil, system.Point{}, nil
+}

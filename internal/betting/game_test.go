@@ -1,0 +1,374 @@
+package betting
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func pointWithEnv(t *testing.T, sys *system.System, k int, env string) system.Point {
+	t.Helper()
+	tree := sys.Trees()[0]
+	for _, p := range sys.PointsAtTime(tree, k) {
+		if p.Env() == env {
+			return p
+		}
+	}
+	t.Fatalf("no point with env %q at time %d", env, k)
+	return system.Point{}
+}
+
+func TestRuleValidation(t *testing.T) {
+	heads := canon.Heads()
+	if _, err := NewRule(heads, rat.Zero); err == nil {
+		t.Error("accepted α = 0")
+	}
+	if _, err := NewRule(heads, rat.New(3, 2)); err == nil {
+		t.Error("accepted α > 1")
+	}
+	r, err := NewRule(heads, rat.New(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Threshold().Equal(rat.New(3, 1)) {
+		t.Errorf("threshold = %s, want 3", r.Threshold())
+	}
+	if !r.Accepts(OfferOf(rat.New(3, 1))) || !r.Accepts(OfferOf(rat.New(4, 1))) {
+		t.Error("rule rejects payoffs at/above threshold")
+	}
+	if r.Accepts(OfferOf(rat.New(2, 1))) || r.Accepts(NoBet) {
+		t.Error("rule accepts payoffs below threshold or no-bet")
+	}
+}
+
+func TestWinnings(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	h := pointWithEnv(t, sys, 1, "heads")
+	tl := pointWithEnv(t, sys, 1, "tails")
+	rule := MustRule(heads, rat.Half) // accepts payoff ≥ 2
+
+	offer2 := Constant(rat.New(2, 1))
+	if got := rule.Winnings(offer2, canon.P2, h); !got.Equal(rat.One) {
+		t.Errorf("winnings at h = %s, want 1 (payoff 2 − stake 1)", got)
+	}
+	if got := rule.Winnings(offer2, canon.P2, tl); !got.Equal(rat.FromInt(-1)) {
+		t.Errorf("winnings at t = %s, want −1", got)
+	}
+	if got := rule.Winnings(Never(), canon.P2, h); !got.IsZero() {
+		t.Errorf("winnings vs never-bet = %s, want 0", got)
+	}
+	lowball := Constant(rat.New(3, 2)) // rejected: 3/2 < 2
+	if got := rule.Winnings(lowball, canon.P2, h); !got.IsZero() {
+		t.Errorf("winnings vs rejected offer = %s, want 0", got)
+	}
+}
+
+func TestExpectedWinningsFairBet(t *testing.T) {
+	// Against the blind p2 offering payoff 2 on heads, p1's expected
+	// winnings are zero — the paper's "p1 can always safely accept" case.
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	h := pointWithEnv(t, sys, 1, "heads")
+	P := core.NewProbAssignment(sys, core.Opponent(sys, canon.P2))
+	sp := P.MustSpace(canon.P1, h)
+	rule := MustRule(heads, rat.Half)
+
+	e, err := ExpectedWinnings(sp, rule, Constant(rat.New(2, 1)), canon.P2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsZero() {
+		t.Errorf("E[W] = %s, want 0 for a fair bet", e)
+	}
+	// A generous payoff of 3 gives expectation +1/2.
+	e3, err := ExpectedWinnings(sp, rule, Constant(rat.New(3, 1)), canon.P2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e3.Equal(rat.Half) {
+		t.Errorf("E[W|payoff 3] = %s, want 1/2", e3)
+	}
+}
+
+// TestIntroBettingStory reproduces the introduction's narrative exactly:
+// p1 should accept a $2-payoff bet on heads from p2 (expected profit zero)
+// but not from p3, who offers it only when p3 will win.
+func TestIntroBettingStory(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	h := pointWithEnv(t, sys, 1, "heads")
+	rule := MustRule(heads, rat.Half)
+
+	// Against p2: safe.
+	oppP2 := core.NewProbAssignment(sys, core.Opponent(sys, canon.P2))
+	safe2, _, _, err := Safe(oppP2, canon.P1, canon.P2, h, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe2 {
+		t.Error("betting on heads at payoff 2 against p2 should be safe")
+	}
+
+	// Against p3: unsafe, and the witness strategy (offer only when p3
+	// sees tails... i.e. at the tails point of K_1) makes p1 lose.
+	oppP3 := core.NewProbAssignment(sys, core.Opponent(sys, canon.P3))
+	safe3, witness, bad, err := Safe(oppP3, canon.P1, canon.P3, h, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe3 {
+		t.Fatal("betting on heads against p3 should be unsafe")
+	}
+	// Verify the witness numerically: p1's expected winnings against it at
+	// the bad point are negative.
+	sp := oppP3.MustSpace(canon.P1, bad)
+	e, err := ExpectedWinnings(sp, rule, witness, canon.P3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sign() >= 0 {
+		t.Errorf("witness strategy yields E[W] = %s, want negative", e)
+	}
+}
+
+// TestTheorem7 checks the biconditional of Theorem 7 over a grid of facts,
+// thresholds, opponents and points on two canonical systems.
+func TestTheorem7(t *testing.T) {
+	alphas := []rat.Rat{
+		rat.New(1, 4), rat.New(1, 3), rat.Half, rat.New(2, 3), rat.New(9, 10), rat.One,
+	}
+	for _, tc := range []struct {
+		name  string
+		sys   *system.System
+		facts []system.Fact
+	}{
+		{"introCoin", canon.IntroCoin(), []system.Fact{canon.Heads(), system.Not(canon.Heads()), system.TrueFact}},
+		{"die", canon.Die(), []system.Fact{canon.Even(), canon.DieFace(1), system.Not(canon.DieFace(1))}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := tc.sys
+			for _, j := range sys.Agents() {
+				P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+				for c := range sys.Points() {
+					for _, i := range sys.Agents() {
+						for _, phi := range tc.facts {
+							for _, alpha := range alphas {
+								rep, err := CheckTheorem7(P, i, j, c, phi, alpha)
+								if err != nil {
+									t.Fatalf("i=%d j=%d c=%v φ=%s α=%s: %v", i, j, c, phi, alpha, err)
+								}
+								if !rep.Agree() {
+									t.Errorf("Theorem 7 fails: i=%d j=%d c=%v φ=%s α=%s: knows=%v safe=%v",
+										i, j, c, phi, alpha, rep.Knows, rep.Safe)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTheorem7WitnessLoses verifies the constructive direction: whenever
+// the check reports unsafe, the returned witness strategy actually gives
+// negative expected winnings at the returned point.
+func TestTheorem7WitnessLoses(t *testing.T) {
+	sys := canon.Die()
+	P := core.NewProbAssignment(sys, core.Opponent(sys, canon.P1)) // p1 saw the die
+	even := canon.Even()
+	c := pointWithEnv(t, sys, 1, "face=2")
+	rule := MustRule(even, rat.Half)
+
+	safe, witness, bad, err := Safe(P, canon.P2, canon.P1, c, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("betting on even against the die-observer should be unsafe")
+	}
+	sp := P.MustSpace(canon.P2, bad)
+	e, err := ExpectedWinnings(sp, rule, witness, canon.P1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sign() >= 0 {
+		t.Errorf("witness gives E[W] = %s at %v, want negative", e, bad)
+	}
+}
+
+// TestSafeMatchesBruteForce validates the analytic minimization in
+// MinExpectedWinnings against exhaustive strategy enumeration over a payoff
+// grid that includes the rule's threshold.
+func TestSafeMatchesBruteForce(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	for _, alpha := range []rat.Rat{rat.New(1, 3), rat.Half, rat.New(2, 3)} {
+		rule := MustRule(heads, alpha)
+		offers := []Offer{NoBet, OfferOf(rule.Threshold()), OfferOf(rat.New(3, 1)), OfferOf(rat.New(10, 1))}
+		for _, j := range []system.AgentID{canon.P2, canon.P3} {
+			P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+			locals := LocalStatesOf(j, sys.Points())
+			strategies := Enumerate(j, locals, offers)
+			for c := range sys.Points() {
+				analytic, _, _, err := Safe(P, canon.P1, j, c, rule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				brute, _, _, err := SafeAgainstStrategies(P, canon.P1, j, c, rule, strategies)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if analytic != brute {
+					t.Errorf("α=%s j=%d c=%v: analytic=%v brute=%v", alpha, j, c, analytic, brute)
+				}
+			}
+		}
+	}
+}
+
+// TestProposition6 checks Tree-safety ≡ Tree^j-safety in a synchronous
+// system: expected winnings over Tree_ic (the post space) are non-negative
+// for all strategies iff they are over every Tree^j_id.
+func TestProposition6(t *testing.T) {
+	sys := canon.Die()
+	even := canon.Even()
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	for _, j := range sys.Agents() {
+		opp := core.NewProbAssignment(sys, core.Opponent(sys, j))
+		locals := LocalStatesOf(j, sys.Points())
+		for _, alpha := range []rat.Rat{rat.New(1, 3), rat.Half, rat.New(2, 3)} {
+			rule := MustRule(even, alpha)
+			offers := []Offer{NoBet, OfferOf(rule.Threshold()), OfferOf(rat.New(100, 1))}
+			strategies := Enumerate(j, locals, offers)
+			for c := range sys.Points() {
+				for _, i := range sys.Agents() {
+					treeSafe, _, _, err := SafeAgainstStrategies(post, i, j, c, rule, strategies)
+					if err != nil {
+						t.Fatal(err)
+					}
+					treeJSafe, _, _, err := SafeAgainstStrategies(opp, i, j, c, rule, strategies)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if treeSafe != treeJSafe {
+						t.Errorf("Prop 6 fails: i=%d j=%d α=%s c=%v: tree=%v tree^j=%v",
+							i, j, alpha, c, treeSafe, treeJSafe)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInnerExpectationSafety exercises Appendix B.2: Theorem 7 with a
+// non-measurable fact, via inner expectation. In the asynchronous coin
+// system, betting against a copy of yourself on "the most recent toss
+// landed heads" is safe at threshold α = 2^-n and unsafe at α = 1/2.
+func TestInnerExpectationSafety(t *testing.T) {
+	const n = 4
+	sys := canon.AsyncCoins(n)
+	tree := sys.Trees()[0]
+	phi := canon.LastTossHeads()
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+
+	inner := rat.Pow(rat.Half, n)
+	for _, tc := range []struct {
+		alpha rat.Rat
+		safe  bool
+	}{
+		{inner, true},
+		{rat.Half, false},
+		{rat.One, false},
+	} {
+		rep, err := CheckTheorem7(post, canon.P1, canon.P1, c, phi, tc.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Safe != tc.safe {
+			t.Errorf("α=%s: safe=%v, want %v", tc.alpha, rep.Safe, tc.safe)
+		}
+		if !rep.Agree() {
+			t.Errorf("α=%s: Theorem 7 disagreement (knows=%v safe=%v)", tc.alpha, rep.Knows, rep.Safe)
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	locals := []system.LocalState{"a", "b"}
+	offers := []Offer{NoBet, OfferOf(rat.New(2, 1)), OfferOf(rat.New(3, 1))}
+	got := Enumerate(0, locals, offers)
+	if len(got) != 9 {
+		t.Fatalf("enumerated %d strategies, want 9", len(got))
+	}
+	// All distinct as functions.
+	seen := make(map[string]bool)
+	for _, s := range got {
+		key := ""
+		for _, l := range locals {
+			o := s.OfferAt(l)
+			if o.Bet {
+				key += o.Payoff.Key() + ";"
+			} else {
+				key += "-;"
+			}
+		}
+		if seen[key] {
+			t.Errorf("duplicate strategy %q", key)
+		}
+		seen[key] = true
+		// Default for unknown locals is no-bet.
+		if s.OfferAt("zzz").Bet {
+			t.Error("default offer should be no-bet")
+		}
+	}
+}
+
+func TestStrategyKinds(t *testing.T) {
+	if Never().OfferAt("x").Bet {
+		t.Error("Never bets")
+	}
+	if Never().Name() != "never-bet" {
+		t.Errorf("Never name = %q", Never().Name())
+	}
+	cst := Constant(rat.New(2, 1))
+	if !cst.OfferAt("x").Payoff.Equal(rat.New(2, 1)) {
+		t.Error("Constant wrong")
+	}
+	fn := FuncStrategy{Label: "f", Fn: func(l system.LocalState) Offer {
+		if l == "hot" {
+			return OfferOf(rat.One)
+		}
+		return NoBet
+	}}
+	if fn.Name() != "f" || !fn.OfferAt("hot").Bet || fn.OfferAt("cold").Bet {
+		t.Error("FuncStrategy wrong")
+	}
+}
+
+func TestBreaksEven(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	rule := MustRule(heads, rat.Half)
+	h := pointWithEnv(t, sys, 1, "heads")
+	tl := pointWithEnv(t, sys, 1, "tails")
+	// Against p2 (blind) p1 breaks even everywhere.
+	opp2 := core.NewProbAssignment(sys, core.Opponent(sys, canon.P2))
+	for _, d := range []system.Point{h, tl} {
+		ok, err := BreaksEven(opp2, canon.P1, canon.P2, d, rule)
+		if err != nil || !ok {
+			t.Errorf("BreaksEven vs p2 at %v = %v, %v", d, ok, err)
+		}
+	}
+	// Against p3 it fails at the tails point.
+	opp3 := core.NewProbAssignment(sys, core.Opponent(sys, canon.P3))
+	ok, err := BreaksEven(opp3, canon.P1, canon.P3, tl, rule)
+	if err != nil || ok {
+		t.Errorf("BreaksEven vs p3 at tails = %v, %v; want false", ok, err)
+	}
+}

@@ -1,0 +1,113 @@
+package betting
+
+import (
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// This file implements the extension sketched in the paper's conclusion
+// (Section 9): "One potentially fruitful line of research is to understand
+// how our results are affected if we make assumptions about the strategies
+// the adversary p_j is allowed to follow, such as assuming that p_j is
+// trying to maximize its payoff and not simply trying to break even."
+//
+// We call a strategy *rational* for p_j (with respect to a rule p_i is
+// known to follow) when, at every local state where p_j's offer would be
+// accepted, p_j's own expected profit — computed from p_j's posterior
+// (the P^post assignment for p_j) — is non-negative. The opponent's profit
+// is the negative of p_i's winnings, so rationality for p_j caps how
+// generous an accepted offer can be.
+//
+// Restricting the safety quantifier to rational strategies can only enlarge
+// the set of safe bets (RationalSafe is implied by Safe); tests exhibit
+// instances where the inclusion is strict.
+
+// OpponentProfit returns p_j's expected profit at point d when p_i follows
+// the rule and p_j follows f, with respect to p_j's own posterior space at
+// d: E_{Tree_jd}[−W_f].
+func OpponentProfit(postJ *core.ProbAssignment, r Rule, f Strategy, j system.AgentID, d system.Point) (rat.Rat, error) {
+	sp, err := postJ.Space(j, d)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	offer := f.OfferAt(d.Local(j))
+	if !r.Accepts(offer) {
+		return rat.Zero, nil
+	}
+	// p_j's profit is +1 when ¬φ, 1−payoff when φ: the negative of p_i's
+	// winnings. Use inner expectation from p_j's side (low value first).
+	phiSet := sp.Sample().Filter(r.Phi.Holds)
+	low := rat.One.Sub(offer.Payoff)
+	high := rat.One
+	if low.Equal(high) { // payoff 0 is impossible (offers are positive)
+		return low, nil
+	}
+	// Profit = high on ¬φ, low on φ. Inner expectation pessimistic for
+	// p_j: use inner measure of the ¬φ set.
+	notPhi := sp.Sample().Minus(phiSet)
+	inner := sp.Inner(notPhi)
+	return high.Mul(inner).Add(low.Mul(rat.One.Sub(inner))), nil
+}
+
+// IsRational reports whether f is rational for p_j given that p_i follows
+// the rule: at every point of the system where f's offer would be accepted,
+// p_j's expected profit is non-negative.
+func IsRational(postJ *core.ProbAssignment, r Rule, f Strategy, j system.AgentID) (bool, error) {
+	sys := postJ.System()
+	checked := make(map[system.LocalState]bool)
+	for d := range sys.Points() {
+		l := d.Local(j)
+		if checked[l] {
+			continue
+		}
+		checked[l] = true
+		if !r.Accepts(f.OfferAt(l)) {
+			continue
+		}
+		profit, err := OpponentProfit(postJ, r, f, j, d)
+		if err != nil {
+			return false, err
+		}
+		if profit.Sign() < 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RationalStrategies filters a strategy family down to those rational for
+// p_j under the rule.
+func RationalStrategies(postJ *core.ProbAssignment, r Rule, j system.AgentID, strategies []Strategy) ([]Strategy, error) {
+	var out []Strategy
+	for _, f := range strategies {
+		ok, err := IsRational(postJ, r, f, j)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// RationalSafe reports whether the rule breaks even for p_i at every point
+// of K_i(c) against every *rational* strategy of the (finite) family. It
+// is implied by Safe; against a weaker class of opponents more bets are
+// safe, which quantifies the paper's Section 9 conjecture that rationality
+// assumptions "might decrease the minimum payoff p_i is willing to accept".
+func RationalSafe(
+	P *core.ProbAssignment, // the S^j assignment used for p_i's expectations
+	postJ *core.ProbAssignment, // p_j's posterior, used for the rationality test
+	i, j system.AgentID,
+	c system.Point,
+	r Rule,
+	strategies []Strategy,
+) (bool, Strategy, system.Point, error) {
+	rational, err := RationalStrategies(postJ, r, j, strategies)
+	if err != nil {
+		return false, nil, system.Point{}, err
+	}
+	return SafeAgainstStrategies(P, i, j, c, r, rational)
+}

@@ -1,0 +1,220 @@
+package betting
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func TestOpponentProfitClassification(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	rule := MustRule(heads, rat.Half) // p1 accepts payoffs ≥ 2
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	h := pointWithEnv(t, sys, 1, "heads")
+	tl := pointWithEnv(t, sys, 1, "tails")
+
+	// p2 (blind) offering exactly the threshold breaks even...
+	profit, err := OpponentProfit(post, rule, Constant(rat.New(2, 1)), canon.P2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !profit.IsZero() {
+		t.Errorf("blind threshold offer: profit = %s, want 0", profit)
+	}
+	// ...while a payoff of 4 costs p2 money on average.
+	profit, err = OpponentProfit(post, rule, Constant(rat.New(4, 1)), canon.P2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profit.Sign() >= 0 {
+		t.Errorf("generous offer: profit = %s, want negative", profit)
+	}
+	// p3 (saw the coin) offering at its tails point is certain profit;
+	// offering at its heads point is certain loss.
+	tailsOnly := &MapStrategy{
+		Label:   "tails-only",
+		Table:   map[system.LocalState]Offer{"p3:tails": OfferOf(rat.New(2, 1))},
+		Default: NoBet,
+	}
+	profit, err = OpponentProfit(post, rule, tailsOnly, canon.P3, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !profit.IsOne() {
+		t.Errorf("cheating p3 at tails: profit = %s, want 1", profit)
+	}
+	headsOnly := &MapStrategy{
+		Label:   "heads-only",
+		Table:   map[system.LocalState]Offer{"p3:heads": OfferOf(rat.New(2, 1))},
+		Default: NoBet,
+	}
+	profit, err = OpponentProfit(post, rule, headsOnly, canon.P3, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !profit.Equal(rat.FromInt(-1)) {
+		t.Errorf("charitable p3 at heads: profit = %s, want −1", profit)
+	}
+	// No bet, no profit.
+	profit, err = OpponentProfit(post, rule, Never(), canon.P2, h)
+	if err != nil || !profit.IsZero() {
+		t.Errorf("never-bet profit = %v, %v", profit, err)
+	}
+}
+
+func TestIsRational(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	rule := MustRule(heads, rat.Half)
+	post := core.NewProbAssignment(sys, core.Post(sys))
+
+	cases := []struct {
+		name     string
+		j        system.AgentID
+		strategy Strategy
+		want     bool
+	}{
+		{"blind threshold", canon.P2, Constant(rat.New(2, 1)), true},
+		{"blind generous", canon.P2, Constant(rat.New(4, 1)), false},
+		{"never", canon.P2, Never(), true},
+		{"informed tails-only", canon.P3, &MapStrategy{
+			Label: "t", Table: map[system.LocalState]Offer{"p3:tails": OfferOf(rat.New(2, 1))},
+			Default: NoBet}, true},
+		{"informed heads-only", canon.P3, &MapStrategy{
+			Label: "h", Table: map[system.LocalState]Offer{"p3:heads": OfferOf(rat.New(2, 1))},
+			Default: NoBet}, false},
+		{"rejected offers are irrelevant", canon.P2, Constant(rat.New(3, 2)), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := IsRational(post, rule, tc.strategy, tc.j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("IsRational = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRationalityOnlyHelps: RationalSafe is implied by Safe and the
+// rational family is a subset of the full one.
+func TestRationalityOnlyHelps(t *testing.T) {
+	sys := canon.Die()
+	even := canon.Even()
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	for _, alpha := range []rat.Rat{rat.New(1, 3), rat.Half, rat.New(2, 3)} {
+		rule := MustRule(even, alpha)
+		for _, j := range sys.Agents() {
+			P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+			locals := LocalStatesOf(j, sys.Points())
+			offers := []Offer{NoBet, OfferOf(rule.Threshold()), OfferOf(rat.New(100, 1))}
+			all := Enumerate(j, locals, offers)
+			rational, err := RationalStrategies(post, rule, j, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rational) > len(all) {
+				t.Fatal("rational family larger than the full one")
+			}
+			for c := range sys.Points() {
+				for _, i := range sys.Agents() {
+					safe, _, _, err := SafeAgainstStrategies(P, i, j, c, rule, all)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rsafe, _, _, err := RationalSafe(P, post, i, j, c, rule, all)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if safe && !rsafe {
+						t.Fatalf("safe in general but not against rational opponents (i=%d j=%d α=%s)",
+							i, j, alpha)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRationalityStrictlyHelps exhibits the paper's Section 9 conjecture:
+// a bet unsafe against arbitrary opponents but safe against rational ones.
+//
+// Four equally likely states {a,b,c,d}; p1's partition is {a,b},{c,d} and
+// p2's is {a,c},{b,d}; φ = {a,c,d}. At state b, the joint knowledge cell
+// is the singleton {b}, where φ is false — so Bet(φ, 1/3) (accept payoffs
+// ≥ 3) is unsafe in general: p2 can offer 3 at its {b,d} cell and collect
+// at b. But p2's own posterior of φ on {b,d} is 1/2, so that offer costs
+// p2 an expected 1 − 3·(1/2) < 0 per bet: it is irrational. And on p2's
+// other cell {a,c} the posterior of φ is 1, so no accepted offer hurts p1
+// there (every joint sub-cell satisfies φ). Hence every rational strategy
+// is harmless, and the bet is rationally safe.
+func TestRationalityStrictlyHelps(t *testing.T) {
+	gs := func(env, l1, l2 string) system.GlobalState {
+		return system.GlobalState{Env: env, Locals: []system.LocalState{
+			system.LocalState(l1), system.LocalState(l2)}}
+	}
+	tb := system.NewTree("cross", gs("root", "i:start", "j:start"))
+	q := rat.New(1, 4)
+	tb.Child(0, q, gs("a", "i:ab", "j:ac"))
+	tb.Child(0, q, gs("b", "i:ab", "j:bd"))
+	tb.Child(0, q, gs("c", "i:cd", "j:ac"))
+	tb.Child(0, q, gs("d", "i:cd", "j:bd"))
+	sys := system.MustNew(2, tb.MustBuild())
+
+	phi := system.EnvFact("phi", func(e string) bool {
+		return e == "a" || e == "c" || e == "d"
+	})
+	i, j := system.AgentID(0), system.AgentID(1)
+	rule := MustRule(phi, rat.New(1, 3)) // threshold payoff 3
+	P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+	post := core.NewProbAssignment(sys, core.Post(sys))
+
+	var b system.Point
+	for p := range sys.Points() {
+		if p.Env() == "b" {
+			b = p
+		}
+	}
+
+	locals := LocalStatesOf(j, sys.Points())
+	offers := []Offer{NoBet, OfferOf(rule.Threshold()), OfferOf(rat.New(4, 1))}
+	all := Enumerate(j, locals, offers)
+
+	safe, witness, _, err := SafeAgainstStrategies(P, i, j, b, rule, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("bet should be unsafe against arbitrary opponents at b")
+	}
+	// The witness must be irrational for p2.
+	rationalWitness, err := IsRational(post, rule, witness, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rationalWitness {
+		t.Fatalf("witness %s should be irrational", witness.Name())
+	}
+	rsafe, rwitness, _, err := RationalSafe(P, post, i, j, b, rule, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rsafe {
+		t.Fatalf("bet should be safe against rational opponents; witness %s", rwitness.Name())
+	}
+	// Sanity: Theorem 7 says the bet is NOT knowledge-backed — rationality
+	// safety is genuinely weaker than K_i^α φ.
+	knows, err := P.KnowsPrAtLeast(i, b, phi, rat.New(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knows {
+		t.Fatal("K_i^{1/3} φ should fail at b")
+	}
+}

@@ -1,0 +1,160 @@
+// Package betting implements the betting game of Section 6 and its
+// appendices: agent p_j offers agent p_i a payoff for a bet on a fact φ at a
+// point; p_i pays one dollar to play and receives the payoff if φ is true.
+//
+// A strategy for the opponent p_j is a function of p_j's local state only
+// (p_j cannot tailor offers to information it does not have). Agent p_i's
+// acceptance rule Bet_j(φ, α) — "accept any bet on φ with payoff at least
+// 1/α" — is safe when p_i knows its expected winnings are non-negative
+// against every strategy. The central results reproduced here:
+//
+//   - Theorem 7: Bet_j(φ, α) is P^j-safe for p_i at c iff P^j, c ⊨ K_i^α φ.
+//   - Proposition 6: Tree- and Tree^j-safety agree in synchronous systems.
+//   - Theorem 8: S ≤ S^j determines safe bets against p_j; S^j is the
+//     maximum such assignment.
+//   - Appendix B.2: expectations of non-measurable winnings via inner
+//     expectation.
+//   - Appendix B.3 (Theorem 11): the betting game can be embedded into the
+//     system itself, and hearing the offer raises K_i^α from the joint S^j
+//     assignment to S^post.
+package betting
+
+import (
+	"fmt"
+	"sort"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Offer is p_j's action at a point: either no bet, or an offered payoff
+// (strictly positive; the paper's "offer a payoff of α dollars").
+type Offer struct {
+	Bet    bool
+	Payoff rat.Rat
+}
+
+// NoBet is the offer of not betting at all.
+var NoBet = Offer{}
+
+// OfferOf returns an offer of the given payoff.
+func OfferOf(payoff rat.Rat) Offer { return Offer{Bet: true, Payoff: payoff} }
+
+// Strategy is a strategy for the opponent p_j: a function from p_j's local
+// state to an offer. Strategies must be deterministic functions of the local
+// state — that is the paper's only assumption about the opponent.
+type Strategy interface {
+	// Name identifies the strategy for diagnostics.
+	Name() string
+	// OfferAt returns p_j's offer when its local state is l.
+	OfferAt(l system.LocalState) Offer
+}
+
+// constStrategy offers the same payoff everywhere.
+type constStrategy struct {
+	offer Offer
+}
+
+var _ Strategy = constStrategy{}
+
+func (s constStrategy) Name() string {
+	if !s.offer.Bet {
+		return "never-bet"
+	}
+	return "always-offer(" + s.offer.Payoff.String() + ")"
+}
+
+func (s constStrategy) OfferAt(system.LocalState) Offer { return s.offer }
+
+// Constant returns the strategy offering the same payoff at every local
+// state.
+func Constant(payoff rat.Rat) Strategy { return constStrategy{offer: OfferOf(payoff)} }
+
+// Never returns the strategy that never offers a bet.
+func Never() Strategy { return constStrategy{offer: NoBet} }
+
+// MapStrategy is a strategy given by an explicit table from local states to
+// offers, with a default for unlisted states.
+type MapStrategy struct {
+	Label   string
+	Table   map[system.LocalState]Offer
+	Default Offer
+}
+
+var _ Strategy = (*MapStrategy)(nil)
+
+// Name implements Strategy.
+func (s *MapStrategy) Name() string { return s.Label }
+
+// OfferAt implements Strategy.
+func (s *MapStrategy) OfferAt(l system.LocalState) Offer {
+	if o, ok := s.Table[l]; ok {
+		return o
+	}
+	return s.Default
+}
+
+// FuncStrategy adapts a function into a Strategy.
+type FuncStrategy struct {
+	Label string
+	Fn    func(system.LocalState) Offer
+}
+
+var _ Strategy = FuncStrategy{}
+
+// Name implements Strategy.
+func (s FuncStrategy) Name() string { return s.Label }
+
+// OfferAt implements Strategy.
+func (s FuncStrategy) OfferAt(l system.LocalState) Offer { return s.Fn(l) }
+
+// LocalStatesOf collects the distinct local states of agent j occurring in
+// the given point set, sorted for determinism.
+func LocalStatesOf(j system.AgentID, pts system.PointSet) []system.LocalState {
+	seen := make(map[system.LocalState]bool)
+	for p := range pts {
+		seen[p.Local(j)] = true
+	}
+	out := make([]system.LocalState, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Enumerate generates every strategy for p_j that maps each of the given
+// local states to one of the given offers (and never bets elsewhere). The
+// number of strategies is |offers|^|locals|; intended for exhaustive
+// verification on small systems.
+func Enumerate(j system.AgentID, locals []system.LocalState, offers []Offer) []Strategy {
+	total := 1
+	for range locals {
+		total *= len(offers)
+		if total > 1<<20 {
+			panic("betting: strategy enumeration too large")
+		}
+	}
+	out := make([]Strategy, 0, total)
+	idx := make([]int, len(locals))
+	for n := 0; n < total; n++ {
+		table := make(map[system.LocalState]Offer, len(locals))
+		for k, l := range locals {
+			table[l] = offers[idx[k]]
+		}
+		out = append(out, &MapStrategy{
+			Label:   fmt.Sprintf("enum-%d", n),
+			Table:   table,
+			Default: NoBet,
+		})
+		// Increment the mixed-radix counter.
+		for k := 0; k < len(idx); k++ {
+			idx[k]++
+			if idx[k] < len(offers) {
+				break
+			}
+			idx[k] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package betting
+
+import (
+	"fmt"
+
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Theorem7Report records the two sides of Theorem 7 at a point: whether
+// P^j, c ⊨ K_i^α φ, whether Bet_j(φ, α) is P^j-safe for p_i at c, and — when
+// they are (correctly) both false — the strategy witnessing unsafety.
+type Theorem7Report struct {
+	Knows   bool
+	Safe    bool
+	Witness Strategy     // non-nil iff !Safe
+	BadAt   system.Point // point of K_i(c) where the witness wins
+}
+
+// Agree reports whether the two sides coincide, i.e. whether the theorem's
+// biconditional holds at this instance.
+func (r Theorem7Report) Agree() bool { return r.Knows == r.Safe }
+
+// CheckTheorem7 evaluates both sides of Theorem 7 for agent i against
+// opponent j at point c: "Bet_j(φ, α) is P^j-safe for p_i at c iff
+// P^j, c ⊨ K_i^α φ". P must be the probability assignment induced by S^j
+// (core.Opponent(sys, j)) — the theorem is about that assignment.
+func CheckTheorem7(
+	P *core.ProbAssignment,
+	i, j system.AgentID,
+	c system.Point,
+	phi system.Fact,
+	alpha rat.Rat,
+) (Theorem7Report, error) {
+	rule, err := NewRule(phi, alpha)
+	if err != nil {
+		return Theorem7Report{}, err
+	}
+	knows, err := P.KnowsPrAtLeast(i, c, phi, alpha)
+	if err != nil {
+		return Theorem7Report{}, err
+	}
+	safe, witness, bad, err := Safe(P, i, j, c, rule)
+	if err != nil {
+		return Theorem7Report{}, err
+	}
+	return Theorem7Report{Knows: knows, Safe: safe, Witness: witness, BadAt: bad}, nil
+}
+
+// RelabelSystem rebuilds a system with new transition probabilities on some
+// of its trees. The relabel map is keyed by adversary name; trees without an
+// entry keep their labels. Point coordinates (run and time indices) are
+// preserved: relabelling changes probabilities, never structure.
+//
+// This realizes the quantification over transition probability assignments
+// in Theorem 8: "S determines safe bets against p_j" requires safety for
+// every labelling of the system's (unlabelled) trees.
+func RelabelSystem(
+	sys *system.System,
+	relabel map[string]func(system.EdgeRef) (rat.Rat, bool),
+) (*system.System, error) {
+	trees := make([]*system.Tree, 0, len(sys.Trees()))
+	for _, t := range sys.Trees() {
+		fn, ok := relabel[t.Adversary]
+		if !ok {
+			fn = func(system.EdgeRef) (rat.Rat, bool) { return rat.Rat{}, false }
+		}
+		nt, err := t.Relabel(fn)
+		if err != nil {
+			return nil, fmt.Errorf("relabel %q: %w", t.Adversary, err)
+		}
+		trees = append(trees, nt)
+	}
+	return system.New(sys.NumAgents(), trees...)
+}
+
+// TranslatePoint maps a point of one system to the identically-indexed
+// point of a structurally identical system (same adversary names, same tree
+// shapes), as produced by RelabelSystem.
+func TranslatePoint(to *system.System, p system.Point) (system.Point, error) {
+	t := to.TreeByAdversary(p.Tree.Adversary)
+	if t == nil {
+		return system.Point{}, fmt.Errorf("betting: no tree %q in target system", p.Tree.Adversary)
+	}
+	q := system.Point{Tree: t, Run: p.Run, Time: p.Time}
+	if !q.IsValid() {
+		return system.Point{}, fmt.Errorf("betting: point %v has no counterpart", p)
+	}
+	return q, nil
+}
+
+// DeterminesSafeBets checks the defining property of Theorem 8 on a given
+// list of labellings: for the probability assignment P induced by S under
+// each labelling, P, c ⊨ K_i^α φ implies Bet_j(φ, α) is safe for p_i at c,
+// for every agent pair, point, fact and threshold supplied. It returns the
+// first counterexample found, or ok=true.
+//
+// (The paper quantifies over *all* labellings and all formulas of a
+// sufficiently rich language; callers choose representative finite families.
+// Theorem 8(b)'s converse — failure for some labelling when S ⊄ S^j — is
+// witnessed by Theorem8Counterexample.)
+func DeterminesSafeBets(
+	mkAssignment func(*system.System) core.SampleAssignment,
+	labellings []*system.System,
+	j system.AgentID,
+	facts []system.Fact,
+	alphas []rat.Rat,
+) (ok bool, desc string, err error) {
+	for _, sys := range labellings {
+		P := core.NewProbAssignment(sys, mkAssignment(sys))
+		opp := core.NewProbAssignment(sys, core.Opponent(sys, j))
+		for c := range sys.Points() {
+			for _, i := range sys.Agents() {
+				for _, phi := range facts {
+					for _, alpha := range alphas {
+						knows, err := P.KnowsPrAtLeast(i, c, phi, alpha)
+						if err != nil {
+							return false, "", err
+						}
+						if !knows {
+							continue
+						}
+						rule, err := NewRule(phi, alpha)
+						if err != nil {
+							return false, "", err
+						}
+						safe, _, bad, err := Safe(opp, i, j, c, rule)
+						if err != nil {
+							return false, "", err
+						}
+						if !safe {
+							return false, fmt.Sprintf(
+								"K_%d^%s %s holds at %v but Bet is unsafe (loses at %v)",
+								i+1, alpha, phi, c, bad), nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return true, "", nil
+}
+
+// Theorem8Counterexample constructs the witness of Theorem 8(b) for an
+// assignment S with S_ic ⊄ Tree^j_ic at some agent i and point c: it returns
+// a relabelled copy of the system in which P (induced by S) satisfies
+// K_i^α(¬ψ) at c — where ψ is true exactly at points with c's global state —
+// yet Bet_j(¬ψ, α) loses money for p_i against the strategy that offers
+// payoff 1/α on K_j(c).
+//
+// The construction follows the proof: pick d ∈ S_ic \ Tree^j_ic, boost the
+// transition probabilities along the path to d's node so that the runs
+// through d carry more than half the measure; then μ(S_ic(¬ψ)) > μ(Tree^j_ic(¬ψ)),
+// and α chosen between them separates knowledge from safety.
+type Theorem8Witness struct {
+	Sys    *system.System // the relabelled system
+	C      system.Point   // c translated into Sys
+	Phi    system.Fact    // ¬ψ
+	Alpha  rat.Rat        // the separating threshold (= μ(S_ic(¬ψ)))
+	Report Theorem7Report // knows=true, safe=false expected
+	BadD   system.Point   // the point of S_ic outside Tree^j_ic
+}
+
+// FindOutsidePoint returns some d ∈ S_ic \ Tree^j_ic, or ok=false if
+// S_ic ⊆ Tree^j_ic.
+func FindOutsidePoint(
+	sys *system.System,
+	s core.SampleAssignment,
+	i, j system.AgentID,
+	c system.Point,
+) (system.Point, bool) {
+	opp := core.Opponent(sys, j)
+	oppSample := opp.Sample(i, c)
+	for _, d := range s.Sample(i, c).Sorted() {
+		if !oppSample.Contains(d) {
+			return d, true
+		}
+	}
+	return system.Point{}, false
+}
+
+// BoostPathLabelling returns a relabelling function for d's tree that
+// assigns probability weight/(weight+k−1) to each edge on the path from the
+// root to d's node (where k is the branching factor at that edge's parent),
+// sharing the remainder equally among siblings. With a large weight the runs
+// through d's node carry probability arbitrarily close to 1.
+func BoostPathLabelling(t *system.Tree, d system.Point, weight int64) func(system.EdgeRef) (rat.Rat, bool) {
+	node := t.Run(d.Run)[d.Time]
+	onPath := make(map[system.EdgeRef]bool)
+	for _, e := range t.PathTo(node) {
+		onPath[e] = true
+	}
+	return func(e system.EdgeRef) (rat.Rat, bool) {
+		k := int64(len(t.Node(e.Parent).Edges))
+		if k == 1 {
+			return rat.One, true
+		}
+		if onPath[e] {
+			return rat.New(weight, weight+k-1), true
+		}
+		// Is some sibling of e on the path? If so share the remainder;
+		// otherwise keep uniform weights.
+		pathSibling := false
+		for idx := range t.Node(e.Parent).Edges {
+			if onPath[system.EdgeRef{Parent: e.Parent, Index: idx}] {
+				pathSibling = true
+				break
+			}
+		}
+		if pathSibling {
+			// (1 − w/(w+k−1)) / (k−1) = 1/(w+k−1).
+			return rat.New(1, weight+k-1), true
+		}
+		return rat.New(1, k), true
+	}
+}

@@ -1,0 +1,373 @@
+package betting
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// dieLabellings returns the die system under several transition probability
+// assignments, for Theorem 8's quantification over labellings.
+func dieLabellings(t *testing.T) []*system.System {
+	t.Helper()
+	orig := canon.Die()
+	out := []*system.System{orig}
+	// A loaded die: face 1 has probability 1/2, the rest 1/10.
+	loaded, err := RelabelSystem(orig, map[string]func(system.EdgeRef) (rat.Rat, bool){
+		"die": func(e system.EdgeRef) (rat.Rat, bool) {
+			if e.Index == 0 {
+				return rat.Half, true
+			}
+			return rat.New(1, 10), true
+		},
+	})
+	if err != nil {
+		t.Fatalf("relabel: %v", err)
+	}
+	out = append(out, loaded)
+	// A nearly-deterministic die.
+	skew, err := RelabelSystem(orig, map[string]func(system.EdgeRef) (rat.Rat, bool){
+		"die": func(e system.EdgeRef) (rat.Rat, bool) {
+			if e.Index == 3 {
+				return rat.New(95, 100), true
+			}
+			return rat.New(1, 100), true
+		},
+	})
+	if err != nil {
+		t.Fatalf("relabel: %v", err)
+	}
+	out = append(out, skew)
+	return out
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	orig := canon.Die()
+	labellings := dieLabellings(t)
+	loaded := labellings[1]
+	lt := loaded.TreeByAdversary("die")
+	if lt.NumRuns() != 6 {
+		t.Fatalf("relabelled tree has %d runs", lt.NumRuns())
+	}
+	if !lt.RunProb(0).Equal(rat.Half) {
+		t.Errorf("run 0 prob = %s, want 1/2", lt.RunProb(0))
+	}
+	if !lt.Prob(lt.AllRuns()).IsOne() {
+		t.Error("relabelled probabilities do not sum to 1")
+	}
+	// States unchanged.
+	for i := 0; i < lt.NumNodes(); i++ {
+		if !lt.Node(system.NodeID(i)).State.Equal(orig.Trees()[0].Node(system.NodeID(i)).State) {
+			t.Fatalf("relabel changed global state of node %d", i)
+		}
+	}
+	// Translate a point across.
+	p := system.Point{Tree: orig.Trees()[0], Run: 3, Time: 1}
+	q, err := TranslatePoint(loaded, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Run != 3 || q.Time != 1 || !q.State().Equal(p.State()) {
+		t.Error("TranslatePoint wrong")
+	}
+	// Relabel rejects invalid labellings.
+	if _, err := orig.Trees()[0].Relabel(func(system.EdgeRef) (rat.Rat, bool) {
+		return rat.New(1, 7), true
+	}); err == nil {
+		t.Error("Relabel accepted probabilities not summing to 1")
+	}
+}
+
+// TestTheorem8a: assignments at or below S^j determine safe bets against
+// p_j, across all labellings, facts, thresholds, agents and points.
+func TestTheorem8a(t *testing.T) {
+	labellings := dieLabellings(t)
+	facts := []system.Fact{canon.Even(), canon.DieFace(1), system.Not(canon.DieFace(1))}
+	alphas := []rat.Rat{rat.New(1, 10), rat.New(1, 3), rat.Half, rat.New(9, 10), rat.One}
+	for _, j := range labellings[0].Agents() {
+		for _, mk := range []struct {
+			name string
+			fn   func(*system.System) core.SampleAssignment
+		}{
+			{"fut", func(s *system.System) core.SampleAssignment { return core.Future(s) }},
+			{"opp", func(s *system.System) core.SampleAssignment { return core.Opponent(s, j) }},
+		} {
+			ok, desc, err := DeterminesSafeBets(mk.fn, labellings, j, facts, alphas)
+			if err != nil {
+				t.Fatalf("%s vs p%d: %v", mk.name, j+1, err)
+			}
+			if !ok {
+				t.Errorf("%s does not determine safe bets against p%d: %s", mk.name, j+1, desc)
+			}
+		}
+	}
+}
+
+// TestTheorem8b constructs the paper's counterexample: the post assignment,
+// which is strictly above S^{p1} (p1 saw the die), fails to determine safe
+// bets against p1 under a suitably skewed labelling.
+func TestTheorem8b(t *testing.T) {
+	sys := canon.Die()
+	i, j := canon.P2, canon.P1
+	c := pointWithEnv(t, sys, 1, "face=1")
+
+	// S^post_ic contains a point outside Tree^j_ic.
+	d, found := FindOutsidePoint(sys, core.Post(sys), i, j, c)
+	if !found {
+		t.Fatal("post should exceed S^{p1} at the die point")
+	}
+
+	// Boost the path to d's node: runs through d get weight 100.
+	tree := sys.Trees()[0]
+	boosted, err := RelabelSystem(sys, map[string]func(system.EdgeRef) (rat.Rat, bool){
+		tree.Adversary: BoostPathLabelling(tree, d, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := TranslatePoint(boosted, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ψ = "the global state is c's"; φ = ¬ψ.
+	psi := system.AtState(c.State())
+	phi := system.Not(psi)
+
+	// α = μ^post(φ) at cB: everything except c's own (low-probability) state.
+	post := core.NewProbAssignment(boosted, core.Post(boosted))
+	sp := post.MustSpace(i, cB)
+	alpha := sp.InnerFact(phi)
+	if !alpha.Greater(rat.Half) {
+		t.Fatalf("boosting failed: μ^post(φ) = %s, want > 1/2", alpha)
+	}
+
+	// Under P^post, p_i knows Pr(φ) ≥ α...
+	knows, err := post.KnowsPrAtLeast(i, cB, phi, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knows {
+		t.Fatal("post: K_i^α φ should hold by construction")
+	}
+	// ...but the bet is unsafe against p_j.
+	opp := core.NewProbAssignment(boosted, core.Opponent(boosted, j))
+	rule := MustRule(phi, alpha)
+	safe, witness, bad, err := Safe(opp, i, j, cB, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("Theorem 8(b): the bet should be unsafe against p_j")
+	}
+	// And the witness indeed loses money for p_i.
+	badSp := opp.MustSpace(i, bad)
+	e, err := ExpectedWinnings(badSp, rule, witness, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sign() >= 0 {
+		t.Errorf("witness E[W] = %s, want negative", e)
+	}
+}
+
+// TestTheorem9 checks interval monotonicity and strictness across the
+// lattice chain S^fut < S^{p2} ≤ S^post on the die system.
+func TestTheorem9(t *testing.T) {
+	sys := canon.Die()
+	even := canon.Even()
+	lo := core.NewProbAssignment(sys, core.Future(sys))
+	hi := core.NewProbAssignment(sys, core.Post(sys))
+
+	// (a) monotonicity: the sharp interval of the lower assignment contains
+	// the sharp interval of the higher one... more precisely, if the lower
+	// satisfies K^[α,β] then so does the higher.
+	for c := range sys.Points() {
+		for _, i := range sys.Agents() {
+			aLo, bLo, err := lo.SharpInterval(i, c, even)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := hi.KnowsPrInterval(i, c, even, aLo, bLo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				aHi, bHi, _ := hi.SharpInterval(i, c, even)
+				t.Errorf("Theorem 9(a) fails at (%d,%v): fut interval [%s,%s], post interval [%s,%s]",
+					i, c, aLo, bLo, aHi, bHi)
+			}
+		}
+	}
+
+	// (b) strictness: at a post-toss point, p2's post interval for "even"
+	// is [1/2,1/2] while its fut interval is [0,1].
+	c := pointWithEnv(t, sys, 1, "face=1")
+	aHi, bHi, err := hi.SharpInterval(canon.P2, c, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aHi.Equal(rat.Half) || !bHi.Equal(rat.Half) {
+		t.Errorf("post interval = [%s,%s], want [1/2,1/2]", aHi, bHi)
+	}
+	aLo, bLo, err := lo.SharpInterval(canon.P2, c, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aLo.IsZero() || !bLo.IsOne() {
+		t.Errorf("fut interval = [%s,%s], want [0,1]", aLo, bLo)
+	}
+}
+
+// TestTheorem11 checks the three-way equivalence of the embedded betting
+// game on the introduction's coin system: for propositional φ, base
+// strategies f, thresholds α and original points c,
+//
+//	P^j, c ⊨ K_i^α φ  ⟺  P^j, c_f ⊨ K_i^α φ̂  ⟺  P^post, c⁺_f ⊨ K_i^α φ̂.
+func TestTheorem11(t *testing.T) {
+	sys := canon.IntroCoin()
+	i, j := canon.P1, canon.P3
+	heads := canon.Heads()
+
+	offer2 := OfferOf(rat.New(2, 1))
+	base := []Strategy{
+		Constant(rat.New(2, 1)),
+		&MapStrategy{ // p3 offers only when it saw heads — the cheat
+			Label:   "cheat",
+			Table:   map[system.LocalState]Offer{"p3:heads": offer2},
+			Default: NoBet,
+		},
+		Never(),
+	}
+	locals := LocalStatesOf(j, sys.Points())
+	family := WithDistinguishers(base, locals)
+
+	game, err := EmbedGame(sys, i, j, heads, family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted := game.LiftFact(heads)
+
+	origOpp := core.NewProbAssignment(sys, core.Opponent(sys, j))
+	embOpp := core.NewProbAssignment(game.Sys, core.Opponent(game.Sys, j))
+	embPost := core.NewProbAssignment(game.Sys, core.Post(game.Sys))
+
+	alphas := []rat.Rat{rat.New(1, 4), rat.Half, rat.New(3, 4), rat.One}
+	for _, f := range base {
+		for c := range sys.Points() {
+			ask, err := game.AskPoint(c, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := game.OfferPoint(c, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alpha := range alphas {
+				a, err := origOpp.KnowsPrAtLeast(i, c, heads, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := embOpp.KnowsPrAtLeast(i, ask, lifted, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cc, err := embPost.KnowsPrAtLeast(i, off, lifted, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b || b != cc {
+					t.Errorf("Theorem 11 fails: f=%s c=%v α=%s: orig=%v ask=%v offer=%v",
+						f.Name(), c, alpha, a, b, cc)
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedGameMechanics(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	f := Constant(rat.New(2, 1))
+	game, err := EmbedGame(sys, canon.P1, canon.P3, heads, []Strategy{f, Never()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 strategies × 1 tree.
+	if got := len(game.Sys.Trees()); got != 2 {
+		t.Fatalf("embedded trees = %d, want 2", got)
+	}
+	c := pointWithEnv(t, sys, 1, "heads")
+	ask, err := game.AskPoint(c, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := game.OfferPoint(c, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !game.IsAskPoint(ask) || game.IsAskPoint(off) {
+		t.Error("IsAskPoint wrong")
+	}
+	if ask.Time != 2 || off.Time != 3 {
+		t.Errorf("embedded times = %d,%d; want 2,3", ask.Time, off.Time)
+	}
+	// Round trip to the original point.
+	for _, p := range []system.Point{ask, off} {
+		back, err := game.OrigPoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Errorf("OrigPoint(%v) = %v, want %v", p, back, c)
+		}
+	}
+	// Offer decoding.
+	o, err := game.OfferHeard(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Bet || !o.Payoff.Equal(rat.New(2, 1)) {
+		t.Errorf("OfferHeard = %+v", o)
+	}
+	if _, err := game.OfferHeard(ask); err == nil {
+		t.Error("OfferHeard at an ask point should fail")
+	}
+	// Never-bet strategy decodes as no-bet.
+	offNever, err := game.OfferPoint(c, Never())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oN, err := game.OfferHeard(offNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oN.Bet {
+		t.Error("no-bet offer decoded as a bet")
+	}
+	// Strategy recovery and fact lifting.
+	s, err := game.StrategyOf(off)
+	if err != nil || s.Name() != f.Name() {
+		t.Errorf("StrategyOf = %v, %v", s, err)
+	}
+	lifted := game.LiftFact(heads)
+	if !lifted.Holds(ask) || !lifted.Holds(off) {
+		t.Error("lifted fact should hold at embedded heads points")
+	}
+	// The run probabilities survive the embedding.
+	et := game.Sys.Trees()[0]
+	if !et.Prob(et.AllRuns()).IsOne() {
+		t.Error("embedded tree probabilities do not sum to 1")
+	}
+	// Errors: unknown strategy, asynchronous original.
+	if _, err := game.AskPoint(c, Constant(rat.New(9, 1))); err == nil {
+		t.Error("AskPoint accepted a strategy outside the family")
+	}
+	async := canon.AsyncCoins(2)
+	if _, err := EmbedGame(async, canon.P1, canon.P3, heads, []Strategy{f}); err == nil {
+		t.Error("EmbedGame accepted an asynchronous system")
+	}
+}

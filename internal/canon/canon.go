@@ -1,0 +1,303 @@
+// Package canon constructs the canonical example systems used throughout
+// Halpern & Tuttle's "Knowledge, Probability, and Adversaries": the
+// introduction's three-agent coin toss, Figure 1's labelled tree, Vardi's
+// fair-vs-biased coin (Section 3), the fair die (Section 5), the
+// asynchronous ten-coin system (Section 7), and the biased-coin system that
+// separates the pts and state adversary classes (Section 7).
+//
+// These systems are shared by the test suites, the benchmarks, the examples
+// and the CLI tools, so the numbers the paper derives from them are checked
+// against a single authoritative construction.
+package canon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Agent indices for the three-agent examples.
+const (
+	P1 system.AgentID = 0
+	P2 system.AgentID = 1
+	P3 system.AgentID = 2
+)
+
+// gs builds a global state from plain strings.
+func gs(env string, locals ...string) system.GlobalState {
+	ls := make([]system.LocalState, len(locals))
+	for i, l := range locals {
+		ls[i] = system.LocalState(l)
+	}
+	return system.GlobalState{Env: env, Locals: ls}
+}
+
+// IntroCoin builds the introduction's system: agent p3 tosses a fair coin at
+// time 0 and observes the outcome at time 1; agents p1 and p2 never learn
+// it. Three agents, one tree, two runs (heads/tails), horizon 1.
+//
+// At time 1, p1 considers two points possible: h and t. The paper's two
+// candidate sample spaces for p1 at time 1 are S¹(1,h)=S¹(1,t)={h,t}
+// (probability of heads 1/2 — the P^post answer, betting against p2) and
+// S²(1,h)={h}, S²(1,t)={t} (probability 1 or 0 — the P^fut answer, betting
+// against p3, who saw the coin).
+func IntroCoin() *system.System {
+	// The system is synchronous: every agent's local state records the
+	// time, but only p3's records the outcome.
+	root := gs("start", "p1:t=0", "p2:t=0", "p3:t=0")
+	tb := system.NewTree("toss", root)
+	tb.Child(0, rat.Half, gs("heads", "p1:t=1", "p2:t=1", "p3:heads"))
+	tb.Child(0, rat.Half, gs("tails", "p1:t=1", "p2:t=1", "p3:tails"))
+	return system.MustNew(3, tb.MustBuild())
+}
+
+// Heads is the fact "the coin landed heads" in IntroCoin and VardiCoin:
+// a fact about the global state (the environment records the outcome).
+func Heads() system.Fact {
+	return system.EnvFact("heads", func(env string) bool {
+		return strings.Contains(env, "heads") || strings.HasSuffix(env, "h")
+	})
+}
+
+// VardiCoin builds Section 3's example, suggested by Moshe Vardi: agent p1
+// has a nondeterministic input bit; on input 0 it tosses a fair coin, on
+// input 1 a biased coin landing heads with probability 2/3. The input is a
+// type-1 adversary choice, so the system has two trees ("input=0" and
+// "input=1") of two runs each. p2 never learns the bit or the outcome.
+//
+// The conditional probability of heads is 1/2 in the first tree and 2/3 in
+// the second; there is no meaningful unconditional probability of heads.
+func VardiCoin() *system.System {
+	mk := func(bit string, pHeads rat.Rat) *system.Tree {
+		root := gs("b="+bit+":start", "p1:b="+bit, "p2:t=0")
+		tb := system.NewTree("input="+bit, root)
+		tb.Child(0, pHeads, gs("b="+bit+":h", "p1:b="+bit+",h", "p2:t=1"))
+		tb.Child(0, rat.One.Sub(pHeads), gs("b="+bit+":t", "p1:b="+bit+",t", "p2:t=1"))
+		return tb.MustBuild()
+	}
+	return system.MustNew(2, mk("0", rat.Half), mk("1", rat.New(2, 3)))
+}
+
+// VardiOneTree builds footnote 5's variant of the Vardi example as a single
+// tree: the environment nondeterministically holds bit 0 or 1, the agent
+// tosses a fair coin regardless, and we (incorrectly) try to treat the bit
+// as a probabilistic 50/50 choice. It is used to demonstrate that the event
+// "action a performed" — bit=1∧heads ∨ bit=0∧tails — is not measurable in
+// the natural prefix σ-algebra when the bit choice is left nondeterministic:
+// see measure.FiberAlgebra. The four runs are ⟨b,c⟩ for b∈{0,1}, c∈{h,t}.
+//
+// The tree's root has two *unlabelled-in-spirit* branches; since our trees
+// require labels, the caller passes the bogus distribution to use for the
+// bit (the paper's point is that any such label is unjustified).
+func VardiOneTree(pBit1 rat.Rat) *system.System {
+	root := gs("start", "p1:start", "p2:t=0")
+	tb := system.NewTree("onetree", root)
+	for _, b := range []string{"0", "1"} {
+		pb := pBit1
+		if b == "0" {
+			pb = rat.One.Sub(pBit1)
+		}
+		bn := tb.Child(0, pb, gs("b="+b, "p1:b="+b, "p2:t=1"))
+		tb.Child(bn, rat.Half, gs("b="+b+":h", "p1:b="+b+",h", "p2:t=2"))
+		tb.Child(bn, rat.Half, gs("b="+b+":t", "p1:b="+b+",t", "p2:t=2"))
+	}
+	return system.MustNew(2, tb.MustBuild())
+}
+
+// ActionA is footnote 5's event in VardiOneTree: the agent performs action a
+// iff the input bit is 1 and the coin landed heads, or the bit is 0 and the
+// coin landed tails.
+func ActionA() system.Fact {
+	return system.EnvFact("action-a", func(env string) bool {
+		return env == "b=1:h" || env == "b=0:t"
+	})
+}
+
+// Die builds Section 5's fair-die system: p1 tosses a fair die (outcome
+// visible to p1 at time 1), p2 never learns the outcome. Six runs.
+func Die() *system.System {
+	root := gs("start", "p1:start", "p2:t=0")
+	tb := system.NewTree("die", root)
+	sixth := rat.New(1, 6)
+	for face := 1; face <= 6; face++ {
+		f := strconv.Itoa(face)
+		tb.Child(0, sixth, gs("face="+f, "p1:"+f, "p2:t=1"))
+	}
+	return system.MustNew(2, tb.MustBuild())
+}
+
+// Even is the fact "the die landed on an even number" in Die.
+func Even() system.Fact {
+	return system.EnvFact("even", func(env string) bool {
+		switch env {
+		case "face=2", "face=4", "face=6":
+			return true
+		}
+		return false
+	})
+}
+
+// DieFace returns the fact "the die shows the given face" in Die.
+func DieFace(face int) system.Fact {
+	want := "face=" + strconv.Itoa(face)
+	return system.EnvFact(want, func(env string) bool { return env == want })
+}
+
+// AsyncCoins builds Section 7's asynchronous system: agent p3 tosses a fair
+// coin once per clock tick for the given number of ticks (the paper uses
+// 10); agents p1 and p2 do nothing and never learn the outcomes. Agent p1
+// has no clock — its local state is the same at every point — while p2 can
+// read the clock. The system is a single complete binary tree of the given
+// depth with every transition labelled 1/2.
+//
+// With n=10 this is the system in which the fact "the most recent coin toss
+// landed heads" has inner measure 1/2^10 and outer measure 1−1/2^10 for p1,
+// but probability exactly 1/2 with respect to p2's (clocked) sample spaces.
+//
+// One modelling note: the paper declares the fact false at time 0 (before
+// any toss) and yet computes the inner measure from the full fiber of the
+// all-heads run, implicitly excluding the pre-toss point from p1's sample
+// spaces. The minimal model realizing that is to let p1 distinguish
+// "nothing has happened yet" from "running" (local states p1:init vs
+// p1:noclock) while remaining unable to tell any two post-toss points
+// apart; this is what we build.
+func AsyncCoins(n int) *system.System {
+	if n < 1 {
+		panic(fmt.Sprintf("canon: AsyncCoins needs n ≥ 1, got %d", n))
+	}
+	p1 := "p1:noclock" // same at all post-toss points: p1 cannot tell time
+	clock := func(k int) string {
+		return "p2:t=" + strconv.Itoa(k)
+	}
+	root := gs("", "p1:init", clock(0), "p3:")
+	tb := system.NewTree("coins", root)
+	frontier := []system.NodeID{0}
+	hist := []string{""}
+	for k := 1; k <= n; k++ {
+		var nf []system.NodeID
+		var nh []string
+		for i, id := range frontier {
+			for _, c := range []string{"h", "t"} {
+				h := hist[i] + c
+				st := gs(h, p1, clock(k), "p3:"+h)
+				nf = append(nf, tb.Child(id, rat.Half, st))
+				nh = append(nh, h)
+			}
+		}
+		frontier, hist = nf, nh
+	}
+	return system.MustNew(3, tb.MustBuild())
+}
+
+// LastTossHeads is the fact "the most recent coin toss landed heads" in
+// AsyncCoins; false at time 0 (no toss has happened yet). It is a fact
+// about the global state but not about the run.
+func LastTossHeads() system.Fact {
+	return system.EnvFact("lastHeads", func(env string) bool {
+		return strings.HasSuffix(env, "h")
+	})
+}
+
+// AllHeads is the fact about the run "every coin toss in this run lands
+// heads" in AsyncCoins.
+func AllHeads(sys *system.System) system.Fact {
+	t := sys.Trees()[0]
+	return system.NewFact("allHeads", func(p system.Point) bool {
+		leaf := t.NodeAt(p.Run, t.RunLen(p.Run)-1)
+		return !strings.Contains(leaf.State.Env, "t")
+	})
+}
+
+// BiasedPtsState builds the Section 7 system separating the pts and state
+// classes of type-3 adversaries: p1 tosses a coin biased 99/100 toward
+// heads. Two runs h and t; the computation tree has three nodes — a root R
+// (points (h,0) and (t,0)), a node H = (h,1) and a node T = (t,1). Agent p2
+// can distinguish only (h,1) from the other three points.
+func BiasedPtsState() *system.System {
+	blind := "p2:blind"
+	root := gs("R", "p1:start", blind)
+	tb := system.NewTree("bias", root)
+	tb.Child(0, rat.New(99, 100), gs("H", "p1:h", "p2:sawH"))
+	tb.Child(0, rat.New(1, 100), gs("T", "p1:t", blind))
+	return system.MustNew(2, tb.MustBuild())
+}
+
+// CoinLandsHeads is the fact "the coin lands heads" in BiasedPtsState: a
+// fact about the run, true at (h,0) and (h,1).
+func CoinLandsHeads(sys *system.System) system.Fact {
+	t := sys.Trees()[0]
+	return system.NewFact("headsRun", func(p system.Point) bool {
+		if p.Tree != t {
+			return false
+		}
+		leaf := t.NodeAt(p.Run, t.RunLen(p.Run)-1)
+		return leaf.State.Env == "H"
+	})
+}
+
+// Fig1 builds the labelled computation tree of Figure 1: a root with two
+// children (probabilities 1/2 each); the left child has two children with
+// probabilities 1/2 and 1/2, the right child two children with
+// probabilities 1/4 and 3/4. (The figure's glyphs are partially garbled in
+// the source text; the structure — two levels, probabilities multiplying
+// along paths — is what the experiment checks.) One agent that observes
+// everything.
+func Fig1() *system.System {
+	st := func(name string) system.GlobalState {
+		return gs(name, "p1:"+name)
+	}
+	tb := system.NewTree("fig1", st("s0"))
+	l := tb.Child(0, rat.Half, st("s1"))
+	r := tb.Child(0, rat.Half, st("s2"))
+	tb.Child(l, rat.Half, st("s3"))
+	tb.Child(l, rat.Half, st("s4"))
+	tb.Child(r, rat.New(1, 4), st("s5"))
+	tb.Child(r, rat.New(3, 4), st("s6"))
+	return system.MustNew(1, tb.MustBuild())
+}
+
+// DriftClockCoins builds the partially synchronous variant the paper
+// sketches in Section 7 ("processors cannot tell time but are guaranteed
+// that, for every k, all processors take their kth step within some time
+// interval of width Δ"): the coin-tossing system of AsyncCoins, except that
+// p2's clock only shows the time rounded down to a multiple of width+1 —
+// p2 knows the time within a window of that width. Width 0 recovers the
+// synchronous clock; width ≥ n recovers the clockless p1.
+//
+// The sharp probability interval p2 can attach to "the most recent coin
+// toss landed heads" interpolates accordingly: [1/2, 1/2] at width 0,
+// [1/4, 3/4] at width 1, ..., approaching [1/2ⁿ, 1−1/2ⁿ].
+func DriftClockCoins(n, width int) *system.System {
+	if n < 1 || width < 0 {
+		panic(fmt.Sprintf("canon: DriftClockCoins needs n ≥ 1, width ≥ 0; got %d, %d", n, width))
+	}
+	p1 := "p1:noclock"
+	window := func(k int) string {
+		if k == 0 {
+			return "p2:init"
+		}
+		// Post-toss times 1..n are grouped into windows of size width+1.
+		return "p2:w=" + strconv.Itoa((k-1)/(width+1))
+	}
+	root := gs("", "p1:init", window(0), "p3:")
+	tb := system.NewTree("drift", root)
+	frontier := []system.NodeID{0}
+	hist := []string{""}
+	for k := 1; k <= n; k++ {
+		var nf []system.NodeID
+		var nh []string
+		for i, id := range frontier {
+			for _, c := range []string{"h", "t"} {
+				h := hist[i] + c
+				st := gs(h, p1, window(k), "p3:"+h)
+				nf = append(nf, tb.Child(id, rat.Half, st))
+				nh = append(nh, h)
+			}
+		}
+		frontier, hist = nf, nh
+	}
+	return system.MustNew(3, tb.MustBuild())
+}

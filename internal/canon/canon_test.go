@@ -1,0 +1,228 @@
+package canon
+
+import (
+	"testing"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func TestIntroCoinShape(t *testing.T) {
+	sys := IntroCoin()
+	if sys.NumAgents() != 3 {
+		t.Errorf("agents = %d", sys.NumAgents())
+	}
+	if !sys.IsSynchronous() {
+		t.Error("intro coin should be synchronous")
+	}
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 2 || tree.Depth() != 1 {
+		t.Errorf("runs=%d depth=%d", tree.NumRuns(), tree.Depth())
+	}
+	heads := Heads()
+	n := 0
+	for p := range sys.Points() {
+		if heads.Holds(p) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("heads holds at %d points, want 1", n)
+	}
+	// p3 sees the outcome at time 1, p1 and p2 do not.
+	h := system.Point{Tree: tree, Run: 0, Time: 1}
+	if sys.K(P3, h).Len() != 1 {
+		t.Error("p3 should distinguish the outcomes")
+	}
+	if sys.K(P1, h).Len() != 2 || sys.K(P2, h).Len() != 2 {
+		t.Error("p1, p2 should not distinguish the outcomes")
+	}
+}
+
+func TestVardiCoinShape(t *testing.T) {
+	sys := VardiCoin()
+	if len(sys.Trees()) != 2 {
+		t.Fatalf("trees = %d, want 2", len(sys.Trees()))
+	}
+	for _, name := range []string{"input=0", "input=1"} {
+		if sys.TreeByAdversary(name) == nil {
+			t.Errorf("missing tree %q", name)
+		}
+	}
+	// p2 cannot tell the trees apart: its knowledge spans them.
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	if sys.K(P2, c).SingleTree() != nil {
+		t.Error("p2's knowledge should span both trees")
+	}
+	if !sys.IsSynchronous() {
+		t.Error("vardi system should be synchronous")
+	}
+}
+
+func TestVardiOneTree(t *testing.T) {
+	sys := VardiOneTree(rat.Half)
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 4 {
+		t.Fatalf("runs = %d, want 4", tree.NumRuns())
+	}
+	a := ActionA()
+	n := 0
+	for r := 0; r < 4; r++ {
+		if a.Holds(system.Point{Tree: tree, Run: r, Time: 2}) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("action-a holds on %d runs, want 2", n)
+	}
+}
+
+func TestDieShape(t *testing.T) {
+	sys := Die()
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 6 {
+		t.Fatalf("runs = %d", tree.NumRuns())
+	}
+	even, face3 := Even(), DieFace(3)
+	evenCount, face3Count := 0, 0
+	for _, p := range sys.PointsAtTime(tree, 1) {
+		if even.Holds(p) {
+			evenCount++
+		}
+		if face3.Holds(p) {
+			face3Count++
+		}
+	}
+	if evenCount != 3 || face3Count != 1 {
+		t.Errorf("even at %d, face3 at %d", evenCount, face3Count)
+	}
+}
+
+func TestAsyncCoinsShape(t *testing.T) {
+	const n = 4
+	sys := AsyncCoins(n)
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 1<<n {
+		t.Fatalf("runs = %d, want %d", tree.NumRuns(), 1<<n)
+	}
+	if sys.IsSynchronous() {
+		t.Error("async system reported synchronous")
+	}
+	// p1 considers all post-toss points possible and can separate only the
+	// pre-toss root.
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	if got, want := sys.K(P1, c).Len(), (1<<n)*n; got != want {
+		t.Errorf("K_1 size = %d, want %d", got, want)
+	}
+	root := system.Point{Tree: tree, Run: 0, Time: 0}
+	if got, want := sys.K(P1, root).Len(), 1<<n; got != want {
+		t.Errorf("K_1 at root = %d, want %d (root points only)", got, want)
+	}
+	// p2's clock: K_2 at time k has 2^n points (all runs, same time).
+	if got, want := sys.K(P2, c).Len(), 1<<n; got != want {
+		t.Errorf("K_2 size = %d, want %d", got, want)
+	}
+	// AllHeads is a fact about the run; LastTossHeads is not.
+	if !system.IsFactAboutRun(sys, AllHeads(sys)) {
+		t.Error("AllHeads should be a fact about the run")
+	}
+	if system.IsFactAboutRun(sys, LastTossHeads()) {
+		t.Error("LastTossHeads should not be a fact about the run")
+	}
+	if !system.IsFactAboutState(sys, LastTossHeads()) {
+		t.Error("LastTossHeads should be a fact about the global state")
+	}
+}
+
+func TestAsyncCoinsPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsyncCoins(0) did not panic")
+		}
+	}()
+	AsyncCoins(0)
+}
+
+func TestBiasedPtsStateShape(t *testing.T) {
+	sys := BiasedPtsState()
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 2 || tree.NumNodes() != 3 {
+		t.Fatalf("runs=%d nodes=%d", tree.NumRuns(), tree.NumNodes())
+	}
+	phi := CoinLandsHeads(sys)
+	if !system.IsFactAboutRun(sys, phi) {
+		t.Error("CoinLandsHeads should be a fact about the run")
+	}
+	// The heads run carries probability 99/100.
+	total := rat.Zero
+	for r := 0; r < 2; r++ {
+		if phi.Holds(system.Point{Tree: tree, Run: r, Time: 0}) {
+			total = total.Add(tree.RunProb(r))
+		}
+	}
+	if !total.Equal(rat.New(99, 100)) {
+		t.Errorf("P(heads run) = %s", total)
+	}
+	// p2 distinguishes exactly the point (h,1) from the other three.
+	var h1 system.Point
+	for p := range sys.Points() {
+		if p.Time == 1 && phi.Holds(p) {
+			h1 = p
+		}
+	}
+	if sys.K(P2, h1).Len() != 1 {
+		t.Error("p2 should distinguish (h,1)")
+	}
+	blind := system.Point{Tree: tree, Run: h1.Run, Time: 0}
+	if sys.K(P2, blind).Len() != 3 {
+		t.Errorf("p2 should lump the other three points, got %d", sys.K(P2, blind).Len())
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	sys := Fig1()
+	tree := sys.Trees()[0]
+	if tree.NumNodes() != 7 || tree.NumRuns() != 4 {
+		t.Fatalf("nodes=%d runs=%d", tree.NumNodes(), tree.NumRuns())
+	}
+	if !tree.Prob(tree.AllRuns()).IsOne() {
+		t.Error("probabilities do not sum to 1")
+	}
+	want := []rat.Rat{rat.New(1, 4), rat.New(1, 4), rat.New(1, 8), rat.New(3, 8)}
+	for r, w := range want {
+		if !tree.RunProb(r).Equal(w) {
+			t.Errorf("run %d prob = %s, want %s", r, tree.RunProb(r), w)
+		}
+	}
+}
+
+func TestDriftClockCoinsShape(t *testing.T) {
+	sys := DriftClockCoins(4, 1)
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 16 {
+		t.Fatalf("runs = %d", tree.NumRuns())
+	}
+	// p2's windowed clock: times 1,2 share a window; 3,4 share the next.
+	w := func(k int) system.LocalState {
+		return tree.NodeAt(0, k).State.Local(P2)
+	}
+	if w(1) != w(2) || w(3) != w(4) || w(1) == w(3) {
+		t.Errorf("windows: t1=%s t2=%s t3=%s t4=%s", w(1), w(2), w(3), w(4))
+	}
+	// Width 0 recovers a fully clocked p2.
+	sync := DriftClockCoins(2, 0)
+	st := sync.Trees()[0]
+	if st.NodeAt(0, 1).State.Local(P2) == st.NodeAt(0, 2).State.Local(P2) {
+		t.Error("width 0 should distinguish all times")
+	}
+}
+
+func TestDriftClockCoinsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DriftClockCoins(0, -1) did not panic")
+		}
+	}()
+	DriftClockCoins(0, -1)
+}

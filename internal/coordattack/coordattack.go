@@ -1,0 +1,374 @@
+// Package coordattack implements the probabilistic coordinated attack
+// problem of Sections 4 and 8: two generals A and B must coordinate an
+// attack ("A attacks iff B attacks") communicating only through messengers
+// the enemy captures with probability 1/2, all nondeterminism removed by
+// having A toss a fair coin to decide whether to attack.
+//
+// Two protocols from the paper are provided:
+//
+//   - CA1: at round 0, A tosses the coin and sends its messengers to B iff
+//     it landed heads; at round 1, B sends a messenger telling A whether it
+//     learned the outcome; at round 2, A attacks iff the coin landed heads
+//     (regardless of what it heard) and B attacks iff it learned heads.
+//   - CA2: identical except that B sends nothing at round 1.
+//
+// Both guarantee coordination with probability 1 − (1/2)·q^m over the runs
+// (q the loss probability, m the number of messengers), but they differ
+// sharply at the level of probabilistic common knowledge: Proposition 11
+// shows CA1 achieves C_G^α(coordinated) for the prior assignment only,
+// while CA2 achieves it for the posterior assignment as well — and no
+// protocol that ever attacks achieves it for the future assignment.
+package coordattack
+
+import (
+	"fmt"
+	"strings"
+
+	"kpa/internal/core"
+	"kpa/internal/logic"
+	"kpa/internal/protocol"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Agent indices: general A and general B.
+const (
+	GeneralA system.AgentID = 0
+	GeneralB system.AgentID = 1
+)
+
+// Config parameterizes the protocols.
+type Config struct {
+	// Messengers is the number of messengers A sends when the coin lands
+	// heads (the paper uses 10).
+	Messengers int
+	// LossProb is the probability a messenger is captured (paper: 1/2).
+	LossProb rat.Rat
+}
+
+// DefaultConfig is the paper's parameterization: ten messengers, each
+// captured with probability 1/2.
+func DefaultConfig() Config {
+	return Config{Messengers: 10, LossProb: rat.Half}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Messengers < 1 {
+		return fmt.Errorf("coordattack: need at least one messenger, got %d", c.Messengers)
+	}
+	if !c.LossProb.InUnit() {
+		return fmt.Errorf("coordattack: loss probability %s outside [0,1]", c.LossProb)
+	}
+	return nil
+}
+
+// Variant selects a protocol.
+type Variant int
+
+// The protocol variants.
+const (
+	// VariantCA1 is the paper's CA1 (B reports back).
+	VariantCA1 Variant = iota + 1
+	// VariantCA2 is the paper's CA2 (B stays silent).
+	VariantCA2
+	// VariantNever is the trivial protocol in which nobody ever attacks;
+	// it coordinates deterministically (used for Proposition 11 part 3).
+	VariantNever
+	// VariantCA3 is the adaptive protocol the paper's Section 8 discussion
+	// calls for ("if an agent finds itself in a state where it knows the
+	// attack will not be coordinated, it seems clear it should not proceed
+	// with the attack"): CA1 modified so that A aborts when B reports it
+	// never learned the outcome. B additionally reports "uninformed", and
+	// a delivered "uninformed" report lets A avoid CA1's certain-failure
+	// point; coordination fails only when B is uninformed AND B's report is
+	// captured, improving the run-level guarantee from 1 − (1/2)q^m to
+	// 1 − (1/2)q^(m+1) and — unlike CA1 — achieving probabilistic common
+	// knowledge with respect to P^post.
+	VariantCA3
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantCA1:
+		return "CA1"
+	case VariantCA2:
+		return "CA2"
+	case VariantNever:
+		return "never-attack"
+	case VariantCA3:
+		return "CA3"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Build compiles the protocol variant into a system. The system is
+// synchronous (every local state carries the round number) and has a
+// single computation tree (A's coin removes all nondeterminism), with
+// points at times 0..3.
+func Build(v Variant, cfg Config) (*system.System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	deliver := rat.One.Sub(cfg.LossProb)
+	if deliver.Sign() == 0 {
+		// Protocol delivery probability 0 is legal in the substrate but
+		// makes the "informed" branch vanish; allow it anyway.
+		deliver = rat.Zero
+	}
+
+	generalA := protocol.AgentDef{
+		Name: "A",
+		Init: func(string) string { return "A|r0" },
+		Act: func(local string, round int) []protocol.Action {
+			switch round {
+			case 0:
+				if v == VariantNever {
+					return protocol.Deterministic(step(local, "idle"))
+				}
+				// Toss the coin; on heads send the messengers.
+				msgs := make([]protocol.Msg, cfg.Messengers)
+				for i := range msgs {
+					msgs[i] = protocol.Msg{To: GeneralB, Body: "heads"}
+				}
+				return []protocol.Action{
+					{Prob: rat.Half, NewLocal: step(local, "heads"), Send: msgs},
+					{Prob: rat.Half, NewLocal: step(local, "tails")},
+				}
+			case 2:
+				// Decide. Under CA3, A adapts: it aborts when B reported
+				// that it never learned the outcome.
+				attack := v != VariantNever && strings.Contains(local, "heads")
+				if v == VariantCA3 && strings.Contains(local, "heard:uninformed") {
+					attack = false
+				}
+				if attack {
+					return protocol.Deterministic(step(local, "attack"))
+				}
+				return protocol.Deterministic(step(local, "noattack"))
+			default:
+				return protocol.Deterministic(step(local, "-"))
+			}
+		},
+		Recv: func(local string, delivered []protocol.Delivery, round int) string {
+			if (v != VariantCA1 && v != VariantCA3) || round != 1 || len(delivered) == 0 {
+				return local
+			}
+			// B's report arrived.
+			return local + ",heard:" + delivered[0].Body
+		},
+	}
+
+	generalB := protocol.AgentDef{
+		Name: "B",
+		Init: func(string) string { return "B|r0" },
+		Act: func(local string, round int) []protocol.Action {
+			switch round {
+			case 1:
+				if v == VariantCA1 || v == VariantCA3 {
+					report := "uninformed"
+					if strings.Contains(local, "informed") && !strings.Contains(local, "uninformed") {
+						report = "informed"
+					}
+					return protocol.Deterministic(step(local, "-"),
+						protocol.Msg{To: GeneralA, Body: report})
+				}
+				return protocol.Deterministic(step(local, "-"))
+			case 2:
+				if v != VariantNever && strings.Contains(local, "informed") &&
+					!strings.Contains(local, "uninformed") {
+					return protocol.Deterministic(step(local, "attack"))
+				}
+				return protocol.Deterministic(step(local, "noattack"))
+			default:
+				return protocol.Deterministic(step(local, "-"))
+			}
+		},
+		Recv: func(local string, delivered []protocol.Delivery, round int) string {
+			if round != 0 || len(delivered) == 0 {
+				return local
+			}
+			// At least one of A's messengers got through: B learned heads.
+			return local + ",informed"
+		},
+	}
+
+	p := &protocol.Protocol{
+		Name:         v.String(),
+		Agents:       []protocol.AgentDef{generalA, generalB},
+		Inputs:       []string{"go"},
+		DeliveryProb: deliver,
+		Rounds:       3,
+	}
+	return p.Build()
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(v Variant, cfg Config) *system.System {
+	sys, err := Build(v, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// step advances a local state's round marker and appends an event tag.
+func step(local, event string) string {
+	// local looks like "A|r<k>..." — bump the round counter.
+	head, tail, _ := strings.Cut(local, "|")
+	var round int
+	rest := ""
+	if idx := strings.Index(tail, ","); idx >= 0 {
+		fmt.Sscanf(tail[:idx], "r%d", &round)
+		rest = tail[idx:]
+	} else {
+		fmt.Sscanf(tail, "r%d", &round)
+	}
+	out := fmt.Sprintf("%s|r%d%s", head, round+1, rest)
+	if event != "-" && event != "" {
+		out += "," + event
+	}
+	return out
+}
+
+// Attacks reports whether the given general attacks in the run of point p
+// (decided at the final time of the run).
+func Attacks(g system.AgentID, p system.Point) bool {
+	t := p.Tree
+	final := t.NodeAt(p.Run, t.RunLen(p.Run)-1)
+	return strings.Contains(string(final.State.Local(g)), ",attack")
+}
+
+// Coordinated is the fact φ_CA about the run: "A attacks iff B attacks".
+func Coordinated() system.Fact {
+	return system.NewFact("coordinated", func(p system.Point) bool {
+		return Attacks(GeneralA, p) == Attacks(GeneralB, p)
+	})
+}
+
+// RunProbability returns the probability, over the runs of the system's
+// single tree, that the attack is coordinated — the paper's "correct with
+// probability taken over the runs".
+func RunProbability(sys *system.System) rat.Rat {
+	tree := sys.Trees()[0]
+	phi := Coordinated()
+	total := rat.Zero
+	for r := 0; r < tree.NumRuns(); r++ {
+		if phi.Holds(system.Point{Tree: tree, Run: r, Time: 0}) {
+			total = total.Add(tree.RunProb(r))
+		}
+	}
+	return total
+}
+
+// Assignment selects a probability assignment for the analysis.
+type Assignment int
+
+// The probability assignments of Proposition 11.
+const (
+	// AssignPrior is P^prior (mimics the distribution over runs).
+	AssignPrior Assignment = iota + 1
+	// AssignPost is P^post (condition on everything the agent knows).
+	AssignPost
+	// AssignFut is P^fut (the opponent knows the entire past).
+	AssignFut
+)
+
+// String names the assignment.
+func (a Assignment) String() string {
+	switch a {
+	case AssignPrior:
+		return "prior"
+	case AssignPost:
+		return "post"
+	case AssignFut:
+		return "fut"
+	default:
+		return fmt.Sprintf("Assignment(%d)", int(a))
+	}
+}
+
+func (a Assignment) sampleAssignment(sys *system.System) core.SampleAssignment {
+	switch a {
+	case AssignPrior:
+		return core.Prior(sys)
+	case AssignPost:
+		return core.Post(sys)
+	case AssignFut:
+		return core.Future(sys)
+	default:
+		return nil
+	}
+}
+
+// Achieves reports whether the system achieves probabilistic coordinated
+// attack with respect to the assignment at confidence α: whether
+// C_{A,B}^α(coordinated) holds at every point. If not, a counterexample
+// point is returned.
+func Achieves(sys *system.System, a Assignment, alpha rat.Rat) (bool, []system.Point, error) {
+	sa := a.sampleAssignment(sys)
+	if sa == nil {
+		return false, nil, fmt.Errorf("coordattack: unknown assignment %v", a)
+	}
+	P := core.NewProbAssignment(sys, sa)
+	e := logic.NewEvaluator(sys, P, map[string]system.Fact{"coordinated": Coordinated()})
+	f := logic.CommonPr([]system.AgentID{GeneralA, GeneralB}, logic.Prop("coordinated"), alpha)
+	ok, err := e.Valid(f)
+	if err != nil {
+		return false, nil, err
+	}
+	if ok {
+		return true, nil, nil
+	}
+	ces, err := e.CounterExamples(f)
+	if err != nil {
+		return false, nil, err
+	}
+	return false, ces, nil
+}
+
+// Cell is one entry of the Proposition 11 matrix.
+type Cell struct {
+	Variant    Variant
+	Assignment Assignment
+	Achieves   bool
+	// Counterexample is a failing point when Achieves is false.
+	Counterexample string
+}
+
+// Proposition11Table evaluates the full protocol × assignment matrix at
+// confidence α, reproducing Proposition 11 and extending it with the
+// adaptive protocol CA3. (With the default configuration and α = 99/100:
+// CA1 achieves prior but not post or fut; CA2 achieves prior and post but
+// not fut; CA3 — CA1 made adaptive per the Section 8 discussion — also
+// achieves prior and post; never-attack achieves all three, illustrating
+// part 3's "iff it achieves coordinated attack".)
+func Proposition11Table(cfg Config, alpha rat.Rat) ([]Cell, error) {
+	var out []Cell
+	for _, v := range []Variant{VariantCA1, VariantCA2, VariantCA3, VariantNever} {
+		sys, err := Build(v, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range []Assignment{AssignPrior, AssignPost, AssignFut} {
+			ok, ces, err := Achieves(sys, a, alpha)
+			if err != nil {
+				return nil, err
+			}
+			cell := Cell{Variant: v, Assignment: a, Achieves: ok}
+			if !ok && len(ces) > 0 {
+				cell.Counterexample = ces[0].String()
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// AchievesDeterministic reports whether the system coordinates in every
+// run (deterministic coordinated attack).
+func AchievesDeterministic(sys *system.System) bool {
+	return RunProbability(sys).IsOne()
+}

@@ -1,0 +1,392 @@
+package coordattack
+
+import (
+	"testing"
+
+	"kpa/internal/core"
+	"kpa/internal/logic"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{Messengers: 0, LossProb: rat.Half}).Validate(); err == nil {
+		t.Error("accepted zero messengers")
+	}
+	if err := (Config{Messengers: 5, LossProb: rat.New(3, 2)}).Validate(); err == nil {
+		t.Error("accepted loss probability 3/2")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if _, err := Build(VariantCA1, Config{Messengers: -1, LossProb: rat.Half}); err == nil {
+		t.Error("Build accepted an invalid config")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	if VariantCA1.String() != "CA1" || VariantCA2.String() != "CA2" ||
+		VariantNever.String() != "never-attack" {
+		t.Error("variant names wrong")
+	}
+	if AssignPrior.String() != "prior" || AssignPost.String() != "post" ||
+		AssignFut.String() != "fut" {
+		t.Error("assignment names wrong")
+	}
+	if Variant(99).String() == "" || Assignment(99).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}
+
+func TestSystemsAreSynchronous(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, v := range []Variant{VariantCA1, VariantCA2, VariantNever} {
+		sys := MustBuild(v, cfg)
+		if !sys.IsSynchronous() {
+			t.Errorf("%s: system should be synchronous", v)
+		}
+	}
+}
+
+// TestRunProbability reproduces Section 4's numbers: both CA1 and CA2
+// coordinate with probability 1 − (1/2)·(1/2)^10 = 2047/2048 over the runs.
+func TestRunProbability(t *testing.T) {
+	cfg := DefaultConfig()
+	want := rat.One.Sub(rat.Half.Mul(rat.Pow(rat.Half, cfg.Messengers)))
+	for _, v := range []Variant{VariantCA1, VariantCA2} {
+		sys := MustBuild(v, cfg)
+		if got := RunProbability(sys); !got.Equal(want) {
+			t.Errorf("%s: P(coordinated) = %s, want %s", v, got, want)
+		}
+		if AchievesDeterministic(sys) {
+			t.Errorf("%s: should not coordinate deterministically", v)
+		}
+	}
+	never := MustBuild(VariantNever, cfg)
+	if !RunProbability(never).IsOne() || !AchievesDeterministic(never) {
+		t.Error("never-attack should coordinate deterministically")
+	}
+	// With no losses, CA1/CA2 coordinate deterministically too.
+	lossless := MustBuild(VariantCA2, Config{Messengers: 1, LossProb: rat.Zero})
+	if !AchievesDeterministic(lossless) {
+		t.Error("lossless CA2 should coordinate in every run")
+	}
+}
+
+// TestCA1CertainFailurePoint reproduces the Section 4 observation: in CA1
+// there is a point at which A has decided to attack but knows the attack
+// will not be coordinated — A heard "uninformed" after tossing heads.
+func TestCA1CertainFailurePoint(t *testing.T) {
+	sys := MustBuild(VariantCA1, DefaultConfig())
+	phi := Coordinated()
+	found := false
+	for p := range sys.Points() {
+		if p.Time < 2 {
+			continue
+		}
+		// A's local says: heads (so A will attack) and heard:uninformed.
+		l := string(p.Local(GeneralA))
+		if containsAll(l, "heads", "heard:uninformed") {
+			found = true
+			if !sys.Knows(GeneralA, p, system.Not(phi)) {
+				t.Errorf("at %v A should know the attack is uncoordinated", p)
+			}
+			// Under P^post, A assigns probability 0 to coordination.
+			post := core.NewProbAssignment(sys, core.Post(sys))
+			sp := post.MustSpace(GeneralA, p)
+			if !sp.OuterFact(phi).IsZero() {
+				t.Errorf("at %v Pr^post(coordinated) = %s, want 0", p, sp.OuterFact(phi))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no heads+uninformed point found in CA1")
+	}
+}
+
+// TestCA2Confidence reproduces the paper's CA2 computation: after seeing no
+// messenger, B's conditional probability that the attack will be
+// coordinated is (1/2)/(1/2 + 1/2·(1/2)^10) = 1024/1025 ≥ .99.
+func TestCA2Confidence(t *testing.T) {
+	sys := MustBuild(VariantCA2, DefaultConfig())
+	phi := Coordinated()
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	want := rat.New(1024, 1025)
+	checked := false
+	for p := range sys.Points() {
+		if p.Time != 1 {
+			continue
+		}
+		l := string(p.Local(GeneralB))
+		if containsAll(l, "informed") {
+			continue // B was informed: probability is 1 − 0... handled below
+		}
+		sp := post.MustSpace(GeneralB, p)
+		pr, err := sp.ProbFact(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pr.Equal(want) {
+			t.Errorf("uninformed B: Pr(coordinated) = %s, want %s", pr, want)
+		}
+		checked = true
+	}
+	if !checked {
+		t.Fatal("no uninformed-B point at time 1")
+	}
+}
+
+// TestProposition11 is the headline reproduction: the protocol × assignment
+// matrix of Section 8.
+func TestProposition11(t *testing.T) {
+	cells, err := Proposition11Table(DefaultConfig(), rat.New(99, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"CA1/prior":          true,
+		"CA1/post":           false,
+		"CA1/fut":            false,
+		"CA2/prior":          true,
+		"CA2/post":           true,
+		"CA2/fut":            false,
+		"CA3/prior":          true,
+		"CA3/post":           true,
+		"CA3/fut":            false,
+		"never-attack/prior": true,
+		"never-attack/post":  true,
+		"never-attack/fut":   true,
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("table has %d cells, want %d", len(cells), len(want))
+	}
+	for _, cell := range cells {
+		key := cell.Variant.String() + "/" + cell.Assignment.String()
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected cell %s", key)
+		}
+		if cell.Achieves != w {
+			t.Errorf("%s: achieves = %v, want %v (counterexample %s)",
+				key, cell.Achieves, w, cell.Counterexample)
+		}
+		if !cell.Achieves && cell.Counterexample == "" {
+			t.Errorf("%s: failing cell lacks a counterexample", key)
+		}
+	}
+}
+
+// TestProposition11Part3 spells out part 3: with respect to P^fut, a
+// protocol achieves probabilistic coordinated attack iff it achieves
+// (deterministic) coordinated attack.
+func TestProposition11Part3(t *testing.T) {
+	cfg := DefaultConfig()
+	alpha := rat.New(99, 100)
+	for _, v := range []Variant{VariantCA1, VariantCA2, VariantCA3, VariantNever} {
+		sys := MustBuild(v, cfg)
+		futOK, _, err := Achieves(sys, AssignFut, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if futOK != AchievesDeterministic(sys) {
+			t.Errorf("%s: fut-achievement (%v) != deterministic achievement (%v)",
+				v, futOK, AchievesDeterministic(sys))
+		}
+	}
+}
+
+// TestConfidenceSweep exercises other parameterizations: fewer messengers
+// lower B's confidence below the .99 threshold.
+func TestConfidenceSweep(t *testing.T) {
+	alpha := rat.New(99, 100)
+	for _, tc := range []struct {
+		messengers int
+		achieves   bool
+	}{
+		{1, false}, // P(coord) = 3/4
+		{6, false}, // uninformed-B confidence 64/65 < .99
+		{7, true},  // 128/129 ≥ .99
+		{10, true}, // paper's choice
+	} {
+		sys := MustBuild(VariantCA2, Config{Messengers: tc.messengers, LossProb: rat.Half})
+		ok, _, err := Achieves(sys, AssignPost, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != tc.achieves {
+			t.Errorf("CA2 with %d messengers: post-achieves=%v, want %v",
+				tc.messengers, ok, tc.achieves)
+		}
+	}
+}
+
+func TestAchievesUnknownAssignment(t *testing.T) {
+	sys := MustBuild(VariantNever, DefaultConfig())
+	if _, _, err := Achieves(sys, Assignment(42), rat.Half); err == nil {
+		t.Error("accepted unknown assignment")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCA3Adaptive checks the adaptive-protocol extension suggested by the
+// paper's Section 8 discussion: CA3 (CA1 with A aborting on a delivered
+// "uninformed" report) strictly improves CA1 in both senses.
+func TestCA3Adaptive(t *testing.T) {
+	cfg := DefaultConfig()
+	ca1 := MustBuild(VariantCA1, cfg)
+	ca3 := MustBuild(VariantCA3, cfg)
+
+	// Run-level: 1 − (1/2)·q^(m+1) instead of 1 − (1/2)·q^m.
+	want3 := rat.One.Sub(rat.Half.Mul(rat.Pow(rat.Half, cfg.Messengers+1)))
+	if got := RunProbability(ca3); !got.Equal(want3) {
+		t.Errorf("CA3 run probability = %s, want %s", got, want3)
+	}
+	if !RunProbability(ca3).Greater(RunProbability(ca1)) {
+		t.Error("CA3 should coordinate more often than CA1")
+	}
+
+	// Point-level: CA1's certain-failure point is gone. At every point
+	// where A heard "uninformed", A does not attack and the run is
+	// coordinated.
+	phi := Coordinated()
+	for p := range ca3.Points() {
+		l := string(p.Local(GeneralA))
+		if containsAll(l, "heads", "heard:uninformed") && p.Time >= 2 {
+			if Attacks(GeneralA, p) {
+				t.Errorf("CA3: A attacks at %v despite an uninformed report", p)
+			}
+			if !phi.Holds(p) {
+				t.Errorf("CA3: run through %v uncoordinated", p)
+			}
+		}
+	}
+
+	// Assignment-level: CA3 achieves post (CA1 does not).
+	ok, _, err := Achieves(ca3, AssignPost, rat.New(99, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("CA3 should achieve probabilistic coordinated attack wrt post")
+	}
+	// But like every protocol that actually attacks, not fut.
+	if ok, _, _ := Achieves(ca3, AssignFut, rat.New(99, 100)); ok {
+		t.Error("CA3 should not achieve wrt fut")
+	}
+}
+
+// TestCommonKnowledgeUnattainable reproduces the Halpern–Moses background
+// fact the paper leans on (§8): with unreliable messengers, nontrivial
+// common knowledge is unattainable. In CA1 and CA2, "the coin landed
+// heads" is never common knowledge between the generals at any point —
+// indeed E_G(heads) already fails everywhere, because B can never exclude
+// the all-messengers-lost run.
+func TestCommonKnowledgeUnattainable(t *testing.T) {
+	for _, v := range []Variant{VariantCA1, VariantCA2} {
+		sys := MustBuild(v, DefaultConfig())
+		heads := system.LocalFact("heads", GeneralA, func(l system.LocalState) bool {
+			return containsAll(string(l), "heads")
+		})
+		e := logic.NewEvaluator(sys, nil, map[string]system.Fact{"heads": heads})
+		g := []system.AgentID{GeneralA, GeneralB}
+
+		// The E-hierarchy collapses after finitely many levels: each
+		// message hop buys one level. In CA2 (no report) E(heads) is
+		// attained when B is informed but E²(heads) nowhere; in CA1 the
+		// delivered report buys E² but E³ fails (B cannot know its report
+		// arrived). Common knowledge is attained nowhere.
+		collapse := map[Variant]int{VariantCA2: 2, VariantCA1: 3}[v]
+		for k := 1; k <= collapse; k++ {
+			ext, err := e.Extension(logic.EveryoneIter(g, logic.Prop("heads"), k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k < collapse && ext.IsEmpty() {
+				t.Errorf("%s: E^%d(heads) should be attained somewhere", v, k)
+			}
+			if k == collapse && !ext.IsEmpty() {
+				t.Errorf("%s: E^%d(heads) holds at %d points, want none", v, k, ext.Len())
+			}
+		}
+		cExt, err := e.Extension(logic.Common(g, logic.Prop("heads")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cExt.IsEmpty() {
+			t.Errorf("%s: C(heads) attained at %d points", v, cExt.Len())
+		}
+		// Yet probabilistic common knowledge at .99 confidence IS attained
+		// at the points where it matters (CA2 under post: everywhere) —
+		// that contrast is the paper's motivation for C_G^α.
+		if v == VariantCA2 {
+			post := core.NewProbAssignment(sys, core.Post(sys))
+			e2 := logic.NewEvaluator(sys, post, map[string]system.Fact{
+				"coordinated": Coordinated(),
+			})
+			ok, err := e2.Valid(logic.CommonPr(g, logic.Prop("coordinated"), rat.New(99, 100)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Error("CA2: C^0.99(coordinated) should be valid under post")
+			}
+		}
+	}
+}
+
+// TestPriorInconsistencyWarning reproduces the paper's closing §8 warning
+// about inconsistent assignments: under P^prior, general A in CA1 can
+// simultaneously KNOW the attack will not be coordinated and assign
+// probability ≥ .99 to its being coordinated — "at a point an agent can
+// have high confidence in a fact it knows to be false".
+func TestPriorInconsistencyWarning(t *testing.T) {
+	sys := MustBuild(VariantCA1, DefaultConfig())
+	phi := Coordinated()
+	prior := core.NewProbAssignment(sys, core.Prior(sys))
+	found := false
+	for p := range sys.Points() {
+		if !sys.Knows(GeneralA, p, system.Not(phi)) {
+			continue
+		}
+		sp, err := prior.Space(GeneralA, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.InnerFact(phi).GreaterEq(rat.New(99, 100)) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("expected a point where A knows ¬coordinated yet Pr^prior(coordinated) ≥ .99")
+	}
+	// The consistent post assignment cannot do this (K φ ⇒ Pr(¬φ) = 0).
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	for p := range sys.Points() {
+		if !sys.Knows(GeneralA, p, system.Not(phi)) {
+			continue
+		}
+		sp, err := post.Space(GeneralA, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sp.OuterFact(phi).IsZero() {
+			t.Errorf("consistent assignment gave positive probability to a known-false fact at %v", p)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// timePoints returns the points of the system's single tree at time k.
+func timePoints(t *testing.T, sys *system.System, k int) []system.Point {
+	t.Helper()
+	tree := sys.Trees()[0]
+	pts := sys.PointsAtTime(tree, k)
+	if len(pts) == 0 {
+		t.Fatalf("no points at time %d", k)
+	}
+	return pts
+}
+
+// pointWithEnv finds the point at time k whose environment equals env.
+func pointWithEnv(t *testing.T, sys *system.System, k int, env string) system.Point {
+	t.Helper()
+	for _, p := range timePoints(t, sys, k) {
+		if p.Env() == env {
+			return p
+		}
+	}
+	t.Fatalf("no point with env %q at time %d", env, k)
+	return system.Point{}
+}
+
+// TestIntroCoinPostVsFut reproduces the introduction's example as formalized
+// in Section 6: after p3's fair coin toss,
+//
+//	P^post ⊨ K1(Pr1(heads) = 1/2)               (betting against p2)
+//	P^fut  ⊨ K1(Pr1(heads)=1 ∨ Pr1(heads)=0)    (betting against p3)
+//
+// and the opponent-indexed assignments S^{p2}, S^{p3} coincide with them.
+func TestIntroCoinPostVsFut(t *testing.T) {
+	sys := canon.IntroCoin()
+	heads := canon.Heads()
+	h := pointWithEnv(t, sys, 1, "heads")
+	tl := pointWithEnv(t, sys, 1, "tails")
+
+	post := NewProbAssignment(sys, Post(sys))
+	fut := NewProbAssignment(sys, Future(sys))
+	oppP2 := NewProbAssignment(sys, Opponent(sys, canon.P2))
+	oppP3 := NewProbAssignment(sys, Opponent(sys, canon.P3))
+
+	// P^post: K1(Pr1(heads) = 1/2).
+	for _, P := range []*ProbAssignment{post, oppP2} {
+		ok, err := P.KnowsPrInterval(canon.P1, h, heads, rat.Half, rat.Half)
+		if err != nil {
+			t.Fatalf("%s: %v", P.Name(), err)
+		}
+		if !ok {
+			t.Errorf("%s: K1(Pr(heads)=1/2) should hold at time 1", P.Name())
+		}
+	}
+
+	// P^fut (and S^{p3}): the probability is 1 at h, 0 at t, and p1 knows
+	// the disjunction but not which disjunct.
+	for _, P := range []*ProbAssignment{fut, oppP3} {
+		pH := P.MustSpace(canon.P1, h)
+		if got := pH.InnerFact(heads); !got.IsOne() {
+			t.Errorf("%s: Pr(heads) at h = %s, want 1", P.Name(), got)
+		}
+		pT := P.MustSpace(canon.P1, tl)
+		if got := pT.OuterFact(heads); !got.IsZero() {
+			t.Errorf("%s: Pr(heads) at t = %s, want 0", P.Name(), got)
+		}
+		// p1 does not know Pr ≥ 1/2 (it might be 0)...
+		ok, err := P.KnowsPrAtLeast(canon.P1, h, heads, rat.Half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%s: K1(Pr(heads) ≥ 1/2) should fail", P.Name())
+		}
+		// ...but knows Pr(heads)=1 ∨ Pr(heads)=0: at every point of K1,
+		// the probability is 0 or 1.
+		for d := range sys.K(canon.P1, h) {
+			sp := P.MustSpace(canon.P1, d)
+			pr, err := sp.ProbFact(heads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pr.IsZero() && !pr.IsOne() {
+				t.Errorf("%s: Pr(heads) at %v = %s, want 0 or 1", P.Name(), d, pr)
+			}
+		}
+		// SharpInterval = [0,1].
+		a, bnd, err := P.SharpInterval(canon.P1, h, heads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.IsZero() || !bnd.IsOne() {
+			t.Errorf("%s: sharp interval = [%s,%s], want [0,1]", P.Name(), a, bnd)
+		}
+	}
+
+	// At time 0 all assignments agree: Pr(heads about to be tossed... the
+	// run fact "coin lands heads") = 1/2 under prior and post alike.
+	tree := sys.Trees()[0]
+	landsHeads := system.NewFact("landsHeads", func(p system.Point) bool {
+		return tree.NodeAt(p.Run, 1).State.Env == "heads"
+	})
+	c0 := timePoints(t, sys, 0)[0]
+	prior := NewProbAssignment(sys, Prior(sys))
+	for _, P := range []*ProbAssignment{post, fut, prior, oppP2, oppP3} {
+		sp := P.MustSpace(canon.P1, c0)
+		pr, err := sp.ProbFact(landsHeads)
+		if err != nil {
+			t.Fatalf("%s at time 0: %v", P.Name(), err)
+		}
+		if !pr.Equal(rat.Half) {
+			t.Errorf("%s at time 0: Pr(lands heads) = %s, want 1/2", P.Name(), pr)
+		}
+	}
+}
+
+// TestDieSubdivision reproduces the die example at the end of Section 5:
+// the whole-space assignment gives K2(Pr(even)=1/2); subdividing into
+// {1,2,3} and {4,5,6} gives Pr(even) = 1/3 or 2/3, and p2 knows only the
+// disjunction.
+func TestDieSubdivision(t *testing.T) {
+	sys := canon.Die()
+	even := canon.Even()
+	c := pointWithEnv(t, sys, 1, "face=1")
+
+	post := NewProbAssignment(sys, Post(sys))
+	ok, err := post.KnowsPrInterval(canon.P2, c, even, rat.Half, rat.Half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("post: K2(Pr(even)=1/2) should hold")
+	}
+
+	// The subdivided assignment S²: {faces 1–3} vs {faces 4–6} for p2.
+	lowFaces := map[string]bool{"face=1": true, "face=2": true, "face=3": true}
+	sub := NewAssignment("split", func(i system.AgentID, c system.Point) system.PointSet {
+		if i != canon.P2 || c.Time != 1 {
+			return sys.KInTree(i, c)
+		}
+		inLow := lowFaces[c.Env()]
+		out := make(system.PointSet)
+		for d := range sys.KInTree(i, c) {
+			if d.Time == 1 && lowFaces[d.Env()] == inLow {
+				out.Add(d)
+			}
+		}
+		return out
+	})
+	P2 := NewProbAssignment(sys, sub)
+	sp := P2.MustSpace(canon.P2, c) // c has face=1: the low space
+	pr, err := sp.ProbFact(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Equal(rat.New(1, 3)) {
+		t.Errorf("split: Pr(even) in low space = %s, want 1/3", pr)
+	}
+	c5 := pointWithEnv(t, sys, 1, "face=5")
+	pr5, err := P2.MustSpace(canon.P2, c5).ProbFact(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr5.Equal(rat.New(2, 3)) {
+		t.Errorf("split: Pr(even) in high space = %s, want 2/3", pr5)
+	}
+	// p2 knows only Pr(even) ∈ {1/3, 2/3}: it does not know Pr ≥ 1/2, but
+	// knows Pr ≥ 1/3.
+	if ok, _ := P2.KnowsPrAtLeast(canon.P2, c, even, rat.Half); ok {
+		t.Error("split: K2(Pr(even) ≥ 1/2) should fail")
+	}
+	if ok, _ := P2.KnowsPrAtLeast(canon.P2, c, even, rat.New(1, 3)); !ok {
+		t.Error("split: K2(Pr(even) ≥ 1/3) should hold")
+	}
+}
+
+// TestCanonicalProperties checks the structural claims of Section 6: the
+// four canonical assignments are standard; post/opp/fut are consistent
+// while prior is not; and they satisfy REQ1+REQ2 (Propositions 1–2 apply).
+func TestCanonicalProperties(t *testing.T) {
+	for _, sysCase := range []struct {
+		name string
+		sys  *system.System
+	}{
+		{"introCoin", canon.IntroCoin()},
+		{"die", canon.Die()},
+		{"vardi", canon.VardiCoin()},
+		{"async3", canon.AsyncCoins(3)},
+	} {
+		sys := sysCase.sys
+		t.Run(sysCase.name, func(t *testing.T) {
+			post, fut, prior := Post(sys), Future(sys), Prior(sys)
+			opp := Opponent(sys, 1)
+			for _, s := range []SampleAssignment{post, fut, prior, opp} {
+				if err := CheckREQ(sys, s); err != nil {
+					t.Errorf("%s: REQ violated: %v", s.Name(), err)
+				}
+				if !IsStateGenerated(sys, s) {
+					t.Errorf("%s: not state generated", s.Name())
+				}
+				if !IsInclusive(sys, s) {
+					t.Errorf("%s: not inclusive", s.Name())
+				}
+				if !IsUniform(sys, s) {
+					t.Errorf("%s: not uniform", s.Name())
+				}
+				if !IsStandard(sys, s) {
+					t.Errorf("%s: not standard", s.Name())
+				}
+			}
+			for _, s := range []SampleAssignment{post, fut, opp} {
+				if !IsConsistent(sys, s) {
+					t.Errorf("%s: should be consistent", s.Name())
+				}
+			}
+		})
+	}
+	// Prior is inconsistent whenever some agent has learned something.
+	sys := canon.IntroCoin()
+	if IsConsistent(sys, Prior(sys)) {
+		t.Error("prior should be inconsistent in the intro system (p3 saw the coin)")
+	}
+}
+
+// TestLatticeOrder checks S^fut ≤ S^j ≤ S^post ≤ S^prior and that S^post is
+// the greatest consistent assignment among the canonical ones.
+func TestLatticeOrder(t *testing.T) {
+	for _, sysCase := range []struct {
+		name string
+		sys  *system.System
+	}{
+		{"introCoin", canon.IntroCoin()},
+		{"die", canon.Die()},
+		{"async3", canon.AsyncCoins(3)},
+	} {
+		sys := sysCase.sys
+		t.Run(sysCase.name, func(t *testing.T) {
+			post, fut, prior := Post(sys), Future(sys), Prior(sys)
+			for _, j := range sys.Agents() {
+				opp := Opponent(sys, j)
+				if !LessEq(sys, fut, opp) {
+					t.Errorf("S^fut ≤ S^%s fails", opp.Name())
+				}
+				if !LessEq(sys, opp, post) {
+					t.Errorf("S^%s ≤ S^post fails", opp.Name())
+				}
+			}
+			// S^post ≤ S^prior is a synchronous-setting claim (§6): in an
+			// asynchronous system Tree_ic spans several times while All_ic
+			// fixes one.
+			if sys.IsSynchronous() {
+				if !LessEq(sys, post, prior) {
+					t.Error("S^post ≤ S^prior fails")
+				}
+			} else if LessEq(sys, post, prior) {
+				t.Error("S^post ≤ S^prior unexpectedly holds in an asynchronous system")
+			}
+			if !LessEq(sys, post, post) {
+				t.Error("≤ not reflexive")
+			}
+			// S^opp(i) for the agent itself equals S^post (footnote 12).
+			for _, i := range sys.Agents() {
+				self := Opponent(sys, i)
+				for c := range sys.Points() {
+					if !self.Sample(i, c).Equal(Post(sys).Sample(i, c)) {
+						t.Errorf("S^{p%d}_{%dc} != Tree_ic", i+1, i)
+					}
+				}
+			}
+		})
+	}
+	// Strictness in the intro system: fut < post (p3 knows the outcome).
+	sys := canon.IntroCoin()
+	if !Less(sys, Future(sys), Post(sys)) {
+		t.Error("S^fut < S^post should be strict in the intro system")
+	}
+	if Less(sys, Post(sys), Post(sys)) {
+		t.Error("< should be irreflexive")
+	}
+}
+
+// TestProposition4 checks that for standard assignments s ≤ s′, every S′_ic
+// is partitioned by sets S_id with d ∈ S′_ic.
+func TestProposition4(t *testing.T) {
+	for _, sysCase := range []struct {
+		name string
+		sys  *system.System
+	}{
+		{"introCoin", canon.IntroCoin()},
+		{"die", canon.Die()},
+		{"async3", canon.AsyncCoins(3)},
+	} {
+		sys := sysCase.sys
+		t.Run(sysCase.name, func(t *testing.T) {
+			pairs := []struct{ lo, hi SampleAssignment }{
+				{Future(sys), Post(sys)},
+				{Future(sys), Prior(sys)},
+				{Opponent(sys, 1), Post(sys)},
+				{Future(sys), Opponent(sys, 1)},
+			}
+			if sys.IsSynchronous() {
+				// post ≤ prior (and hence the partition claim for that
+				// pair) holds only synchronously.
+				pairs = append(pairs, struct{ lo, hi SampleAssignment }{Post(sys), Prior(sys)})
+			}
+			for _, pair := range pairs {
+				for c := range sys.Points() {
+					for _, i := range sys.Agents() {
+						cells, ok := Partition(pair.lo, i, pair.hi.Sample(i, c))
+						if !ok {
+							t.Fatalf("%s does not partition %s at (%d,%v)",
+								pair.lo.Name(), pair.hi.Name(), i, c)
+						}
+						total := 0
+						for _, cell := range cells {
+							total += cell.Len()
+						}
+						if total != pair.hi.Sample(i, c).Len() {
+							t.Fatalf("partition cells miscount")
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProposition5 checks the conditioning identity for consistent standard
+// assignments P ≤ P′ in a synchronous system: S_ic is measurable in P′_ic
+// with positive probability, and μ_ic(S) = μ′_ic(S | S_ic).
+func TestProposition5(t *testing.T) {
+	for _, sysCase := range []struct {
+		name string
+		sys  *system.System
+	}{
+		{"introCoin", canon.IntroCoin()},
+		{"die", canon.Die()},
+	} {
+		sys := sysCase.sys
+		if !sys.IsSynchronous() {
+			t.Fatalf("%s: expected synchronous", sysCase.name)
+		}
+		t.Run(sysCase.name, func(t *testing.T) {
+			lo := NewProbAssignment(sys, Future(sys))
+			hi := NewProbAssignment(sys, Post(sys))
+			for c := range sys.Points() {
+				for _, i := range sys.Agents() {
+					loSp := lo.MustSpace(i, c)
+					hiSp := hi.MustSpace(i, c)
+					sic := loSp.Sample()
+					// (a) S_ic measurable in the bigger space.
+					if !hiSp.IsMeasurable(sic) {
+						t.Fatalf("S^fut_ic not measurable in S^post_ic at (%d,%v)", i, c)
+					}
+					// (b) positive probability.
+					pSic, err := hiSp.Prob(sic)
+					if err != nil || pSic.Sign() <= 0 {
+						t.Fatalf("μ'(S_ic) = %v, %v", pSic, err)
+					}
+					// (c) conditioning identity over all measurable subsets
+					// of the smaller space.
+					for _, sub := range loSp.MeasurableSets() {
+						pLo, err := loSp.Prob(sub)
+						if err != nil {
+							t.Fatal(err)
+						}
+						pHi, err := hiSp.Prob(sub)
+						if err != nil {
+							t.Fatalf("subset of S_ic not measurable in S'_ic: %v", err)
+						}
+						if !pLo.Equal(pHi.Div(pSic)) {
+							t.Fatalf("conditioning identity fails at (%d,%v): %s != %s/%s",
+								i, c, pLo, pHi, pSic)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProposition3 checks measurability of state facts in synchronous
+// systems under consistent standard assignments.
+func TestProposition3(t *testing.T) {
+	sys := canon.Die()
+	facts := []system.Fact{
+		canon.Even(),
+		canon.DieFace(3),
+		system.Not(canon.Even()),
+		system.AndFact(canon.Even(), system.Not(canon.DieFace(4))),
+		system.TrueFact,
+		system.FalseFact,
+	}
+	for _, s := range []SampleAssignment{Post(sys), Future(sys), Opponent(sys, canon.P2)} {
+		P := NewProbAssignment(sys, s)
+		for _, phi := range facts {
+			ok, err := P.IsFactMeasurable(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s: fact %s not measurable in a synchronous system", s.Name(), phi)
+			}
+		}
+	}
+	// Contrast: in the asynchronous system, measurability fails for post.
+	async := canon.AsyncCoins(3)
+	P := NewProbAssignment(async, Post(async))
+	ok, err := P.IsFactMeasurable(canon.LastTossHeads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("lastHeads should be non-measurable under post in the async system")
+	}
+}
+
+// TestKnowledgeImpliesProbabilityOne checks the consistency axiom
+// K_i(φ) ⇒ Pr_i(φ) = 1 for consistent assignments.
+func TestKnowledgeImpliesProbabilityOne(t *testing.T) {
+	sys := canon.Die()
+	P := NewProbAssignment(sys, Post(sys))
+	for c := range sys.Points() {
+		for _, i := range sys.Agents() {
+			for _, phi := range []system.Fact{canon.Even(), canon.DieFace(2)} {
+				if !sys.Knows(i, c, phi) {
+					continue
+				}
+				sp := P.MustSpace(i, c)
+				if !sp.InnerFact(phi).IsOne() {
+					t.Errorf("agent %d knows %s at %v but Pr < 1", i, phi, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckREQRejectsBadAssignments(t *testing.T) {
+	sys := canon.VardiCoin()
+	// An assignment using all of K_i(c) violates REQ1 when K_i(c) spans
+	// trees (p2 cannot tell the input bit).
+	allK := NewAssignment("allK", func(i system.AgentID, c system.Point) system.PointSet {
+		return sys.K(i, c)
+	})
+	if err := CheckREQ(sys, allK); err == nil {
+		t.Error("CheckREQ accepted an assignment spanning computation trees")
+	}
+	empty := NewAssignment("empty", func(system.AgentID, system.Point) system.PointSet {
+		return system.NewPointSet()
+	})
+	if err := CheckREQ(sys, empty); err == nil {
+		t.Error("CheckREQ accepted an empty assignment")
+	}
+	// An assignment placing the sample in the wrong tree.
+	other := NewAssignment("wrongTree", func(i system.AgentID, c system.Point) system.PointSet {
+		for _, tr := range sys.Trees() {
+			if tr != c.Tree {
+				return sys.PointsOfTree(tr)
+			}
+		}
+		return nil
+	})
+	if err := CheckREQ(sys, other); err == nil {
+		t.Error("CheckREQ accepted a sample outside T(c)")
+	}
+}
+
+func TestSpaceCaching(t *testing.T) {
+	sys := canon.Die()
+	P := NewProbAssignment(sys, Post(sys))
+	c := pointWithEnv(t, sys, 1, "face=1")
+	a := P.MustSpace(canon.P2, c)
+	b := P.MustSpace(canon.P2, c)
+	if a != b {
+		t.Error("Space not cached")
+	}
+	if P.System() != sys || P.SampleAssignment() == nil {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestPointwiseProbabilityOperators(t *testing.T) {
+	sys := canon.Die()
+	even := canon.Even()
+	tree := sys.Trees()[0]
+	c := pointWithEnv(t, sys, 1, "face=2")
+	P := NewProbAssignment(sys, Post(sys))
+	if P.Name() != "post" {
+		t.Errorf("Name = %q", P.Name())
+	}
+	ok, err := P.PrAtLeast(canon.P2, c, even, rat.Half)
+	if err != nil || !ok {
+		t.Errorf("PrAtLeast(1/2) = %v, %v", ok, err)
+	}
+	ok, err = P.PrAtLeast(canon.P2, c, even, rat.New(2, 3))
+	if err != nil || ok {
+		t.Errorf("PrAtLeast(2/3) = %v, %v", ok, err)
+	}
+	ok, err = P.PrInInterval(canon.P2, c, even, rat.Half, rat.Half)
+	if err != nil || !ok {
+		t.Errorf("PrInInterval([1/2,1/2]) = %v, %v", ok, err)
+	}
+	ok, err = P.PrInInterval(canon.P2, c, even, rat.New(2, 3), rat.One)
+	if err != nil || ok {
+		t.Errorf("PrInInterval([2/3,1]) = %v, %v", ok, err)
+	}
+	_ = tree
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func BenchmarkSpaceConstructionKeyed(b *testing.B) {
+	sys := canon.AsyncCoins(6)
+	tree := sys.Trees()[0]
+	pts := sys.PointsAtTime(tree, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		P := NewProbAssignment(sys, Post(sys))
+		for _, p := range pts {
+			if _, err := P.Space(canon.P1, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkKnowsPrAtLeast(b *testing.B) {
+	sys := canon.AsyncCoins(6)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	phi := canon.LastTossHeads()
+	P := NewProbAssignment(sys, Post(sys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := P.KnowsPrAtLeast(canon.P1, c, phi, rat.New(1, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharpInterval(b *testing.B) {
+	sys := canon.AsyncCoins(6)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	phi := canon.LastTossHeads()
+	P := NewProbAssignment(sys, Post(sys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := P.SharpInterval(canon.P1, c, phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssignmentProperties(b *testing.B) {
+	sys := canon.Die()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := Post(sys)
+		if !IsStandard(sys, s) || !IsConsistent(sys, s) {
+			b.Fatal("properties")
+		}
+	}
+}
+
+func BenchmarkLatticeCompare(b *testing.B) {
+	sys := canon.Die()
+	fut, post := Future(sys), Post(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !LessEq(sys, fut, post) {
+			b.Fatal("order")
+		}
+	}
+}

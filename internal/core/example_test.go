@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/system"
+)
+
+// ExamplePost shows the posterior probability assignment on the die system:
+// the blind agent p2's probability of "even" after the (unseen) toss.
+func ExamplePost() {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	P := core.NewProbAssignment(sys, core.Post(sys))
+	pr, err := P.MustSpace(canon.P2, c).ProbFact(canon.Even())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(pr)
+	// Output:
+	// 1/2
+}
+
+// ExampleProbAssignment_SharpInterval contrasts the posterior and future
+// assignments: the opponent who knows the past forces the interval open.
+func ExampleProbAssignment_SharpInterval() {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	for _, s := range []core.SampleAssignment{core.Post(sys), core.Future(sys)} {
+		P := core.NewProbAssignment(sys, s)
+		lo, hi, err := P.SharpInterval(canon.P2, c, canon.Even())
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: [%s, %s]\n", s.Name(), lo, hi)
+	}
+	// Output:
+	// post: [1/2, 1/2]
+	// fut: [0, 1]
+}
+
+// ExampleLessEq shows the lattice ordering of the canonical assignments.
+func ExampleLessEq() {
+	sys := canon.Die()
+	fmt.Println(core.LessEq(sys, core.Future(sys), core.Post(sys)))
+	fmt.Println(core.LessEq(sys, core.Post(sys), core.Future(sys)))
+	// Output:
+	// true
+	// false
+}

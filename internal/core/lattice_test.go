@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// partitionsOf enumerates all set partitions of the items (Bell-number
+// many; callers keep len(items) small).
+func partitionsOf(items []system.Point) [][]system.PointSet {
+	if len(items) == 0 {
+		return [][]system.PointSet{{}}
+	}
+	head, rest := items[0], items[1:]
+	var out [][]system.PointSet
+	for _, sub := range partitionsOf(rest) {
+		// Add head to each existing cell...
+		for i := range sub {
+			next := make([]system.PointSet, len(sub))
+			for j, cell := range sub {
+				next[j] = cell.Clone()
+			}
+			next[i].Add(head)
+			out = append(out, next)
+		}
+		// ...or as its own new cell.
+		next := make([]system.PointSet, len(sub), len(sub)+1)
+		for j, cell := range sub {
+			next[j] = cell.Clone()
+		}
+		next = append(next, system.NewPointSet(head))
+		out = append(out, next)
+	}
+	return out
+}
+
+// dieAssignments enumerates every consistent standard sample-space
+// assignment of the die system: such an assignment can differ from S^post
+// only in how it partitions p2's six-node time-1 knowledge cell (all other
+// cells are single nodes or single-node point groups, which state
+// generation forbids splitting). There are Bell(6) = 203 of them.
+func dieAssignments(t *testing.T, sys *system.System) []SampleAssignment {
+	t.Helper()
+	tree := sys.Trees()[0]
+	timeOne := sys.PointsAtTime(tree, 1)
+	parts := partitionsOf(timeOne)
+	if len(parts) != 203 {
+		t.Fatalf("Bell(6) = %d, want 203", len(parts))
+	}
+	post := Post(sys)
+	out := make([]SampleAssignment, 0, len(parts))
+	for pi, cells := range parts {
+		cells := cells
+		name := "die-part-" + string(rune('0'+pi%10))
+		out = append(out, NewAssignment(name, func(i system.AgentID, c system.Point) system.PointSet {
+			if i != canon.P2 || c.Time != 1 {
+				return post.Sample(i, c)
+			}
+			for _, cell := range cells {
+				if cell.Contains(c) {
+					return cell
+				}
+			}
+			return post.Sample(i, c)
+		}))
+	}
+	return out
+}
+
+// TestPostIsMaximumConsistent enumerates every consistent standard
+// assignment of the die system and checks: each is standard, consistent,
+// satisfies REQ1/REQ2, lies at or below S^post in the lattice — and only
+// the trivial partition equals it.
+func TestPostIsMaximumConsistent(t *testing.T) {
+	sys := canon.Die()
+	post := Post(sys)
+	assignments := dieAssignments(t, sys)
+	equalCount := 0
+	for ai, s := range assignments {
+		if err := CheckREQ(sys, s); err != nil {
+			t.Fatalf("assignment %d: %v", ai, err)
+		}
+		if !IsStandard(sys, s) {
+			t.Fatalf("assignment %d: not standard", ai)
+		}
+		if !IsConsistent(sys, s) {
+			t.Fatalf("assignment %d: not consistent", ai)
+		}
+		if !LessEq(sys, s, post) {
+			t.Fatalf("assignment %d: not ≤ S^post — post is not maximal", ai)
+		}
+		if LessEq(sys, post, s) {
+			equalCount++
+		}
+	}
+	if equalCount != 1 {
+		t.Errorf("%d assignments equal S^post, want exactly 1 (the trivial partition)", equalCount)
+	}
+}
+
+// TestTheorem9AcrossAllDieAssignments: interval monotonicity against every
+// consistent standard assignment at once — if P < P^post then P's sharp
+// interval for "even" contains [1/2, 1/2].
+func TestTheorem9AcrossAllDieAssignments(t *testing.T) {
+	sys := canon.Die()
+	even := canon.Even()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	postP := NewProbAssignment(sys, Post(sys))
+	aPost, bPost, err := postP.SharpInterval(canon.P2, c, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aPost.Equal(rat.Half) || !bPost.Equal(rat.Half) {
+		t.Fatalf("post interval = [%s,%s]", aPost, bPost)
+	}
+	for ai, s := range dieAssignments(t, sys) {
+		P := NewProbAssignment(sys, s)
+		aLo, bLo, err := P.SharpInterval(canon.P2, c, even)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aLo.Greater(aPost) || bLo.Less(bPost) {
+			t.Fatalf("assignment %d: interval [%s,%s] tighter than post's [%s,%s]",
+				ai, aLo, bLo, aPost, bPost)
+		}
+	}
+}
+
+// TestSubdividingNeverSharpens formalizes the Section 5 remark "the more
+// we subdivide, the less precise is p2's knowledge of the probability":
+// along a chain of strictly finer partitions, the sharp interval of "even"
+// widens monotonically.
+func TestSubdividingNeverSharpens(t *testing.T) {
+	sys := canon.Die()
+	even := canon.Even()
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	post := Post(sys)
+
+	// Chain: trivial → {123}{456} → {12}{3}{456} → singletons.
+	pts := sys.PointsAtTime(tree, 1)
+	byFace := make(map[string]system.Point, 6)
+	for _, p := range pts {
+		byFace[p.Env()] = p
+	}
+	mk := func(groups ...[]string) SampleAssignment {
+		cells := make([]system.PointSet, len(groups))
+		for i, g := range groups {
+			cells[i] = make(system.PointSet)
+			for _, f := range g {
+				cells[i].Add(byFace["face="+f])
+			}
+		}
+		return NewAssignment("chain", func(i system.AgentID, c system.Point) system.PointSet {
+			if i != canon.P2 || c.Time != 1 {
+				return post.Sample(i, c)
+			}
+			for _, cell := range cells {
+				if cell.Contains(c) {
+					return cell
+				}
+			}
+			return post.Sample(i, c)
+		})
+	}
+	chain := []SampleAssignment{
+		mk([]string{"1", "2", "3", "4", "5", "6"}),
+		mk([]string{"1", "2", "3"}, []string{"4", "5", "6"}),
+		mk([]string{"1", "2"}, []string{"3"}, []string{"4", "5", "6"}),
+		mk([]string{"1"}, []string{"2"}, []string{"3"}, []string{"4"}, []string{"5"}, []string{"6"}),
+	}
+	prevLo, prevHi := rat.Half, rat.Half
+	for ci, s := range chain {
+		P := NewProbAssignment(sys, s)
+		lo, hi, err := P.SharpInterval(canon.P2, c, even)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo.Greater(prevLo) || hi.Less(prevHi) {
+			t.Fatalf("step %d sharpened the interval: [%s,%s] after [%s,%s]",
+				ci, lo, hi, prevLo, prevHi)
+		}
+		prevLo, prevHi = lo, hi
+	}
+	// The finest partition reaches [0,1].
+	if !prevLo.IsZero() || !prevHi.IsOne() {
+		t.Errorf("singleton partition interval = [%s,%s], want [0,1]", prevLo, prevHi)
+	}
+}

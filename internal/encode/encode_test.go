@@ -1,0 +1,208 @@
+package encode
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/gen"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+const coinDoc = `{
+  "agents": 2,
+  "trees": [
+    {
+      "adversary": "toss",
+      "root": {
+        "env": "start", "locals": ["p1:t0", "p2:t0"],
+        "children": [
+          {"prob": "1/2", "node": {"env": "h", "locals": ["p1:h", "p2:t1"]}},
+          {"prob": "1/2", "node": {"env": "t", "locals": ["p1:t", "p2:t1"]}}
+        ]
+      }
+    }
+  ],
+  "props": {
+    "heads": {"envEquals": "h"},
+    "notHeads": {"envEquals": "h", "negate": true},
+    "sawH": {"local": {"agent": 1, "equals": "p1:h"}}
+  }
+}`
+
+func TestDecodeCoin(t *testing.T) {
+	sys, props, err := Decode([]byte(coinDoc))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if sys.NumAgents() != 2 || len(sys.Trees()) != 1 {
+		t.Fatal("wrong shape")
+	}
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 2 || !tree.RunProb(0).Equal(rat.Half) {
+		t.Fatal("wrong runs")
+	}
+	if !sys.IsSynchronous() {
+		t.Error("decoded system should be synchronous")
+	}
+	h := system.Point{Tree: tree, Run: 0, Time: 1}
+	if h.Env() != "h" {
+		h = system.Point{Tree: tree, Run: 1, Time: 1}
+	}
+	if !props["heads"].Holds(h) {
+		t.Error("heads prop wrong")
+	}
+	if props["notHeads"].Holds(h) {
+		t.Error("negate wrong")
+	}
+	if !props["sawH"].Holds(h) {
+		t.Error("local matcher wrong")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", `{`},
+		{"unknown field", `{"agents": 1, "bogus": 1, "trees": []}`},
+		{"no trees", `{"agents": 1, "trees": []}`},
+		{"no adversary", `{"agents": 1, "trees": [{"root": {"env":"e","locals":["a"]}}]}`},
+		{"bad probability", `{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"],
+		   "children":[{"prob":"x","node":{"env":"f","locals":["a"]}}]}}]}`},
+		{"probs not 1", `{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"],
+		   "children":[{"prob":"1/3","node":{"env":"f","locals":["b"]}}]}}]}`},
+		{"arity mismatch", `{"agents": 2, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"]}}]}`},
+		{"two matchers", `{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"]}}],
+		   "props": {"p": {"envEquals":"e","envContains":"e"}}}`},
+		{"no matcher", `{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"]}}],
+		   "props": {"p": {}}}`},
+		{"bad prop agent", `{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"]}}],
+		   "props": {"p": {"local":{"agent":5,"equals":"x"}}}}`},
+		{"local needs matcher", `{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"]}}],
+		   "props": {"p": {"local":{"agent":1}}}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Decode([]byte(tc.doc)); err == nil {
+				t.Errorf("Decode accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestPropMatchers(t *testing.T) {
+	doc := `{
+	  "agents": 1,
+	  "trees": [{"adversary":"t","root":{"env":"start-x","locals":["a"],
+	    "children":[{"prob":"1","node":{"env":"end-y","locals":["b"]}}]}}],
+	  "props": {
+	    "contains": {"envContains": "nd-"},
+	    "suffix": {"envHasSuffix": "-y"},
+	    "localContains": {"local": {"agent": 1, "contains": "b"}}
+	  }
+	}`
+	sys, props, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := sys.Trees()[0]
+	p0 := system.Point{Tree: tree, Run: 0, Time: 0}
+	p1 := system.Point{Tree: tree, Run: 0, Time: 1}
+	if props["contains"].Holds(p0) || !props["contains"].Holds(p1) {
+		t.Error("envContains wrong")
+	}
+	if props["suffix"].Holds(p0) || !props["suffix"].Holds(p1) {
+		t.Error("envHasSuffix wrong")
+	}
+	if props["localContains"].Holds(p0) || !props["localContains"].Holds(p1) {
+		t.Error("local contains wrong")
+	}
+}
+
+// TestRoundTrip: Encode(sys) decodes back into an equivalent system, for
+// the canonical systems and random ones.
+func TestRoundTrip(t *testing.T) {
+	systems := []*system.System{
+		canon.IntroCoin(),
+		canon.VardiCoin(),
+		canon.Die(),
+		canon.AsyncCoins(3),
+		canon.BiasedPtsState(),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5; i++ {
+		systems = append(systems, gen.MustSystem(rng, gen.DefaultConfig()))
+	}
+	for si, sys := range systems {
+		doc := Encode(sys)
+		data, err := Marshal(doc)
+		if err != nil {
+			t.Fatalf("system %d: Marshal: %v", si, err)
+		}
+		back, _, err := Decode(data)
+		if err != nil {
+			t.Fatalf("system %d: Decode: %v\n%s", si, err, truncate(string(data), 400))
+		}
+		if back.NumAgents() != sys.NumAgents() {
+			t.Fatalf("system %d: agent count changed", si)
+		}
+		if len(back.Trees()) != len(sys.Trees()) {
+			t.Fatalf("system %d: tree count changed", si)
+		}
+		for _, orig := range sys.Trees() {
+			rt := back.TreeByAdversary(orig.Adversary)
+			if rt == nil {
+				t.Fatalf("system %d: missing tree %q", si, orig.Adversary)
+			}
+			if rt.NumRuns() != orig.NumRuns() || rt.NumNodes() != orig.NumNodes() {
+				t.Fatalf("system %d tree %q: shape changed", si, orig.Adversary)
+			}
+			// Node IDs may be renumbered (the decoder builds depth-first),
+			// but run enumeration order depends only on per-node edge
+			// order, which is preserved: compare state sequences run-wise.
+			for r := 0; r < orig.NumRuns(); r++ {
+				if !rt.RunProb(r).Equal(orig.RunProb(r)) {
+					t.Fatalf("system %d tree %q: run %d probability changed", si, orig.Adversary, r)
+				}
+				if rt.RunLen(r) != orig.RunLen(r) {
+					t.Fatalf("system %d tree %q: run %d length changed", si, orig.Adversary, r)
+				}
+				for k := 0; k < orig.RunLen(r); k++ {
+					if !rt.NodeAt(r, k).State.Equal(orig.NodeAt(r, k).State) {
+						t.Fatalf("system %d tree %q: state at (%d,%d) changed",
+							si, orig.Adversary, r, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func TestMarshalIsStable(t *testing.T) {
+	doc := Encode(canon.Die())
+	a, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(Encode(canon.Die()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("Marshal not deterministic")
+	}
+	if !strings.Contains(string(a), `"prob": "1/6"`) {
+		t.Error("probabilities should serialize as rationals")
+	}
+}

@@ -1,0 +1,59 @@
+package logic
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/system"
+)
+
+func BenchmarkParse(b *testing.B) {
+	const input = "C{1,2}^0.99 ((p -> q) & K1^[1/3,2/3] (r U (F s)))"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalBoolean(b *testing.B) {
+	sys := canon.Die()
+	props := map[string]system.Fact{"even": canon.Even()}
+	f := MustParse("even | !even")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEvaluator(sys, nil, props)
+		if _, err := e.Extension(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalKnowledge(b *testing.B) {
+	sys := canon.AsyncCoins(5)
+	props := map[string]system.Fact{"lastHeads": canon.LastTossHeads()}
+	f := MustParse("K2 (lastHeads | !lastHeads)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEvaluator(sys, nil, props)
+		if _, err := e.Extension(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCommonPr(b *testing.B) {
+	sys := canon.Die()
+	props := map[string]system.Fact{"even": canon.Even()}
+	P := core.NewProbAssignment(sys, core.Post(sys))
+	f := MustParse("C{1,2}^1/2 (F even)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEvaluator(sys, P, props)
+		if _, err := e.Extension(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

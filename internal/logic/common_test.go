@@ -1,0 +1,189 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/gen"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func TestEveryoneIter(t *testing.T) {
+	g := []system.AgentID{0, 1}
+	phi := Prop("p")
+	if EveryoneIter(g, phi, 0) != phi {
+		t.Error("k=0 should be φ itself")
+	}
+	if got := EveryoneIter(g, phi, 2).String(); got != "E{1,2} (E{1,2} p)" {
+		t.Errorf("E² = %q", got)
+	}
+}
+
+func TestFixedPointHolds(t *testing.T) {
+	e, _ := introEval(t)
+	g := []system.AgentID{0, 1}
+	for _, phi := range []Formula{Prop("heads"), Not(Prop("heads")), True} {
+		ok, err := e.FixedPointHolds(g, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("fixed point axiom fails for %s", phi)
+		}
+	}
+	okPr, err := e.FixedPointPrHolds(g, MustParse("F heads"), rat.Half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okPr {
+		t.Error("probabilistic fixed point fails")
+	}
+}
+
+func TestInductionRule(t *testing.T) {
+	e, _ := introEval(t)
+	g := []system.AgentID{0, 1}
+	// ψ = φ = tautology: premise and conclusion both valid.
+	taut := MustParse("heads | !heads")
+	prem, conc, respected, err := e.InductionRuleHolds(g, taut, taut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prem || !conc || !respected {
+		t.Errorf("tautology instance: premise=%v conclusion=%v", prem, conc)
+	}
+	// ψ = heads (a non-public fact): the premise fails, so the rule is
+	// vacuously respected.
+	prem, _, respected, err = e.InductionRuleHolds(g, Prop("heads"), Prop("heads"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prem {
+		t.Error("heads → E(heads ∧ heads) should not be valid (p1 never knows heads)")
+	}
+	if !respected {
+		t.Error("rule not respected")
+	}
+}
+
+// TestCommonEqualsIteration: on finite systems the greatest fixed point
+// C_G φ coincides with the infinite conjunction ⋀_k (E_G)^k φ — checked on
+// the canonical systems and on random ones.
+func TestCommonEqualsIteration(t *testing.T) {
+	type testCase struct {
+		name string
+		sys  *system.System
+		prop system.Fact
+	}
+	cases := []testCase{
+		{"introCoin", canon.IntroCoin(), canon.Heads()},
+		{"die", canon.Die(), canon.Even()},
+		{"async3", canon.AsyncCoins(3), canon.LastTossHeads()},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8; i++ {
+		cfg := gen.DefaultConfig()
+		cfg.Synchronous = i%2 == 0
+		sys := gen.MustSystem(rng, cfg)
+		cases = append(cases, testCase{"random", sys, gen.RandomFact(rng, sys, "phi")})
+	}
+	for _, tc := range cases {
+		e := NewEvaluator(tc.sys, nil, map[string]system.Fact{"phi": tc.prop})
+		groups := [][]system.AgentID{tc.sys.Agents()}
+		if tc.sys.NumAgents() >= 2 {
+			groups = append(groups, []system.AgentID{0, 1})
+		}
+		for _, g := range groups {
+			cExt, err := e.Extension(Common(g, Prop("phi")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			iter, err := e.CommonByIteration(g, Prop("phi"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cExt.Equal(iter) {
+				t.Errorf("%s: gfp C (%d points) != iterated conjunction (%d points)",
+					tc.name, cExt.Len(), iter.Len())
+			}
+		}
+	}
+}
+
+// TestCommonImpliesAllIterates: C_G φ → (E_G)^k φ for each k, on the intro
+// system.
+func TestCommonImpliesAllIterates(t *testing.T) {
+	e, _ := introEval(t)
+	g := []system.AgentID{0, 1}
+	phi := MustParse("heads | !heads")
+	c := Common(g, phi)
+	for k := 1; k <= 4; k++ {
+		ok, err := e.Valid(Implies(c, EveryoneIter(g, phi, k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("C φ → E^%d φ fails", k)
+		}
+	}
+}
+
+// TestParserRoundTripRandomFormulas: property test — rendering then
+// re-parsing any randomly generated formula is the identity on renderings.
+func TestParserRoundTripRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var gen func(depth int) Formula
+	props := []string{"p", "q", "r"}
+	rats := []rat.Rat{rat.Half, rat.New(1, 3), rat.New(99, 100), rat.One}
+	gen = func(depth int) Formula {
+		if depth <= 0 || rng.Intn(4) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return Prop(props[rng.Intn(len(props))])
+			case 1:
+				return True
+			default:
+				return False
+			}
+		}
+		switch rng.Intn(12) {
+		case 0:
+			return Not(gen(depth - 1))
+		case 1:
+			return And(gen(depth-1), gen(depth-1))
+		case 2:
+			return Or(gen(depth-1), gen(depth-1))
+		case 3:
+			return Implies(gen(depth-1), gen(depth-1))
+		case 4:
+			return Next(gen(depth - 1))
+		case 5:
+			return Until(gen(depth-1), gen(depth-1))
+		case 6:
+			return Eventually(gen(depth - 1))
+		case 7:
+			return Always(gen(depth - 1))
+		case 8:
+			return K(system.AgentID(rng.Intn(3)), gen(depth-1))
+		case 9:
+			return PrGeq(system.AgentID(rng.Intn(3)), gen(depth-1), rats[rng.Intn(len(rats))])
+		case 10:
+			return Everyone([]system.AgentID{0, 1}, gen(depth-1))
+		default:
+			return CommonPr([]system.AgentID{0, 1}, gen(depth-1), rats[rng.Intn(len(rats))])
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		f := gen(4)
+		rendered := f.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, rendered, err)
+		}
+		if back.String() != rendered {
+			t.Fatalf("trial %d: round trip %q -> %q", trial, rendered, back.String())
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package logic_test
+
+import (
+	"fmt"
+
+	"kpa/internal/canon"
+	"kpa/internal/core"
+	"kpa/internal/logic"
+	"kpa/internal/system"
+)
+
+// ExampleParse parses the compact formula syntax.
+func ExampleParse() {
+	f, err := logic.Parse("C{1,2}^0.99 (coordinated)")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(f)
+	// Output:
+	// C{1,2}^99/100 coordinated
+}
+
+// ExampleEvaluator_Valid model-checks a probabilistic knowledge formula
+// over the intro coin system.
+func ExampleEvaluator_Valid() {
+	sys := canon.IntroCoin()
+	P := core.NewProbAssignment(sys, core.Post(sys))
+	e := logic.NewEvaluator(sys, P, map[string]system.Fact{"heads": canon.Heads()})
+	// "Heads will come up" has probability 1/2 for everyone, always.
+	ok, err := e.Valid(logic.MustParse("K1^1/2 (F heads)"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(ok)
+	// Output:
+	// true
+}
+
+// ExampleEvaluator_CounterExamples finds where a formula fails.
+func ExampleEvaluator_CounterExamples() {
+	sys := canon.IntroCoin()
+	e := logic.NewEvaluator(sys, nil, map[string]system.Fact{"heads": canon.Heads()})
+	ces, err := e.CounterExamples(logic.MustParse("K3 heads"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(ces), "counterexample points")
+	// Output:
+	// 3 counterexample points
+}

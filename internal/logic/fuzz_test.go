@@ -1,0 +1,35 @@
+package logic
+
+import "testing"
+
+// FuzzParse checks that any input either fails to parse or parses to a
+// formula whose rendering round-trips (render → parse → render is the
+// identity on renderings).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p", "!p & q", "K1^1/2 heads", "Pr2(p U q) <= 3/4",
+		"C{1,2}^0.99 coordinated", "K1^[1/3,2/3] p", "F (G p)",
+		"p -> q -> r", "E{1,2} (p | !p)", "true U false",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 200 {
+			return
+		}
+		parsed, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := parsed.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of a parsed formula does not re-parse: %q -> %q: %v",
+				input, rendered, err)
+		}
+		if back.String() != rendered {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, rendered, back.String())
+		}
+	})
+}

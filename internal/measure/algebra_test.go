@@ -1,0 +1,194 @@
+package measure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func runSetFrom(n int, members ...int) system.RunSet {
+	s := system.NewRunSet(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+func TestTrivialAlgebra(t *testing.T) {
+	a := NewAlgebra(4)
+	if a.NumAtoms() != 1 {
+		t.Fatalf("trivial algebra has %d atoms, want 1", a.NumAtoms())
+	}
+	if !a.Contains(runSetFrom(4)) || !a.Contains(runSetFrom(4, 0, 1, 2, 3)) {
+		t.Error("trivial algebra must contain ∅ and the universe")
+	}
+	if a.Contains(runSetFrom(4, 0)) {
+		t.Error("trivial algebra should not contain singletons")
+	}
+}
+
+func TestAlgebraAtoms(t *testing.T) {
+	// Generators split {0,1,2,3} into {0,1} vs {2,3}.
+	a := NewAlgebra(4, runSetFrom(4, 0, 1))
+	if a.NumAtoms() != 2 {
+		t.Fatalf("atoms = %d, want 2", a.NumAtoms())
+	}
+	if !a.Contains(runSetFrom(4, 2, 3)) {
+		t.Error("complement of generator not measurable")
+	}
+	if a.Contains(runSetFrom(4, 0, 2)) {
+		t.Error("cross-cutting set should not be measurable")
+	}
+	if got := a.AtomOf(0); !got.Contains(1) || got.Contains(2) {
+		t.Errorf("AtomOf(0) = %s", got)
+	}
+	if a.Universe() != 4 {
+		t.Errorf("Universe = %d", a.Universe())
+	}
+}
+
+// TestFootnote5 reproduces footnote 5 of the paper on the four runs
+// ⟨b,c⟩ = (0h, 0t, 1h, 1t) of the one-tree Vardi system. The coin events
+// heads = {0h, 1h} and tails = {0t, 1t} are natural generators; the event
+// "action a performed" = {1h, 0t} is NOT measurable in the generated
+// algebra, and forcing it to be measurable makes the (nondeterministic!)
+// bit events measurable too.
+func TestFootnote5(t *testing.T) {
+	// Run indices: 0 = (0,h), 1 = (0,t), 2 = (1,h), 3 = (1,t).
+	heads := runSetFrom(4, 0, 2)
+	tails := runSetFrom(4, 1, 3)
+	actionA := runSetFrom(4, 2, 1) // bit=1∧heads ∨ bit=0∧tails
+	bit0 := runSetFrom(4, 0, 1)
+	bit1 := runSetFrom(4, 2, 3)
+
+	coin := NewAlgebra(4, heads, tails)
+	if coin.NumAtoms() != 2 {
+		t.Fatalf("coin algebra atoms = %d, want 2", coin.NumAtoms())
+	}
+	if coin.Contains(actionA) {
+		t.Error("action-a event measurable in the coin algebra — footnote 5 refuted?")
+	}
+	if coin.Contains(bit0) || coin.Contains(bit1) {
+		t.Error("bit events measurable in the coin algebra")
+	}
+
+	// Forcing action-a to be measurable forces the bit events in.
+	forced := NewAlgebra(4, heads, tails, actionA)
+	if !forced.Contains(actionA) {
+		t.Fatal("refined algebra does not contain its generator")
+	}
+	if !forced.Contains(bit0) || !forced.Contains(bit1) {
+		t.Error("footnote 5: adding action-a must force the bit events to be measurable")
+	}
+	if !forced.IsRefinementOf(coin) {
+		t.Error("forced algebra should refine the coin algebra")
+	}
+	if coin.IsRefinementOf(forced) {
+		t.Error("coin algebra should not refine the forced algebra")
+	}
+
+	// Refine via the method form too.
+	if got := coin.Refine(actionA); !got.Contains(bit0) {
+		t.Error("Refine(actionA) does not contain bit0")
+	}
+
+	// Measure side: with the coin fair, μ(heads)=1/2 but μ(actionA) is only
+	// bounded: inner 0, outer 1.
+	quarter := rat.New(1, 4)
+	m, err := NewMeasure(coin, []rat.Rat{quarter, quarter, quarter, quarter})
+	if err != nil {
+		t.Fatalf("NewMeasure: %v", err)
+	}
+	if p, err := m.Prob(heads); err != nil || !p.Equal(rat.Half) {
+		t.Errorf("μ(heads) = %v, %v; want 1/2", p, err)
+	}
+	if _, err := m.Prob(actionA); err == nil {
+		t.Error("μ(actionA) should be undefined")
+	}
+	if got := m.InnerProb(actionA); !got.IsZero() {
+		t.Errorf("μ_*(actionA) = %s, want 0", got)
+	}
+	if got := m.OuterProb(actionA); !got.IsOne() {
+		t.Errorf("μ*(actionA) = %s, want 1", got)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	a := NewAlgebra(2, runSetFrom(2, 0))
+	if _, err := NewMeasure(a, []rat.Rat{rat.Half}); err == nil {
+		t.Error("accepted wrong weight count")
+	}
+	if _, err := NewMeasure(a, []rat.Rat{rat.Half, rat.New(1, 3)}); err == nil {
+		t.Error("accepted weights not summing to 1")
+	}
+	if _, err := NewMeasure(a, []rat.Rat{rat.New(3, 2), rat.New(-1, 2)}); err == nil {
+		t.Error("accepted negative weight")
+	}
+	m, err := NewMeasure(a, []rat.Rat{rat.New(1, 3), rat.New(2, 3)})
+	if err != nil {
+		t.Fatalf("NewMeasure: %v", err)
+	}
+	if m.Algebra() != a {
+		t.Error("Algebra accessor wrong")
+	}
+}
+
+func TestInnerOuterSandwich(t *testing.T) {
+	// Property: μ_* ≤ μ* always, with equality exactly on measurable sets.
+	n := 8
+	gens := []system.RunSet{runSetFrom(n, 0, 1, 2, 3), runSetFrom(n, 2, 3, 4, 5)}
+	a := NewAlgebra(n, gens...)
+	w := rat.New(1, 8)
+	m, err := NewMeasure(a, []rat.Rat{w, w, w, w, w, w, w, w})
+	if err != nil {
+		t.Fatalf("NewMeasure: %v", err)
+	}
+	f := func(mask uint8) bool {
+		s := system.NewRunSet(n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s.Add(i)
+			}
+		}
+		in, out := m.InnerProb(s), m.OuterProb(s)
+		if in.Greater(out) {
+			return false
+		}
+		if a.Contains(s) {
+			p, err := m.Prob(s)
+			return err == nil && in.Equal(p) && out.Equal(p)
+		}
+		return in.Less(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInnerOuterDuality(t *testing.T) {
+	// μ_*(S) = 1 − μ*(Sᶜ).
+	n := 6
+	a := NewAlgebra(n, runSetFrom(n, 0, 1), runSetFrom(n, 2))
+	weights := []rat.Rat{
+		rat.New(1, 6), rat.New(1, 6), rat.New(1, 6),
+		rat.New(1, 6), rat.New(1, 6), rat.New(1, 6),
+	}
+	m, err := NewMeasure(a, weights)
+	if err != nil {
+		t.Fatalf("NewMeasure: %v", err)
+	}
+	f := func(mask uint8) bool {
+		s := system.NewRunSet(n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s.Add(i)
+			}
+		}
+		return m.InnerProb(s).Equal(rat.One.Sub(m.OuterProb(s.Complement())))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package measure
+
+import (
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/system"
+)
+
+func benchSpace(b *testing.B, n int) (*Space, system.PointSet) {
+	b.Helper()
+	sys := canon.AsyncCoins(n)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	return MustSpace(sample), sample
+}
+
+func BenchmarkNewSpace(b *testing.B) {
+	sys := canon.AsyncCoins(8)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sample := sys.KInTree(canon.P1, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSpace(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInnerMeasure(b *testing.B) {
+	sp, sample := benchSpace(b, 8)
+	set := sample.Filter(canon.LastTossHeads().Holds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.Inner(set)
+	}
+}
+
+func BenchmarkIsMeasurable(b *testing.B) {
+	sp, sample := benchSpace(b, 8)
+	set := sample.Filter(canon.LastTossHeads().Holds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.IsMeasurable(set)
+	}
+}
+
+func BenchmarkCondition(b *testing.B) {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	sp := MustSpace(system.NewPointSet(sys.PointsAtTime(tree, 1)...))
+	even := sp.Sample().Filter(canon.Even().Holds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Condition(even); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgebraAtoms(b *testing.B) {
+	gens := make([]system.RunSet, 6)
+	for g := range gens {
+		gens[g] = system.NewRunSet(64)
+		for r := g; r < 64; r += g + 2 {
+			gens[g].Add(r)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewAlgebra(64, gens...)
+	}
+}

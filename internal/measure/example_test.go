@@ -1,0 +1,51 @@
+package measure_test
+
+import (
+	"fmt"
+
+	"kpa/internal/canon"
+	"kpa/internal/measure"
+	"kpa/internal/system"
+)
+
+// ExampleSpace_InnerFact reproduces the Section 7 numbers: over the
+// clockless agent's sample space, "the most recent toss landed heads" is
+// non-measurable with inner measure 1/2ⁿ and outer measure 1 − 1/2ⁿ.
+func ExampleSpace_InnerFact() {
+	sys := canon.AsyncCoins(10)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sp := measure.MustSpace(sys.KInTree(0, c))
+	phi := canon.LastTossHeads()
+	fmt.Println(sp.IsFactMeasurable(phi))
+	fmt.Println(sp.InnerFact(phi))
+	fmt.Println(sp.OuterFact(phi))
+	// Output:
+	// false
+	// 1/1024
+	// 1023/1024
+}
+
+// ExampleSpace_Condition conditions the die's uniform space on the low
+// half.
+func ExampleSpace_Condition() {
+	sys := canon.Die()
+	tree := sys.Trees()[0]
+	sp := measure.MustSpace(system.NewPointSet(sys.PointsAtTime(tree, 1)...))
+	low := sp.Sample().Filter(func(p system.Point) bool {
+		return p.Env() == "face=1" || p.Env() == "face=2" || p.Env() == "face=3"
+	})
+	sub, err := sp.Condition(low)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pr, err := sub.ProbFact(canon.Even())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(pr)
+	// Output:
+	// 1/3
+}

@@ -1,0 +1,105 @@
+package measure
+
+import (
+	"math/rand"
+	"testing"
+
+	"kpa/internal/canon"
+	"kpa/internal/system"
+)
+
+// TestExtensionAttainsBounds mechanizes the Halmos attainability result
+// Appendix B.2 cites: for the paper's non-measurable fact, extensions of
+// the space attain exactly the inner and outer measures.
+func TestExtensionAttainsBounds(t *testing.T) {
+	const n = 5
+	sys := canon.AsyncCoins(n)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sp := MustSpace(sys.KInTree(canon.P1, c))
+	set := sp.Sample().Filter(canon.LastTossHeads().Holds)
+
+	lo, err := sp.ExtendAttainingInner(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Prob(set).Equal(sp.Inner(set)) {
+		t.Errorf("inner extension gives %s, want %s", lo.Prob(set), sp.Inner(set))
+	}
+	hi, err := sp.ExtendAttainingOuter(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hi.Prob(set).Equal(sp.Outer(set)) {
+		t.Errorf("outer extension gives %s, want %s", hi.Prob(set), sp.Outer(set))
+	}
+	// Both extensions are genuine probability measures over the sample:
+	// total mass one, and measurable sets keep their original measure.
+	for name, m := range map[string]*PointMeasure{"inner": lo, "outer": hi} {
+		if !m.Prob(sp.Sample()).IsOne() {
+			t.Errorf("%s extension total mass %s", name, m.Prob(sp.Sample()))
+		}
+		fiber := sp.Fiber(0)
+		orig, err := sp.Prob(fiber)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Prob(fiber).Equal(orig) {
+			t.Errorf("%s extension changed a measurable set: %s vs %s",
+				name, m.Prob(fiber), orig)
+		}
+	}
+}
+
+// TestExtensionSandwichRandom: for random point sets, every extension's
+// value lies between inner and outer, and the attaining extensions reach
+// the ends.
+func TestExtensionSandwichRandom(t *testing.T) {
+	sys := canon.AsyncCoins(4)
+	tree := sys.Trees()[0]
+	c := system.Point{Tree: tree, Run: 0, Time: 1}
+	sp := MustSpace(sys.KInTree(canon.P1, c))
+	pts := sp.Sample().Sorted()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		set := make(system.PointSet)
+		for _, p := range pts {
+			if rng.Intn(2) == 0 {
+				set.Add(p)
+			}
+		}
+		in, out := sp.Inner(set), sp.Outer(set)
+		lo, err := sp.ExtendAttainingInner(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := sp.ExtendAttainingOuter(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lo.Prob(set).Equal(in) || !hi.Prob(set).Equal(out) {
+			t.Fatalf("trial %d: attained [%s,%s], want [%s,%s]",
+				trial, lo.Prob(set), hi.Prob(set), in, out)
+		}
+		if lo.Prob(set).Greater(hi.Prob(set)) {
+			t.Fatalf("trial %d: inner extension above outer", trial)
+		}
+		// Masses are per-point and non-negative.
+		for _, p := range pts[:3] {
+			if lo.Mass(p).Sign() < 0 {
+				t.Fatal("negative mass")
+			}
+		}
+	}
+	// On a measurable set, both extensions agree with the exact measure.
+	fiberSet := sp.Fiber(0).Union(sp.Fiber(3))
+	exact, err := sp.Prob(fiberSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := sp.ExtendAttainingInner(fiberSet)
+	hi, _ := sp.ExtendAttainingOuter(fiberSet)
+	if !lo.Prob(fiberSet).Equal(exact) || !hi.Prob(fiberSet).Equal(exact) {
+		t.Error("extensions disagree on a measurable set")
+	}
+}

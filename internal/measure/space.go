@@ -1,0 +1,268 @@
+package measure
+
+import (
+	"errors"
+	"fmt"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Errors returned by Space operations.
+var (
+	// ErrSpansTrees is returned when a sample space violates REQ1 by
+	// containing points from more than one computation tree.
+	ErrSpansTrees = errors.New("measure: sample space spans multiple computation trees (REQ1)")
+	// ErrZeroMeasure is returned when a sample space violates REQ2 because
+	// the runs through it have probability zero.
+	ErrZeroMeasure = errors.New("measure: runs through sample space have zero probability (REQ2)")
+	// ErrEmptySample is returned for an empty sample space.
+	ErrEmptySample = errors.New("measure: empty sample space")
+	// ErrNotMeasurable is returned when asked for the exact probability of
+	// a set outside the projection σ-algebra X_ic.
+	ErrNotMeasurable = errors.New("measure: point set is not measurable")
+)
+
+// Space is the probability space P_ic = (S_ic, X_ic, μ_ic) of Section 5,
+// induced on a set of points S_ic by the run distribution of its computation
+// tree:
+//
+//   - the measurable sets X_ic are the projections Proj(R′, S_ic) of run
+//     sets R′ onto S_ic — equivalently, the subsets of S_ic that are unions
+//     of run fibers (a run's fiber is the set of points of S_ic on it);
+//   - μ_ic(S) = μ_A(R(S) | R(S_ic)), conditional probability of the runs
+//     through S given the runs through S_ic.
+//
+// Construction enforces REQ1 (single tree) and REQ2 (positive measure);
+// Propositions 1 and 2 of the paper then guarantee Space is a genuine
+// probability space, which TestPropositions2 re-checks mechanically.
+type Space struct {
+	tree   *system.Tree
+	sample system.PointSet
+	runs   system.RunSet // R(S_ic)
+	base   rat.Rat       // μ_A(R(S_ic)) > 0
+}
+
+// NewSpace builds the induced probability space over the given sample set of
+// points, validating REQ1 and REQ2.
+func NewSpace(sample system.PointSet) (*Space, error) {
+	if sample.IsEmpty() {
+		return nil, ErrEmptySample
+	}
+	tree := sample.SingleTree()
+	if tree == nil {
+		return nil, ErrSpansTrees
+	}
+	runs := sample.RunsThrough(tree)
+	base := tree.Prob(runs)
+	if base.Sign() <= 0 {
+		return nil, ErrZeroMeasure
+	}
+	return &Space{tree: tree, sample: sample.Clone(), runs: runs, base: base}, nil
+}
+
+// MustSpace is NewSpace but panics on error; for tests and examples.
+func MustSpace(sample system.PointSet) *Space {
+	s, err := NewSpace(sample)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Tree returns the computation tree T(c) the space lives in.
+func (s *Space) Tree() *system.Tree { return s.tree }
+
+// Sample returns the sample set S_ic. It must not be modified.
+func (s *Space) Sample() system.PointSet { return s.sample }
+
+// Runs returns R(S_ic), the runs passing through the sample set.
+func (s *Space) Runs() system.RunSet { return s.runs }
+
+// BaseProb returns μ_A(R(S_ic)), the unconditional probability of the runs
+// through the sample set.
+func (s *Space) BaseProb() rat.Rat { return s.base }
+
+// Fiber returns the points of the sample set lying on run r.
+func (s *Space) Fiber(r int) system.PointSet {
+	out := make(system.PointSet)
+	for p := range s.sample {
+		if p.Run == r {
+			out[p] = struct{}{}
+		}
+	}
+	return out
+}
+
+// restrict intersects an arbitrary point set with the sample set.
+func (s *Space) restrict(set system.PointSet) system.PointSet {
+	return set.Intersect(s.sample)
+}
+
+// IsMeasurable reports whether set ∩ S_ic ∈ X_ic, i.e. whether the set is a
+// union of run fibers of the sample space.
+func (s *Space) IsMeasurable(set system.PointSet) bool {
+	in := s.restrict(set)
+	hit := in.RunsThrough(s.tree)
+	// Measurable ⟺ the set contains the whole fiber of every run it meets.
+	for p := range s.sample {
+		if hit.Contains(p.Run) && !in.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Prob returns μ_ic(set ∩ S_ic). It returns ErrNotMeasurable if the set is
+// not in X_ic; use Inner/Outer for bounds in that case.
+func (s *Space) Prob(set system.PointSet) (rat.Rat, error) {
+	if !s.IsMeasurable(set) {
+		return rat.Rat{}, fmt.Errorf("%w: %d points", ErrNotMeasurable, set.Len())
+	}
+	in := s.restrict(set)
+	return s.tree.Prob(in.RunsThrough(s.tree)).Div(s.base), nil
+}
+
+// innerRuns returns the runs of R(S_ic) whose entire fiber lies inside the
+// set — the largest measurable subset of the set is their projection.
+func (s *Space) innerRuns(set system.PointSet) system.RunSet {
+	in := s.restrict(set)
+	ok := s.runs.Clone()
+	for p := range s.sample {
+		if !in.Contains(p) {
+			ok.Remove(p.Run)
+		}
+	}
+	return ok
+}
+
+// Inner returns the inner measure (μ_ic)_*(set): the best lower bound on the
+// probability of the set, sup{μ(T) : T ⊆ set, T ∈ X_ic}.
+func (s *Space) Inner(set system.PointSet) rat.Rat {
+	return s.tree.Prob(s.innerRuns(set)).Div(s.base)
+}
+
+// Outer returns the outer measure (μ_ic)*(set): the best upper bound,
+// inf{μ(T) : T ⊇ set, T ∈ X_ic}.
+func (s *Space) Outer(set system.PointSet) rat.Rat {
+	in := s.restrict(set)
+	return s.tree.Prob(in.RunsThrough(s.tree)).Div(s.base)
+}
+
+// ProbFact returns μ_ic(S_ic(φ)) for a fact φ, or ErrNotMeasurable.
+func (s *Space) ProbFact(phi system.Fact) (rat.Rat, error) {
+	return s.Prob(s.sample.Filter(phi.Holds))
+}
+
+// InnerFact returns the inner measure of S_ic(φ).
+func (s *Space) InnerFact(phi system.Fact) rat.Rat {
+	return s.Inner(s.sample.Filter(phi.Holds))
+}
+
+// OuterFact returns the outer measure of S_ic(φ).
+func (s *Space) OuterFact(phi system.Fact) rat.Rat {
+	return s.Outer(s.sample.Filter(phi.Holds))
+}
+
+// IsFactMeasurable reports whether S_ic(φ) ∈ X_ic.
+func (s *Space) IsFactMeasurable(phi system.Fact) bool {
+	return s.IsMeasurable(s.sample.Filter(phi.Holds))
+}
+
+// Condition returns the space obtained by conditioning on a measurable
+// subset of the sample set with positive probability — the operation of
+// Proposition 5(c). The result is exactly NewSpace(sub): conditioning the
+// conditional distribution is conditioning on the smaller set.
+func (s *Space) Condition(sub system.PointSet) (*Space, error) {
+	if !sub.SubsetOf(s.sample) {
+		return nil, fmt.Errorf("measure: conditioning set is not a subset of the sample space")
+	}
+	if !s.IsMeasurable(sub) {
+		return nil, fmt.Errorf("condition: %w", ErrNotMeasurable)
+	}
+	return NewSpace(sub)
+}
+
+// Expect returns the expectation of a random variable w over the space. The
+// variable must be measurable, i.e. constant on every run fiber; otherwise
+// ErrNotMeasurable is returned (use InnerExpectTwoValued for the two-valued
+// non-measurable case).
+func (s *Space) Expect(w func(system.Point) rat.Rat) (rat.Rat, error) {
+	// Group sample points by run; verify constancy per fiber.
+	vals := make(map[int]rat.Rat)
+	for p := range s.sample {
+		v := w(p)
+		if prev, ok := vals[p.Run]; ok {
+			if !prev.Equal(v) {
+				return rat.Rat{}, fmt.Errorf("expect: %w: variable not constant on run %d",
+					ErrNotMeasurable, p.Run)
+			}
+		} else {
+			vals[p.Run] = v
+		}
+	}
+	acc := rat.Zero
+	for r, v := range vals {
+		acc = acc.Add(v.Mul(s.tree.RunProb(r)))
+	}
+	return acc.Div(s.base), nil
+}
+
+// ExpectTwoValued returns the expectation of the two-valued random variable
+// that is high on the given set (within the sample) and low elsewhere,
+// provided the set is measurable.
+func (s *Space) ExpectTwoValued(high, low rat.Rat, set system.PointSet) (rat.Rat, error) {
+	p, err := s.Prob(set)
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	return high.Mul(p).Add(low.Mul(rat.One.Sub(p))), nil
+}
+
+// InnerExpectTwoValued returns the inner expectation (Appendix B.2) of the
+// two-valued random variable that is high on the set and low elsewhere,
+// where high > low:
+//
+//	Ê_*(X) = high·μ_*(X=high) + low·μ*(X=low)
+//	       = high·μ_*(set) + low·(1 − μ_*(set)).
+//
+// It coincides with the ordinary expectation when the set is measurable,
+// and is the infimum of expectations over measure extensions otherwise.
+func (s *Space) InnerExpectTwoValued(high, low rat.Rat, set system.PointSet) rat.Rat {
+	if !high.Greater(low) {
+		panic("measure: InnerExpectTwoValued requires high > low")
+	}
+	inner := s.Inner(set)
+	return high.Mul(inner).Add(low.Mul(rat.One.Sub(inner)))
+}
+
+// OuterExpectTwoValued is the dual upper bound:
+// Ê*(X) = high·μ*(set) + low·(1 − μ*(set)).
+func (s *Space) OuterExpectTwoValued(high, low rat.Rat, set system.PointSet) rat.Rat {
+	if !high.Greater(low) {
+		panic("measure: OuterExpectTwoValued requires high > low")
+	}
+	outer := s.Outer(set)
+	return high.Mul(outer).Add(low.Mul(rat.One.Sub(outer)))
+}
+
+// MeasurableSets enumerates X_ic as point sets, one per measurable run set
+// of R(S_ic); intended for small spaces in tests (2^|runs| sets!).
+func (s *Space) MeasurableSets() []system.PointSet {
+	runs := s.runs.Runs()
+	n := len(runs)
+	if n > 20 {
+		panic("measure: MeasurableSets on more than 2^20 sets")
+	}
+	out := make([]system.PointSet, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		rs := system.NewRunSet(s.tree.NumRuns())
+		for i, r := range runs {
+			if mask&(1<<i) != 0 {
+				rs.Add(r)
+			}
+		}
+		out = append(out, system.Proj(s.tree, rs, s.sample))
+	}
+	return out
+}

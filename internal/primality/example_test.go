@@ -1,0 +1,37 @@
+package primality_test
+
+import (
+	"fmt"
+
+	"kpa/internal/primality"
+)
+
+// ExampleIsPrime runs the deterministic Miller–Rabin tester.
+func ExampleIsPrime() {
+	fmt.Println(primality.IsPrime(561))  // Carmichael number
+	fmt.Println(primality.IsPrime(2047)) // strong pseudoprime base 2
+	fmt.Println(primality.IsPrime(104729))
+	// Output:
+	// false
+	// false
+	// true
+}
+
+// ExampleModel_CorrectnessPerInput shows the per-input correctness
+// guarantee — the only kind of guarantee one may state without a
+// distribution on inputs.
+func ExampleModel_CorrectnessPerInput() {
+	m, err := primality.NewModel([]uint64{9, 13}, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	per := m.CorrectnessPerInput()
+	fmt.Println("composite 9:", per[9])
+	fmt.Println("prime 13:  ", per[13])
+	fmt.Println("Rabin bound:", m.RabinBound())
+	// Output:
+	// composite 9: 63/64
+	// prime 13:   1
+	// Rabin bound: 63/64
+}

@@ -1,0 +1,147 @@
+// Package primality implements the paper's motivating application
+// (Sections 1 and 3): probabilistic primality testing in the style of
+// Rabin [Rab80].
+//
+// Two layers are provided. The first is a real Miller–Rabin tester over
+// uint64 (deterministic for the full uint64 range with the standard twelve
+// witness bases, or probabilistic with caller-supplied random bases). The
+// second is a knowledge model: for each input n — a type-1 adversary
+// choice, because the paper insists we must NOT put a probability
+// distribution on the inputs — the k random draws of candidate witnesses
+// induce a computation tree, and the paper's epistemic claims ("for each
+// composite input, the algorithm outputs 'composite' with high
+// probability"; "it does not make sense to say n is prime with high
+// probability") become checkable statements about the resulting system.
+package primality
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// deterministicBases is sufficient to make Miller–Rabin exact for all
+// n < 2^64 (Sorenson & Webster).
+var deterministicBases = []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// mulMod returns a·b mod m without overflow.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powMod returns a^e mod m.
+func powMod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = mulMod(result, a, m)
+		}
+		a = mulMod(a, a, m)
+	}
+	return result
+}
+
+// decompose writes n−1 = d·2^s with d odd.
+func decompose(n uint64) (d uint64, s uint) {
+	d = n - 1
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+	return d, s
+}
+
+// IsWitness reports whether a is a Miller–Rabin witness to the
+// compositeness of the odd number n > 2: if it returns true, n is
+// definitely composite. Bases with a ≡ 0 (mod n) are never witnesses.
+func IsWitness(a, n uint64) bool {
+	a %= n
+	if a == 0 {
+		return false
+	}
+	d, s := decompose(n)
+	x := powMod(a, d, n)
+	if x == 1 || x == n-1 {
+		return false
+	}
+	for r := uint(1); r < s; r++ {
+		x = mulMod(x, x, n)
+		if x == n-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrime reports whether n is prime, exactly, using the deterministic
+// witness set for uint64.
+func IsPrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n%2 == 0:
+		return false
+	}
+	for _, a := range deterministicBases {
+		if a%n == 0 {
+			continue
+		}
+		if IsWitness(a, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWithBases runs Miller–Rabin on n with the given bases, returning
+// "composite" (true) if any base is a witness. A false result means
+// "probably prime": definitely prime if n < 2^64 and the bases include the
+// deterministic set, otherwise prime except with probability at most
+// (1/4)^k over k independently random bases.
+func TestWithBases(n uint64, bases []uint64) (composite bool, witness uint64) {
+	if n < 2 {
+		return true, 0
+	}
+	if n == 2 || n == 3 {
+		return false, 0
+	}
+	if n%2 == 0 {
+		return true, 2
+	}
+	for _, a := range bases {
+		if a%n == 0 {
+			continue
+		}
+		if IsWitness(a, n) {
+			return true, a
+		}
+	}
+	return false, 0
+}
+
+// WitnessCount returns, for an odd n ≥ 5, the number of a in [1, n−1] that
+// are Miller–Rabin witnesses for n, by exhaustive enumeration — O(n log n),
+// intended for the small inputs of the knowledge model. For composite n,
+// Rabin's theorem guarantees the count is at least 3(n−1)/4.
+func WitnessCount(n uint64) (witnesses, total uint64, err error) {
+	if n < 5 || n%2 == 0 {
+		return 0, 0, fmt.Errorf("primality: WitnessCount needs odd n ≥ 5, got %d", n)
+	}
+	if n > 1<<20 {
+		return 0, 0, fmt.Errorf("primality: WitnessCount input %d too large for enumeration", n)
+	}
+	total = n - 1
+	for a := uint64(1); a < n; a++ {
+		if IsWitness(a, n) {
+			witnesses++
+		}
+	}
+	return witnesses, total, nil
+}

@@ -1,0 +1,189 @@
+package primality
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kpa/internal/protocol"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Agent indices in the knowledge model.
+const (
+	// Tester runs the algorithm: it sees the input and each draw's outcome.
+	Tester system.AgentID = 0
+	// Observer sees only the final verdict the tester announces.
+	Observer system.AgentID = 1
+)
+
+// Model is the knowledge model of Rabin-style primality testing: one
+// computation tree per input (the type-1 adversary choice), in which the
+// tester draws k candidate witnesses uniformly at random. Each draw is
+// compressed to its Bernoulli outcome — "witness found" with the exact
+// probability w/(n−1), where w is n's true Miller–Rabin witness count — so
+// the tree for input n has at most k+1 runs rather than (n−1)^k.
+type Model struct {
+	// Sys is the compiled system.
+	Sys *system.System
+	// Inputs are the numbers under test.
+	Inputs []uint64
+	// Draws is the number of random witness draws k.
+	Draws int
+
+	witnessProb map[uint64]rat.Rat
+}
+
+// NewModel builds the knowledge model for the given inputs (odd numbers
+// ≥ 5) and number of draws.
+func NewModel(inputs []uint64, draws int) (*Model, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("primality: no inputs")
+	}
+	if draws < 1 {
+		return nil, fmt.Errorf("primality: need at least one draw, got %d", draws)
+	}
+	wp := make(map[uint64]rat.Rat, len(inputs))
+	inputNames := make([]string, len(inputs))
+	for i, n := range inputs {
+		w, total, err := WitnessCount(n)
+		if err != nil {
+			return nil, err
+		}
+		wp[n] = rat.New(int64(w), int64(total))
+		inputNames[i] = strconv.FormatUint(n, 10)
+	}
+
+	tester := protocol.AgentDef{
+		Name: "tester",
+		Init: func(input string) string { return "T:n=" + input },
+		Act: func(local string, round int) []protocol.Action {
+			if strings.Contains(local, ",witness") {
+				// Already found a witness: verdict is fixed; idle.
+				return protocol.Deterministic(local)
+			}
+			n := inputOf(local)
+			p := wp[n]
+			if p.IsZero() {
+				// A prime input: no witnesses exist; the draw never finds one.
+				return protocol.Deterministic(local + ",clean" + strconv.Itoa(round))
+			}
+			return []protocol.Action{
+				{Prob: p, NewLocal: local + ",witness@" + strconv.Itoa(round)},
+				{Prob: rat.One.Sub(p), NewLocal: local + ",clean" + strconv.Itoa(round)},
+			}
+		},
+	}
+	observer := protocol.AgentDef{
+		Name: "observer",
+		Init: func(string) string { return "O:r0" },
+		Act: func(local string, _ int) []protocol.Action {
+			// The observer only advances its clock (keeping synchrony).
+			var r int
+			fmt.Sscanf(local, "O:r%d", &r)
+			return protocol.Deterministic("O:r" + strconv.Itoa(r+1))
+		},
+		Recv: func(local string, delivered []protocol.Delivery, _ int) string {
+			for _, d := range delivered {
+				local += "," + d.Body
+			}
+			return local
+		},
+	}
+	p := &protocol.Protocol{
+		Name:         "rabin",
+		Agents:       []protocol.AgentDef{tester, observer},
+		Inputs:       inputNames,
+		DeliveryProb: rat.One,
+		Rounds:       draws,
+	}
+	sys, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]uint64, len(inputs))
+	copy(cp, inputs)
+	return &Model{Sys: sys, Inputs: cp, Draws: draws, witnessProb: wp}, nil
+}
+
+// inputOf parses the input out of a tester local state "T:n=<n>,...".
+func inputOf(local string) uint64 {
+	rest := strings.TrimPrefix(local, "T:n=")
+	if idx := strings.IndexByte(rest, ','); idx >= 0 {
+		rest = rest[:idx]
+	}
+	n, _ := strconv.ParseUint(rest, 10, 64)
+	return n
+}
+
+// WitnessDensity returns the exact probability that a single uniform draw
+// witnesses the compositeness of input n.
+func (m *Model) WitnessDensity(n uint64) (rat.Rat, bool) {
+	p, ok := m.witnessProb[n]
+	return p, ok
+}
+
+// OutputsComposite is the fact about the run "the algorithm outputs
+// 'composite'": some draw found a witness by the end of the run.
+func (m *Model) OutputsComposite() system.Fact {
+	return system.NewFact("outputsComposite", func(p system.Point) bool {
+		t := p.Tree
+		final := t.NodeAt(p.Run, t.RunLen(p.Run)-1)
+		return strings.Contains(string(final.State.Local(Tester)), ",witness")
+	})
+}
+
+// InputComposite is the fact "the input is composite" — constant on each
+// computation tree; NOT a probabilistic event, which is the paper's point.
+func (m *Model) InputComposite() system.Fact {
+	return system.NewFact("inputComposite", func(p system.Point) bool {
+		return !IsPrime(inputOf(string(p.Local(Tester))))
+	})
+}
+
+// Correct is the fact about the run "the algorithm's final verdict is
+// correct": it outputs composite iff the input is composite.
+func (m *Model) Correct() system.Fact {
+	out := m.OutputsComposite()
+	comp := m.InputComposite()
+	return system.NewFact("correct", func(p system.Point) bool {
+		return out.Holds(p) == comp.Holds(p)
+	})
+}
+
+// CorrectnessPerInput returns, for each input, the probability over that
+// input's tree that the verdict is correct: 1 for primes, 1 − (1−w)^k for
+// composites (w the witness density).
+func (m *Model) CorrectnessPerInput() map[uint64]rat.Rat {
+	correct := m.Correct()
+	out := make(map[uint64]rat.Rat, len(m.Inputs))
+	for _, n := range m.Inputs {
+		tree := m.Sys.TreeByAdversary("rabin/" + strconv.FormatUint(n, 10))
+		acc := rat.Zero
+		for r := 0; r < tree.NumRuns(); r++ {
+			if correct.Holds(system.Point{Tree: tree, Run: r, Time: 0}) {
+				acc = acc.Add(tree.RunProb(r))
+			}
+		}
+		out[n] = acc
+	}
+	return out
+}
+
+// WorstCaseCorrectness returns the minimum per-input correctness
+// probability — the guarantee one may state without any distribution on
+// inputs, exactly as Section 3 prescribes.
+func (m *Model) WorstCaseCorrectness() rat.Rat {
+	worst := rat.One
+	for _, p := range m.CorrectnessPerInput() {
+		worst = rat.Min(worst, p)
+	}
+	return worst
+}
+
+// RabinBound returns 1 − (1/4)^k, the correctness bound guaranteed by
+// Rabin's theorem for k draws.
+func (m *Model) RabinBound() rat.Rat {
+	return rat.One.Sub(rat.Pow(rat.New(1, 4), m.Draws))
+}

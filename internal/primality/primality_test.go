@@ -1,0 +1,289 @@
+package primality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kpa/internal/core"
+	"kpa/internal/measure"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+var smallPrimes = map[uint64]bool{
+	2: true, 3: true, 5: true, 7: true, 11: true, 13: true, 17: true, 19: true,
+	23: true, 29: true, 31: true, 37: true, 41: true, 43: true, 47: true,
+	53: true, 59: true, 61: true, 67: true, 71: true, 73: true, 79: true,
+	83: true, 89: true, 97: true,
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	for n := uint64(0); n <= 100; n++ {
+		if got := IsPrime(n); got != smallPrimes[n] {
+			t.Errorf("IsPrime(%d) = %v", n, got)
+		}
+	}
+}
+
+func TestIsPrimeKnownValues(t *testing.T) {
+	tests := []struct {
+		n    uint64
+		want bool
+	}{
+		{561, false},        // Carmichael
+		{1105, false},       // Carmichael
+		{2047, false},       // strong pseudoprime base 2
+		{1373653, false},    // strong pseudoprime bases 2,3
+		{25326001, false},   // strong pseudoprime bases 2,3,5
+		{3215031751, false}, // strong pseudoprime bases 2,3,5,7
+		{104729, true},      // 10000th prime
+		{1000000007, true},
+		{1000000006, false},
+		{18446744073709551557, true},  // largest 64-bit prime
+		{18446744073709551615, false}, // 2^64−1 = 3·5·17·257·641·65537·6700417
+	}
+	for _, tt := range tests {
+		if got := IsPrime(tt.n); got != tt.want {
+			t.Errorf("IsPrime(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestIsPrimeAgainstTrialDivision(t *testing.T) {
+	trial := func(n uint64) bool {
+		if n < 2 {
+			return false
+		}
+		for d := uint64(2); d*d <= n; d++ {
+			if n%d == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for n := uint64(0); n < 3000; n++ {
+		if IsPrime(n) != trial(n) {
+			t.Errorf("IsPrime(%d) disagrees with trial division", n)
+		}
+	}
+}
+
+func TestMulModNoOverflow(t *testing.T) {
+	const big = uint64(1) << 63
+	// (2^63 mod m)·(2^63 mod m) mod m computed correctly.
+	m := uint64(1000000007)
+	got := mulMod(big%m, big%m, m)
+	// 2^63 mod 1000000007 = 291172004; 291172004^2 mod m computable by big.Int,
+	// precomputed: 291172004^2 = 84781136477616016; mod 1000000007 = 84781135...
+	want := uint64((291172004 * 291172004) % 1000000007) // fits in uint64? 2.9e8^2 ≈ 8.5e16 < 1.8e19: yes
+	if got != want {
+		t.Errorf("mulMod = %d, want %d", got, want)
+	}
+}
+
+func TestQuickPowModMatchesNaive(t *testing.T) {
+	naive := func(a, e, m uint64) uint64 {
+		if m == 1 {
+			return 0
+		}
+		r := uint64(1)
+		for i := uint64(0); i < e; i++ {
+			r = (r * (a % m)) % m
+		}
+		return r
+	}
+	f := func(a, e, m uint16) bool {
+		mm := uint64(m)
+		if mm == 0 {
+			mm = 1
+		}
+		ee := uint64(e % 512)
+		return powMod(uint64(a), ee, mm) == naive(uint64(a), ee, mm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTestWithBases(t *testing.T) {
+	// 2047 = 23·89 fools base 2 but not base 3.
+	if composite, _ := TestWithBases(2047, []uint64{2}); composite {
+		t.Error("2047 should fool base 2")
+	}
+	composite, w := TestWithBases(2047, []uint64{2, 3})
+	if !composite || w != 3 {
+		t.Errorf("TestWithBases(2047, {2,3}) = %v, %d; want composite via 3", composite, w)
+	}
+	if composite, _ := TestWithBases(104729, []uint64{2, 3, 5, 7}); composite {
+		t.Error("104729 is prime")
+	}
+	if composite, _ := TestWithBases(0, nil); !composite {
+		t.Error("0 is not prime")
+	}
+	if composite, _ := TestWithBases(3, nil); composite {
+		t.Error("3 is prime")
+	}
+	if composite, w := TestWithBases(100, nil); !composite || w != 2 {
+		t.Error("even composite should be caught immediately")
+	}
+}
+
+func TestRandomBasesAreSound(t *testing.T) {
+	// Monte Carlo: random bases never call a prime composite, and catch
+	// composites essentially always with 20 bases.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := uint64(rng.Intn(100000) + 5)
+		bases := make([]uint64, 20)
+		for i := range bases {
+			bases[i] = uint64(rng.Intn(int(n-3))) + 2
+		}
+		composite, _ := TestWithBases(n, bases)
+		if IsPrime(n) && composite {
+			t.Fatalf("random bases called prime %d composite", n)
+		}
+	}
+}
+
+func TestWitnessCount(t *testing.T) {
+	// For primes, zero witnesses.
+	w, total, err := WitnessCount(13)
+	if err != nil || w != 0 || total != 12 {
+		t.Errorf("WitnessCount(13) = %d/%d, %v", w, total, err)
+	}
+	// For composites, at least 3/4 of candidates witness (Rabin's bound).
+	for _, n := range []uint64{9, 15, 21, 25, 49, 91, 561, 2047} {
+		w, total, err := WitnessCount(n)
+		if err != nil {
+			t.Fatalf("WitnessCount(%d): %v", n, err)
+		}
+		frac := rat.New(int64(w), int64(total))
+		if frac.Less(rat.New(3, 4)) {
+			t.Errorf("witness density of %d is %s < 3/4", n, frac)
+		}
+	}
+	// Errors.
+	if _, _, err := WitnessCount(4); err == nil {
+		t.Error("accepted even input")
+	}
+	if _, _, err := WitnessCount(3); err == nil {
+		t.Error("accepted tiny input")
+	}
+	if _, _, err := WitnessCount(1 << 21); err == nil {
+		t.Error("accepted huge input")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel(nil, 3); err == nil {
+		t.Error("accepted no inputs")
+	}
+	if _, err := NewModel([]uint64{9}, 0); err == nil {
+		t.Error("accepted zero draws")
+	}
+	if _, err := NewModel([]uint64{4}, 1); err == nil {
+		t.Error("accepted even input")
+	}
+}
+
+// TestModelPerInputCorrectness reproduces Section 3's analysis: for every
+// input — with no distribution over inputs — the algorithm is correct with
+// probability at least 1 − (1/4)^k over that input's tree.
+func TestModelPerInputCorrectness(t *testing.T) {
+	inputs := []uint64{9, 13, 15, 21, 25, 91} // mixed primes and composites
+	const draws = 3
+	m, err := NewModel(inputs, draws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := m.CorrectnessPerInput()
+	for _, n := range inputs {
+		p := per[n]
+		if IsPrime(n) {
+			if !p.IsOne() {
+				t.Errorf("prime %d: correctness %s, want 1", n, p)
+			}
+			continue
+		}
+		w, _ := m.WitnessDensity(n)
+		want := rat.One.Sub(rat.Pow(rat.One.Sub(w), draws))
+		if !p.Equal(want) {
+			t.Errorf("composite %d: correctness %s, want %s", n, p, want)
+		}
+		if p.Less(m.RabinBound()) {
+			t.Errorf("composite %d: correctness %s below the Rabin bound %s",
+				n, p, m.RabinBound())
+		}
+	}
+	if m.WorstCaseCorrectness().Less(m.RabinBound()) {
+		t.Errorf("worst-case correctness %s below the Rabin bound %s",
+			m.WorstCaseCorrectness(), m.RabinBound())
+	}
+}
+
+// TestNoDistributionOnInputs reproduces the paper's structural point: the
+// fact "the input is composite" is constant on each tree, and the observer
+// — who considers points from several trees possible — cannot be assigned
+// a probability for it at all: its candidate sample space violates REQ1.
+func TestNoDistributionOnInputs(t *testing.T) {
+	m, err := NewModel([]uint64{9, 13}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := m.InputComposite()
+	// Constant per tree.
+	for _, tree := range m.Sys.Trees() {
+		first := comp.Holds(system.Point{Tree: tree, Run: 0, Time: 0})
+		for r := 0; r < tree.NumRuns(); r++ {
+			for k := 0; k < tree.RunLen(r); k++ {
+				if comp.Holds(system.Point{Tree: tree, Run: r, Time: k}) != first {
+					t.Fatalf("inputComposite not constant on tree %q", tree.Adversary)
+				}
+			}
+		}
+	}
+	// The observer cannot distinguish the two inputs at time 0, so K spans
+	// trees and no probability space exists over it.
+	var c system.Point
+	for p := range m.Sys.Points() {
+		if p.Time == 0 {
+			c = p
+			break
+		}
+	}
+	k := m.Sys.K(Observer, c)
+	if k.SingleTree() != nil {
+		t.Fatal("observer's knowledge should span both input trees")
+	}
+	if _, err := measure.NewSpace(k); err == nil {
+		t.Error("a probability space over cross-tree knowledge should be rejected (REQ1)")
+	}
+	// Within each tree, however, the correctness fact has a well-defined
+	// high probability under the post assignment.
+	post := core.NewProbAssignment(m.Sys, core.Post(m.Sys))
+	correct := m.Correct()
+	for _, tree := range m.Sys.Trees() {
+		c := system.Point{Tree: tree, Run: 0, Time: 0}
+		sp := post.MustSpace(Tester, c)
+		pr := sp.InnerFact(correct)
+		if pr.Less(m.RabinBound()) {
+			t.Errorf("tree %q: Pr(correct) = %s below bound", tree.Adversary, pr)
+		}
+	}
+}
+
+func BenchmarkIsPrime(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		IsPrime(18446744073709551557)
+	}
+}
+
+func BenchmarkWitnessCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := WitnessCount(561); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package propcheck holds randomized cross-package property tests: the
+// paper's propositions and theorems checked on seeded random systems
+// produced by the gen package, far from the hand-crafted canonical
+// examples. The package contains no production code.
+package propcheck

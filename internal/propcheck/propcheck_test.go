@@ -1,0 +1,495 @@
+package propcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kpa/internal/adversary"
+	"kpa/internal/betting"
+	"kpa/internal/core"
+	"kpa/internal/gen"
+	"kpa/internal/measure"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// forEachRandomSystem runs fn on `trials` random systems with the given
+// config, seeding deterministically per trial so failures name their seed.
+func forEachRandomSystem(t *testing.T, cfg gen.Config, trials int, fn func(t *testing.T, rng *rand.Rand, sys *system.System)) {
+	t.Helper()
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			sys := gen.MustSystem(rng, cfg)
+			fn(t, rng, sys)
+		})
+	}
+}
+
+// TestRandomREQAndStandardness: Propositions 1–2 — the canonical
+// assignments satisfy REQ1/REQ2 and are standard on arbitrary systems.
+func TestRandomREQAndStandardness(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	forEachRandomSystem(t, cfg, 12, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		assigns := []core.SampleAssignment{
+			core.Post(sys), core.Future(sys), core.Prior(sys), core.Opponent(sys, 1),
+		}
+		for _, s := range assigns {
+			if err := core.CheckREQ(sys, s); err != nil {
+				t.Errorf("%s: %v", s.Name(), err)
+			}
+			if !core.IsStandard(sys, s) {
+				t.Errorf("%s: not standard", s.Name())
+			}
+		}
+		for _, s := range assigns[:2] {
+			if !core.IsConsistent(sys, s) {
+				t.Errorf("%s: not consistent", s.Name())
+			}
+		}
+	})
+}
+
+// TestRandomLatticeAndPartition: the lattice chain and Proposition 4 on
+// random synchronous systems.
+func TestRandomLatticeAndPartition(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	forEachRandomSystem(t, cfg, 12, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		fut, post, prior := core.Future(sys), core.Post(sys), core.Prior(sys)
+		opp := core.Opponent(sys, 1)
+		if !core.LessEq(sys, fut, opp) || !core.LessEq(sys, opp, post) {
+			t.Fatal("lattice chain fut ≤ opp ≤ post fails")
+		}
+		if sys.IsSynchronous() && !core.LessEq(sys, post, prior) {
+			t.Fatal("post ≤ prior fails on a synchronous system")
+		}
+		for c := range sys.Points() {
+			for _, i := range sys.Agents() {
+				if _, ok := core.Partition(fut, i, post.Sample(i, c)); !ok {
+					t.Fatalf("Proposition 4 fails at (%d, %v)", i, c)
+				}
+			}
+		}
+	})
+}
+
+// TestRandomMeasurability: Proposition 3 on random synchronous systems —
+// every state fact is measurable under consistent standard assignments.
+func TestRandomMeasurability(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		if !sys.IsSynchronous() {
+			t.Skip("needs synchrony")
+		}
+		phi := gen.RandomFact(rng, sys, "phi")
+		for _, s := range []core.SampleAssignment{core.Post(sys), core.Future(sys), core.Opponent(sys, 0)} {
+			P := core.NewProbAssignment(sys, s)
+			ok, err := P.IsFactMeasurable(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s: random state fact not measurable", s.Name())
+			}
+		}
+	})
+}
+
+// TestRandomConditioning: Proposition 5's conditioning identity on random
+// synchronous systems, fut vs post.
+func TestRandomConditioning(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.MaxDepth = 2 // keep MeasurableSets enumerable
+	forEachRandomSystem(t, cfg, 8, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		lo := core.NewProbAssignment(sys, core.Future(sys))
+		hi := core.NewProbAssignment(sys, core.Post(sys))
+		for c := range sys.Points() {
+			for _, i := range sys.Agents() {
+				loSp := lo.MustSpace(i, c)
+				hiSp := hi.MustSpace(i, c)
+				if loSp.Runs().Len() > 12 {
+					continue // skip huge enumerations
+				}
+				pS, err := hiSp.Prob(loSp.Sample())
+				if err != nil {
+					t.Fatalf("S^fut not measurable in S^post at (%d,%v): %v", i, c, err)
+				}
+				for _, sub := range loSp.MeasurableSets() {
+					pLo, err := loSp.Prob(sub)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pHi, err := hiSp.Prob(sub)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !pLo.Equal(pHi.Div(pS)) {
+						t.Fatalf("conditioning identity fails at (%d,%v)", i, c)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestRandomInnerOuterSandwich: μ_* ≤ μ* with equality iff measurable, and
+// the duality μ_*(S) = 1 − μ*(Sᶜ), for random facts over random systems
+// (including asynchronous ones, where non-measurability actually occurs).
+func TestRandomInnerOuterSandwich(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.Synchronous = false
+	forEachRandomSystem(t, cfg, 12, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		for c := range sys.Points() {
+			for _, i := range sys.Agents() {
+				sp, err := P.Space(i, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				set := sp.Sample().Filter(phi.Holds)
+				in, out := sp.Inner(set), sp.Outer(set)
+				if in.Greater(out) {
+					t.Fatalf("inner %s > outer %s", in, out)
+				}
+				comp := sp.Sample().Minus(set)
+				if !in.Equal(rat.One.Sub(sp.Outer(comp))) {
+					t.Fatal("inner/outer duality fails")
+				}
+				if sp.IsMeasurable(set) != in.Equal(out) {
+					// Equality of inner and outer measure can hold for
+					// non-measurable sets only if some run has zero
+					// probability, which gen never produces.
+					t.Fatalf("measurability (%v) disagrees with inner=outer (%v)",
+						sp.IsMeasurable(set), in.Equal(out))
+				}
+			}
+		}
+	})
+}
+
+// TestRandomTheorem7: the safe-bets biconditional on random systems,
+// every agent pair, random state facts, a small threshold grid.
+func TestRandomTheorem7(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	alphas := []rat.Rat{rat.New(1, 4), rat.Half, rat.New(3, 4), rat.One}
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		c := gen.RandomPoint(rng, sys)
+		for _, i := range sys.Agents() {
+			for _, j := range sys.Agents() {
+				P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+				for _, alpha := range alphas {
+					rep, err := betting.CheckTheorem7(P, i, j, c, phi, alpha)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rep.Agree() {
+						t.Fatalf("Theorem 7 fails: i=%d j=%d α=%s: knows=%v safe=%v",
+							i, j, alpha, rep.Knows, rep.Safe)
+					}
+					if !rep.Safe {
+						// Verify the witness numerically.
+						sp, err := P.Space(i, rep.BadAt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rule := betting.MustRule(phi, alpha)
+						e, err := betting.ExpectedWinnings(sp, rule, rep.Witness, j)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if e.Sign() >= 0 {
+							t.Fatalf("witness does not lose: E=%s", e)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestRandomProposition10: the closed-form pts interval equals the
+// enumerated one on random asynchronous systems (small enough to
+// enumerate), and both equal the post sharp interval.
+func TestRandomProposition10(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.Synchronous = false
+	cfg.MaxDepth = 3
+	cfg.MaxBranch = 2
+	cfg.NumTrees = 1
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		c := gen.RandomPoint(rng, sys)
+		for _, i := range sys.Agents() {
+			rep, err := adversary.CheckProposition10(sys, i, c, phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Agree() {
+				t.Fatalf("Prop 10 fails: post [%s,%s] vs pts [%s,%s]",
+					rep.PostLo, rep.PostHi, rep.PtsLo, rep.PtsHi)
+			}
+		}
+	})
+}
+
+// TestRandomIntervalMonotonicity: Theorem 9(a) — sharp intervals only
+// widen when moving down the lattice (fut vs post), on random synchronous
+// systems and random facts.
+func TestRandomIntervalMonotonicity(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		lo := core.NewProbAssignment(sys, core.Future(sys))
+		hi := core.NewProbAssignment(sys, core.Post(sys))
+		for c := range sys.Points() {
+			for _, i := range sys.Agents() {
+				aLo, bLo, err := lo.SharpInterval(i, c, phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aHi, bHi, err := hi.SharpInterval(i, c, phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if aHi.Less(aLo) || bHi.Greater(bLo) {
+					t.Fatalf("interval widened up the lattice at (%d,%v): fut [%s,%s] post [%s,%s]",
+						i, c, aLo, bLo, aHi, bHi)
+				}
+			}
+		}
+	})
+}
+
+// TestRandomKnowledgeAxioms: the S5 axioms of knowledge and the
+// consistency axiom K_i φ ⇒ Pr_i(φ) = 1 on random systems.
+func TestRandomKnowledgeAxioms(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.Synchronous = false
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		for c := range sys.Points() {
+			for _, i := range sys.Agents() {
+				k := sys.Knows(i, c, phi)
+				// Truth: K φ → φ.
+				if k && !phi.Holds(c) {
+					t.Fatal("truth axiom fails")
+				}
+				// Introspection: K φ → K K φ.
+				if k {
+					kk := true
+					for d := range sys.K(i, c) {
+						if !sys.Knows(i, d, phi) {
+							kk = false
+						}
+					}
+					if !kk {
+						t.Fatal("positive introspection fails")
+					}
+					// Consistency: K φ → inner measure 1.
+					sp, err := P.Space(i, c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sp.InnerFact(phi).IsOne() {
+						t.Fatal("K φ but Pr(φ) < 1 under a consistent assignment")
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestRandomRunFactsPriorInvariance: for a fact about the run, the prior
+// assignment gives the same probability at every time (it mimics the run
+// distribution), on random systems.
+func TestRandomRunFactsPriorInvariance(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomRunFact(rng, sys, "runfact")
+		P := core.NewProbAssignment(sys, core.Prior(sys))
+		for _, tree := range sys.Trees() {
+			// The run-measure of the fact.
+			want := rat.Zero
+			for r := 0; r < tree.NumRuns(); r++ {
+				if phi.Holds(system.Point{Tree: tree, Run: r, Time: 0}) {
+					want = want.Add(tree.RunProb(r))
+				}
+			}
+			for k := 0; k <= tree.Depth(); k++ {
+				pts := sys.PointsAtTime(tree, k)
+				if len(pts) == 0 {
+					continue
+				}
+				sp, err := P.Space(0, pts[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sp.ProbFact(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("prior probability of a run fact drifted: %s vs %s at time %d",
+						got, want, k)
+				}
+			}
+		}
+	})
+}
+
+// TestRandomSpaceTotalMass: every induced space is a probability space
+// (total mass one, complement additivity) — Proposition 2 at random.
+func TestRandomSpaceTotalMass(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.Synchronous = false
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomRunFact(rng, sys, "rf")
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		for c := range sys.Points() {
+			for _, i := range sys.Agents() {
+				sp, err := P.Space(i, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := sp.Prob(sp.Sample())
+				if err != nil || !full.IsOne() {
+					t.Fatalf("total mass %v, %v", full, err)
+				}
+				// Run facts are always measurable; additivity with the
+				// complement.
+				set := sp.Sample().Filter(phi.Holds)
+				pr, err := sp.Prob(set)
+				if err != nil {
+					t.Fatalf("run fact not measurable: %v", err)
+				}
+				prC, err := sp.Prob(sp.Sample().Minus(set))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pr.Add(prC).IsOne() {
+					t.Fatal("complement additivity fails")
+				}
+			}
+		}
+	})
+}
+
+// TestRandomExhaustiveVsAnalyticSafety cross-checks the analytic
+// strategy-infimum against brute-force enumeration on random systems.
+func TestRandomExhaustiveVsAnalyticSafety(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.NumTrees = 1
+	cfg.MaxDepth = 2
+	forEachRandomSystem(t, cfg, 8, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		alpha := []rat.Rat{rat.New(1, 3), rat.Half}[rng.Intn(2)]
+		rule := betting.MustRule(phi, alpha)
+		c := gen.RandomPoint(rng, sys)
+		for _, j := range sys.Agents() {
+			locals := betting.LocalStatesOf(j, sys.Points())
+			if len(locals) > 6 {
+				continue
+			}
+			offers := []betting.Offer{betting.NoBet, betting.OfferOf(rule.Threshold())}
+			strategies := betting.Enumerate(j, locals, offers)
+			P := core.NewProbAssignment(sys, core.Opponent(sys, j))
+			for _, i := range sys.Agents() {
+				analytic, _, _, err := betting.Safe(P, i, j, c, rule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				brute, _, _, err := betting.SafeAgainstStrategies(P, i, j, c, rule, strategies)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if analytic != brute {
+					t.Fatalf("analytic %v != brute %v (i=%d j=%d α=%s)", analytic, brute, i, j, alpha)
+				}
+			}
+		}
+	})
+}
+
+// TestRandomCutSpacesMeasurable: every cut space of every class makes every
+// fact measurable (at most one point per run).
+func TestRandomCutSpacesMeasurable(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.Synchronous = false
+	cfg.NumTrees = 1
+	cfg.MaxDepth = 2
+	cfg.MaxBranch = 2
+	forEachRandomSystem(t, cfg, 8, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		c := gen.RandomPoint(rng, sys)
+		sample := sys.KInTree(0, c)
+		for _, cls := range []adversary.Class{
+			adversary.PtsClass{}, adversary.StateClass{}, adversary.PartialClass{},
+			adversary.WidthClass{Delta: 1},
+		} {
+			cuts, err := cls.Cuts(sys, sample)
+			if err == adversary.ErrTooManyCuts {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cut := range cuts {
+				sp, err := measure.NewSpace(cut)
+				if err != nil {
+					t.Fatalf("%s: cut space: %v", cls.Name(), err)
+				}
+				if !sp.IsFactMeasurable(phi) {
+					t.Fatalf("%s: fact not measurable in a cut space", cls.Name())
+				}
+			}
+		}
+	})
+}
+
+// TestRandomInnerOuterAxioms checks the FH88-style measure axioms that
+// justify interpreting Pr_i as inner measure: monotonicity, and for
+// disjoint sets superadditivity of the inner measure and subadditivity of
+// the outer measure.
+func TestRandomInnerOuterAxioms(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.Synchronous = false
+	forEachRandomSystem(t, cfg, 10, func(t *testing.T, rng *rand.Rand, sys *system.System) {
+		phi := gen.RandomFact(rng, sys, "phi")
+		psi := gen.RandomFact(rng, sys, "psi")
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		for c := range sys.Points() {
+			sp, err := P.Space(0, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := sp.Sample().Filter(phi.Holds)
+			b := sp.Sample().Filter(psi.Holds)
+			// Monotonicity on a ⊆ a∪b.
+			if sp.Inner(a).Greater(sp.Inner(a.Union(b))) {
+				t.Fatal("inner measure not monotone")
+			}
+			if sp.Outer(a).Greater(sp.Outer(a.Union(b))) {
+				t.Fatal("outer measure not monotone")
+			}
+			// Superadditivity of inner / subadditivity of outer on the
+			// disjoint pieces a\b and b\a.
+			x, y := a.Minus(b), b.Minus(a)
+			union := x.Union(y)
+			if sp.Inner(x).Add(sp.Inner(y)).Greater(sp.Inner(union)) {
+				t.Fatal("inner measure not superadditive on disjoint sets")
+			}
+			if sp.Outer(union).Greater(sp.Outer(x).Add(sp.Outer(y))) {
+				t.Fatal("outer measure not subadditive on disjoint sets")
+			}
+			// Normalization.
+			if !sp.Inner(sp.Sample()).IsOne() || !sp.Outer(system.NewPointSet()).IsZero() {
+				t.Fatal("normalization fails")
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package protocol_test
+
+import (
+	"fmt"
+
+	"kpa/internal/protocol"
+	"kpa/internal/rat"
+)
+
+// Example builds a one-round protocol in which an agent flips a coin and
+// tells a listener the outcome through a lossy channel.
+func Example() {
+	p := &protocol.Protocol{
+		Name: "tell",
+		Agents: []protocol.AgentDef{
+			{
+				Name: "flipper",
+				Init: func(string) string { return "f" },
+				Act: func(local string, _ int) []protocol.Action {
+					return []protocol.Action{
+						{Prob: rat.Half, NewLocal: "f:h",
+							Send: []protocol.Msg{{To: 1, Body: "h"}}},
+						{Prob: rat.Half, NewLocal: "f:t",
+							Send: []protocol.Msg{{To: 1, Body: "t"}}},
+					}
+				},
+			},
+			{
+				Name: "listener",
+				Init: func(string) string { return "l:?" },
+				Recv: func(local string, d []protocol.Delivery, _ int) string {
+					if len(d) > 0 {
+						return "l:" + d[0].Body
+					}
+					return local
+				},
+			},
+		},
+		Inputs:       []string{"go"},
+		DeliveryProb: rat.New(2, 3),
+		Rounds:       1,
+	}
+	sys, err := p.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tree := sys.Trees()[0]
+	fmt.Println("runs:", tree.NumRuns())
+	fmt.Println("total probability:", tree.Prob(tree.AllRuns()))
+	// Output:
+	// runs: 4
+	// total probability: 1
+}

@@ -1,0 +1,440 @@
+// Package protocol is the substrate that turns protocol descriptions into
+// the systems of the Halpern–Tuttle framework: a round-based synchronous
+// model with probabilistic agent actions (coin tosses) and lossy message
+// delivery, compiled into labelled computation trees — one tree per input
+// (the type-1 adversary choice), with the probabilistic choices supplying
+// the transition probabilities.
+//
+// The model is the standard one from the distributed-computing literature
+// the paper builds on: in each round every agent (deterministically or by
+// coin toss) updates its local state and sends messages; the environment
+// delivers each message independently with a fixed probability; agents then
+// observe what they received. The environment component of the global state
+// accumulates a log of every probabilistic outcome, which realizes the
+// paper's technical assumption that the environment encodes the history.
+//
+// Messages with identical (from, to, body) are interchangeable, so delivery
+// outcomes are grouped by the multiset of delivered messages and weighted
+// with binomial coefficients: sending ten identical messengers branches
+// eleven ways (0..10 delivered), not 2^10.
+package protocol
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Msg is a message an agent sends during a round.
+type Msg struct {
+	To   system.AgentID
+	Body string
+}
+
+// Delivery is a delivered message as seen by its recipient.
+type Delivery struct {
+	From system.AgentID
+	Body string
+}
+
+// Action is one probabilistic alternative of an agent's behaviour in a
+// round: with probability Prob, move to local state NewLocal and send Send.
+type Action struct {
+	Prob     rat.Rat
+	NewLocal string
+	Send     []Msg
+}
+
+// Deterministic wraps a single action as the certain choice.
+func Deterministic(newLocal string, send ...Msg) []Action {
+	return []Action{{Prob: rat.One, NewLocal: newLocal, Send: send}}
+}
+
+// AgentDef defines one agent of a protocol.
+type AgentDef struct {
+	// Name is used in diagnostics.
+	Name string
+	// Init returns the agent's initial local state for a given input.
+	Init func(input string) string
+	// Act returns the agent's probabilistic action alternatives for the
+	// round, given its current local state. The probabilities must sum to
+	// one. A nil Act means the agent does nothing (keeps its state, sends
+	// nothing).
+	Act func(local string, round int) []Action
+	// Recv folds the round's delivered messages into the agent's local
+	// state (called after Act's local update, with the deliveries sorted
+	// by sender then body). A nil Recv ignores deliveries.
+	Recv func(local string, delivered []Delivery, round int) string
+}
+
+// Scheduler is the second flavor of type-1 adversary from Section 3: a
+// deterministic rule (a function of the round, i.e. of the public history
+// length) choosing which agents get to act in each round. Agents not
+// scheduled keep their local state and send nothing; they still receive.
+type Scheduler struct {
+	// Name identifies the scheduler in the tree's adversary name.
+	Name string
+	// Active reports whether the agent acts in the round. A nil Active
+	// schedules everyone always.
+	Active func(agent system.AgentID, round int) bool
+}
+
+// EveryoneScheduler schedules every agent in every round.
+func EveryoneScheduler() Scheduler {
+	return Scheduler{Name: "all"}
+}
+
+// RoundRobinScheduler schedules exactly one agent per round, cycling.
+func RoundRobinScheduler(numAgents int) Scheduler {
+	return Scheduler{
+		Name: "rr",
+		Active: func(agent system.AgentID, round int) bool {
+			return int(agent) == round%numAgents
+		},
+	}
+}
+
+// Protocol describes a finite-horizon round-based protocol.
+type Protocol struct {
+	// Name names the protocol; tree adversary names are Name+"/"+input
+	// (with "+"+scheduler appended when Schedulers are supplied).
+	Name string
+	// Agents defines the agents; the agent's index is its AgentID.
+	Agents []AgentDef
+	// Inputs are the type-1 adversary choices (initial nondeterminism).
+	// One computation tree is built per input (× scheduler).
+	Inputs []string
+	// Schedulers optionally lists scheduling adversaries; one tree is
+	// built per (input, scheduler) pair. Empty means everyone acts every
+	// round.
+	Schedulers []Scheduler
+	// DeliveryProb is the probability each message is delivered,
+	// independently. One delivers everything; zero loses everything.
+	DeliveryProb rat.Rat
+	// Rounds is the number of rounds to run.
+	Rounds int
+	// Halt, if non-nil, stops a branch early when it returns true for the
+	// current local states (checked before each round).
+	Halt func(locals []system.LocalState, round int) bool
+}
+
+// Build compiles the protocol into a system: one computation tree per
+// input, points at times 0..Rounds.
+func (p *Protocol) Build() (*system.System, error) {
+	if len(p.Agents) == 0 {
+		return nil, fmt.Errorf("protocol %s: no agents", p.Name)
+	}
+	if len(p.Inputs) == 0 {
+		return nil, fmt.Errorf("protocol %s: no inputs", p.Name)
+	}
+	if p.Rounds < 0 {
+		return nil, fmt.Errorf("protocol %s: negative round count", p.Name)
+	}
+	if !p.DeliveryProb.InUnit() {
+		return nil, fmt.Errorf("protocol %s: delivery probability %s outside [0,1]",
+			p.Name, p.DeliveryProb)
+	}
+	schedulers := p.Schedulers
+	if len(schedulers) == 0 {
+		schedulers = []Scheduler{EveryoneScheduler()}
+	}
+	explicit := len(p.Schedulers) > 0
+	trees := make([]*system.Tree, 0, len(p.Inputs)*len(schedulers))
+	for _, input := range p.Inputs {
+		for _, sched := range schedulers {
+			name := p.Name + "/" + input
+			if explicit {
+				name += "+" + sched.Name
+			}
+			t, err := p.buildTree(name, input, sched)
+			if err != nil {
+				return nil, err
+			}
+			trees = append(trees, t)
+		}
+	}
+	return system.New(len(p.Agents), trees...)
+}
+
+// MustBuild is Build but panics on error.
+func (p *Protocol) MustBuild() *system.System {
+	sys, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func (p *Protocol) buildTree(name, input string, sched Scheduler) (*system.Tree, error) {
+	locals := make([]string, len(p.Agents))
+	for i, a := range p.Agents {
+		if a.Init == nil {
+			return nil, fmt.Errorf("protocol %s: agent %s has no Init", p.Name, a.Name)
+		}
+		locals[i] = a.Init(input)
+	}
+	rootEnv := "in=" + input
+	if sched.Name != "" && sched.Name != "all" {
+		rootEnv += "+" + sched.Name
+	}
+	tb := system.NewTree(name, mkState(rootEnv, locals))
+
+	type frontierNode struct {
+		id     system.NodeID
+		env    string
+		locals []string
+	}
+	frontier := []frontierNode{{id: 0, env: rootEnv, locals: locals}}
+	for round := 0; round < p.Rounds; round++ {
+		var next []frontierNode
+		for _, fn := range frontier {
+			if p.Halt != nil && p.Halt(toLocalStates(fn.locals), round) {
+				continue // branch halted: node stays a leaf
+			}
+			branches, err := p.expand(fn.locals, round, sched)
+			if err != nil {
+				return nil, fmt.Errorf("protocol %s input %s round %d: %w",
+					p.Name, input, round, err)
+			}
+			for bi, b := range branches {
+				env := fn.env + "|r" + strconv.Itoa(round) + "#" + strconv.Itoa(bi) + ":" + b.tag
+				id := tb.Child(fn.id, b.prob, mkState(env, b.locals))
+				next = append(next, frontierNode{id: id, env: env, locals: b.locals})
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return tb.Build()
+}
+
+// branch is one joint outcome of a round: joint action choice plus grouped
+// delivery outcome.
+type branch struct {
+	prob   rat.Rat
+	locals []string
+	tag    string // human-readable outcome tag, part of the environment log
+}
+
+// expand computes the probabilistic branches of one round from the given
+// local states, under the scheduler.
+func (p *Protocol) expand(locals []string, round int, sched Scheduler) ([]branch, error) {
+	// 1. Collect each agent's action alternatives.
+	alts := make([][]Action, len(p.Agents))
+	for i, a := range p.Agents {
+		if a.Act == nil || (sched.Active != nil && !sched.Active(system.AgentID(i), round)) {
+			alts[i] = Deterministic(locals[i])
+			continue
+		}
+		acts := a.Act(locals[i], round)
+		if len(acts) == 0 {
+			acts = Deterministic(locals[i])
+		}
+		total := rat.Zero
+		for _, act := range acts {
+			if act.Prob.Sign() <= 0 {
+				return nil, fmt.Errorf("agent %s: non-positive action probability %s",
+					a.Name, act.Prob)
+			}
+			total = total.Add(act.Prob)
+		}
+		if !total.IsOne() {
+			return nil, fmt.Errorf("agent %s: action probabilities sum to %s", a.Name, total)
+		}
+		alts[i] = acts
+	}
+
+	// 2. Cartesian product of action choices.
+	var out []branch
+	choice := make([]int, len(p.Agents))
+	for {
+		prob := rat.One
+		afterAct := make([]string, len(p.Agents))
+		var sent []sentMsg
+		tagParts := make([]string, 0, len(p.Agents)+1)
+		for i := range p.Agents {
+			act := alts[i][choice[i]]
+			prob = prob.Mul(act.Prob)
+			afterAct[i] = act.NewLocal
+			for _, m := range act.Send {
+				if int(m.To) < 0 || int(m.To) >= len(p.Agents) {
+					return nil, fmt.Errorf("agent %s sends to invalid agent %d",
+						p.Agents[i].Name, m.To)
+				}
+				sent = append(sent, sentMsg{from: system.AgentID(i), to: m.To, body: m.Body})
+			}
+			tagParts = append(tagParts, strconv.Itoa(choice[i]))
+		}
+		actTag := "a" + strings.Join(tagParts, ",")
+
+		// 3. Delivery outcomes, grouped by message type.
+		for _, d := range deliveryOutcomes(sent, p.DeliveryProb) {
+			newLocals := make([]string, len(p.Agents))
+			copy(newLocals, afterAct)
+			for i, agent := range p.Agents {
+				if agent.Recv == nil {
+					continue
+				}
+				newLocals[i] = agent.Recv(newLocals[i], d.deliveredTo(system.AgentID(i)), round)
+			}
+			out = append(out, branch{
+				prob:   prob.Mul(d.prob),
+				locals: newLocals,
+				tag:    actTag + ";" + d.tag,
+			})
+		}
+
+		// Advance the mixed-radix counter over action choices.
+		k := 0
+		for ; k < len(choice); k++ {
+			choice[k]++
+			if choice[k] < len(alts[k]) {
+				break
+			}
+			choice[k] = 0
+		}
+		if k == len(choice) {
+			break
+		}
+	}
+	return out, nil
+}
+
+type sentMsg struct {
+	from system.AgentID
+	to   system.AgentID
+	body string
+}
+
+// msgType groups interchangeable messages.
+type msgType struct {
+	sentMsg
+	count int
+}
+
+// deliveryOutcome is one grouped delivery result: how many messages of each
+// type were delivered.
+type deliveryOutcome struct {
+	prob      rat.Rat
+	delivered []msgType // count = number delivered
+	tag       string
+}
+
+// deliveredTo returns the deliveries to one agent, expanded and sorted.
+func (d deliveryOutcome) deliveredTo(to system.AgentID) []Delivery {
+	var out []Delivery
+	for _, mt := range d.delivered {
+		if mt.to != to {
+			continue
+		}
+		for k := 0; k < mt.count; k++ {
+			out = append(out, Delivery{From: mt.from, Body: mt.body})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].Body < out[b].Body
+	})
+	return out
+}
+
+// deliveryOutcomes enumerates the grouped delivery outcomes for the sent
+// messages under independent per-message delivery probability q: for each
+// message type with n copies, the number delivered is Binomial(n, q).
+func deliveryOutcomes(sent []sentMsg, q rat.Rat) []deliveryOutcome {
+	if len(sent) == 0 || q.IsZero() || q.IsOne() {
+		// Degenerate cases: nothing sent, everything lost, or everything
+		// delivered — a single outcome.
+		var delivered []msgType
+		tag := "d-"
+		if q.IsOne() && len(sent) > 0 {
+			delivered = groupMsgs(sent)
+			tag = "dall"
+		}
+		return []deliveryOutcome{{prob: rat.One, delivered: delivered, tag: tag}}
+	}
+	types := groupMsgs(sent)
+	outcomes := []deliveryOutcome{{prob: rat.One, tag: "d"}}
+	lossProb := rat.One.Sub(q)
+	for _, mt := range types {
+		var next []deliveryOutcome
+		for _, o := range outcomes {
+			for d := 0; d <= mt.count; d++ {
+				binom := rat.FromBig(new(big.Rat).SetInt(
+					new(big.Int).Binomial(int64(mt.count), int64(d))))
+				pd := binom.Mul(rat.Pow(q, d)).Mul(rat.Pow(lossProb, mt.count-d))
+				dtypes := make([]msgType, len(o.delivered), len(o.delivered)+1)
+				copy(dtypes, o.delivered)
+				if d > 0 {
+					dtypes = append(dtypes, msgType{sentMsg: mt.sentMsg, count: d})
+				}
+				next = append(next, deliveryOutcome{
+					prob:      o.prob.Mul(pd),
+					delivered: dtypes,
+					tag:       o.tag + fmt.Sprintf("[%d>%d:%s=%d/%d]", mt.from, mt.to, mt.body, d, mt.count),
+				})
+			}
+		}
+		outcomes = next
+	}
+	return outcomes
+}
+
+// groupMsgs groups sent messages into types with counts, deterministically
+// ordered.
+func groupMsgs(sent []sentMsg) []msgType {
+	counts := make(map[sentMsg]int)
+	for _, m := range sent {
+		counts[m]++
+	}
+	out := make([]msgType, 0, len(counts))
+	for m, n := range counts {
+		out = append(out, msgType{sentMsg: m, count: n})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.from != y.from {
+			return x.from < y.from
+		}
+		if x.to != y.to {
+			return x.to < y.to
+		}
+		return x.body < y.body
+	})
+	return out
+}
+
+func mkState(env string, locals []string) system.GlobalState {
+	ls := make([]system.LocalState, len(locals))
+	for i, l := range locals {
+		ls[i] = system.LocalState(l)
+	}
+	return system.GlobalState{Env: env, Locals: ls}
+}
+
+func toLocalStates(locals []string) []system.LocalState {
+	ls := make([]system.LocalState, len(locals))
+	for i, l := range locals {
+		ls[i] = system.LocalState(l)
+	}
+	return ls
+}
+
+// Input returns the input (type-1 adversary choice) a point's tree was
+// built for.
+func Input(p system.Point) string {
+	name := p.Tree.Adversary
+	if idx := strings.LastIndex(name, "/"); idx >= 0 {
+		return name[idx+1:]
+	}
+	return name
+}

@@ -1,0 +1,445 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// coinTossProtocol: one agent tosses a fair coin each round and remembers
+// the sequence; a second agent observes nothing.
+func coinTossProtocol(rounds int) *Protocol {
+	return &Protocol{
+		Name: "coins",
+		Agents: []AgentDef{
+			{
+				Name: "tosser",
+				Init: func(string) string { return "" },
+				Act: func(local string, _ int) []Action {
+					return []Action{
+						{Prob: rat.Half, NewLocal: local + "h"},
+						{Prob: rat.Half, NewLocal: local + "t"},
+					}
+				},
+			},
+			{
+				Name: "blind",
+				Init: func(string) string { return "blind" },
+			},
+		},
+		Inputs:       []string{"only"},
+		DeliveryProb: rat.One,
+		Rounds:       rounds,
+	}
+}
+
+func TestCoinTossProtocol(t *testing.T) {
+	sys := coinTossProtocol(3).MustBuild()
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 8 {
+		t.Fatalf("runs = %d, want 8", tree.NumRuns())
+	}
+	for r := 0; r < 8; r++ {
+		if !tree.RunProb(r).Equal(rat.New(1, 8)) {
+			t.Errorf("run %d prob = %s", r, tree.RunProb(r))
+		}
+		if tree.RunLen(r) != 4 {
+			t.Errorf("run %d len = %d, want 4", r, tree.RunLen(r))
+		}
+	}
+	// The tosser's local state at the end is a 3-letter h/t word.
+	leaf := tree.NodeAt(0, 3)
+	if got := len(leaf.State.Local(0)); got != 3 {
+		t.Errorf("tosser local = %q", leaf.State.Local(0))
+	}
+	// The blind agent is blind but the system is asynchronous for it
+	// (same local at all times).
+	if sys.IsSynchronous() {
+		t.Error("blind agent should make the system asynchronous")
+	}
+}
+
+func TestMessageDelivery(t *testing.T) {
+	// Agent 0 sends one message to agent 1; delivery probability 1/3.
+	p := &Protocol{
+		Name: "send",
+		Agents: []AgentDef{
+			{
+				Name: "sender",
+				Init: func(string) string { return "s0" },
+				Act: func(local string, round int) []Action {
+					if round == 0 {
+						return Deterministic("s1", Msg{To: 1, Body: "ping"})
+					}
+					return Deterministic(local)
+				},
+			},
+			{
+				Name: "receiver",
+				Init: func(string) string { return "r:none" },
+				Recv: func(local string, delivered []Delivery, _ int) string {
+					if len(delivered) > 0 {
+						return "r:got:" + delivered[0].Body
+					}
+					return local
+				},
+			},
+		},
+		Inputs:       []string{"x"},
+		DeliveryProb: rat.New(1, 3),
+		Rounds:       1,
+	}
+	sys := p.MustBuild()
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 2 {
+		t.Fatalf("runs = %d, want 2 (delivered / lost)", tree.NumRuns())
+	}
+	var pGot, pLost rat.Rat
+	for r := 0; r < 2; r++ {
+		leaf := tree.NodeAt(r, 1)
+		if leaf.State.Local(1) == "r:got:ping" {
+			pGot = tree.RunProb(r)
+		} else if leaf.State.Local(1) == "r:none" {
+			pLost = tree.RunProb(r)
+		} else {
+			t.Fatalf("unexpected receiver state %q", leaf.State.Local(1))
+		}
+	}
+	if !pGot.Equal(rat.New(1, 3)) || !pLost.Equal(rat.New(2, 3)) {
+		t.Errorf("P(got)=%s P(lost)=%s; want 1/3, 2/3", pGot, pLost)
+	}
+}
+
+func TestGroupedDelivery(t *testing.T) {
+	// Ten identical messengers, each delivered with probability 1/2:
+	// grouped into 11 outcomes with binomial weights.
+	p := &Protocol{
+		Name: "messengers",
+		Agents: []AgentDef{
+			{
+				Name: "general",
+				Init: func(string) string { return "A" },
+				Act: func(local string, round int) []Action {
+					if round != 0 {
+						return Deterministic(local)
+					}
+					msgs := make([]Msg, 10)
+					for i := range msgs {
+						msgs[i] = Msg{To: 1, Body: "attack"}
+					}
+					return Deterministic("A:sent", msgs...)
+				},
+			},
+			{
+				Name: "other",
+				Init: func(string) string { return "B" },
+				Recv: func(local string, delivered []Delivery, _ int) string {
+					if len(delivered) > 0 {
+						return "B:informed"
+					}
+					return local
+				},
+			},
+		},
+		Inputs:       []string{"x"},
+		DeliveryProb: rat.Half,
+		Rounds:       1,
+	}
+	sys := p.MustBuild()
+	tree := sys.Trees()[0]
+	if tree.NumRuns() != 11 {
+		t.Fatalf("runs = %d, want 11 grouped outcomes", tree.NumRuns())
+	}
+	if !tree.Prob(tree.AllRuns()).IsOne() {
+		t.Error("grouped outcome probabilities do not sum to 1")
+	}
+	// P(B not informed) = P(0 of 10 delivered) = 1/1024.
+	pNone := rat.Zero
+	for r := 0; r < tree.NumRuns(); r++ {
+		if tree.NodeAt(r, 1).State.Local(1) == "B" {
+			pNone = pNone.Add(tree.RunProb(r))
+		}
+	}
+	if !pNone.Equal(rat.New(1, 1024)) {
+		t.Errorf("P(no messenger arrives) = %s, want 1/1024", pNone)
+	}
+}
+
+func TestInputsBecomeTrees(t *testing.T) {
+	p := &Protocol{
+		Name: "inp",
+		Agents: []AgentDef{{
+			Name: "a",
+			Init: func(input string) string { return "a:" + input },
+		}},
+		Inputs:       []string{"0", "1", "2"},
+		DeliveryProb: rat.One,
+		Rounds:       0,
+	}
+	sys := p.MustBuild()
+	if len(sys.Trees()) != 3 {
+		t.Fatalf("trees = %d, want 3", len(sys.Trees()))
+	}
+	for _, in := range []string{"0", "1", "2"} {
+		tr := sys.TreeByAdversary("inp/" + in)
+		if tr == nil {
+			t.Fatalf("missing tree for input %s", in)
+		}
+		pt := system.Point{Tree: tr, Run: 0, Time: 0}
+		if Input(pt) != in {
+			t.Errorf("Input = %q, want %q", Input(pt), in)
+		}
+	}
+}
+
+func TestHalt(t *testing.T) {
+	// The agent counts rounds but halts after round 1 (local "n=2").
+	p := &Protocol{
+		Name: "halting",
+		Agents: []AgentDef{{
+			Name: "counter",
+			Init: func(string) string { return "n=0" },
+			Act: func(local string, _ int) []Action {
+				n := int(local[2] - '0')
+				return Deterministic("n=" + string(rune('0'+n+1)))
+			},
+		}},
+		Inputs:       []string{"x"},
+		DeliveryProb: rat.One,
+		Rounds:       10,
+		Halt: func(locals []system.LocalState, _ int) bool {
+			return locals[0] == "n=2"
+		},
+	}
+	sys := p.MustBuild()
+	tree := sys.Trees()[0]
+	if tree.Depth() != 2 {
+		t.Errorf("depth = %d, want 2 (halted)", tree.Depth())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	base := func() *Protocol {
+		return &Protocol{
+			Name:         "v",
+			Agents:       []AgentDef{{Name: "a", Init: func(string) string { return "a" }}},
+			Inputs:       []string{"x"},
+			DeliveryProb: rat.One,
+			Rounds:       1,
+		}
+	}
+	t.Run("no agents", func(t *testing.T) {
+		p := base()
+		p.Agents = nil
+		if _, err := p.Build(); err == nil {
+			t.Error("accepted no agents")
+		}
+	})
+	t.Run("no inputs", func(t *testing.T) {
+		p := base()
+		p.Inputs = nil
+		if _, err := p.Build(); err == nil {
+			t.Error("accepted no inputs")
+		}
+	})
+	t.Run("bad delivery prob", func(t *testing.T) {
+		p := base()
+		p.DeliveryProb = rat.New(3, 2)
+		if _, err := p.Build(); err == nil {
+			t.Error("accepted delivery probability 3/2")
+		}
+	})
+	t.Run("negative rounds", func(t *testing.T) {
+		p := base()
+		p.Rounds = -1
+		if _, err := p.Build(); err == nil {
+			t.Error("accepted negative rounds")
+		}
+	})
+	t.Run("missing Init", func(t *testing.T) {
+		p := base()
+		p.Agents = []AgentDef{{Name: "noinit"}}
+		if _, err := p.Build(); err == nil {
+			t.Error("accepted agent without Init")
+		}
+	})
+	t.Run("action probs must sum to 1", func(t *testing.T) {
+		p := base()
+		p.Agents[0].Act = func(string, int) []Action {
+			return []Action{{Prob: rat.Half, NewLocal: "x"}}
+		}
+		if _, err := p.Build(); err == nil {
+			t.Error("accepted action probabilities summing to 1/2")
+		}
+	})
+	t.Run("invalid message target", func(t *testing.T) {
+		p := base()
+		p.Agents[0].Act = func(string, int) []Action {
+			return Deterministic("x", Msg{To: 7, Body: "?"})
+		}
+		if _, err := p.Build(); err == nil {
+			t.Error("accepted message to nonexistent agent")
+		}
+	})
+}
+
+func TestEnvironmentEncodesHistory(t *testing.T) {
+	// Two rounds of coin tossing: all 4 time-2 global states distinct even
+	// though the blind agent's local state never changes.
+	sys := coinTossProtocol(2).MustBuild()
+	tree := sys.Trees()[0]
+	envs := make(map[string]bool)
+	for r := 0; r < tree.NumRuns(); r++ {
+		env := tree.NodeAt(r, 2).State.Env
+		if envs[env] {
+			t.Fatalf("duplicate environment %q", env)
+		}
+		envs[env] = true
+		if !strings.HasPrefix(env, "in=only") {
+			t.Errorf("environment %q missing input prefix", env)
+		}
+	}
+}
+
+func TestDeliveredSortedForRecv(t *testing.T) {
+	// Two agents send to agent 2 in one round; Recv sees deliveries sorted
+	// by sender.
+	p := &Protocol{
+		Name: "sort",
+		Agents: []AgentDef{
+			{
+				Name: "s1",
+				Init: func(string) string { return "x" },
+				Act: func(local string, _ int) []Action {
+					return Deterministic(local, Msg{To: 2, Body: "from0"})
+				},
+			},
+			{
+				Name: "s2",
+				Init: func(string) string { return "y" },
+				Act: func(local string, _ int) []Action {
+					return Deterministic(local, Msg{To: 2, Body: "from1"})
+				},
+			},
+			{
+				Name: "r",
+				Init: func(string) string { return "" },
+				Recv: func(local string, delivered []Delivery, _ int) string {
+					out := local
+					for _, d := range delivered {
+						out += "|" + d.Body
+					}
+					return out
+				},
+			},
+		},
+		Inputs:       []string{"x"},
+		DeliveryProb: rat.One,
+		Rounds:       1,
+	}
+	sys := p.MustBuild()
+	tree := sys.Trees()[0]
+	got := string(tree.NodeAt(0, 1).State.Local(2))
+	if got != "|from0|from1" {
+		t.Errorf("receiver local = %q, want sorted deliveries", got)
+	}
+}
+
+// TestSchedulers exercises the scheduler flavor of type-1 adversary: a
+// two-agent race where each agent appends its mark when scheduled. Under
+// round-robin only one agent acts per round; under the everyone scheduler
+// both act.
+func TestSchedulers(t *testing.T) {
+	marker := func(name string) AgentDef {
+		return AgentDef{
+			Name: name,
+			Init: func(string) string { return name + ":" },
+			Act: func(local string, _ int) []Action {
+				return Deterministic(local + "x")
+			},
+		}
+	}
+	p := &Protocol{
+		Name:         "race",
+		Agents:       []AgentDef{marker("a"), marker("b")},
+		Inputs:       []string{"go"},
+		Schedulers:   []Scheduler{EveryoneScheduler(), RoundRobinScheduler(2)},
+		DeliveryProb: rat.One,
+		Rounds:       2,
+	}
+	sys := p.MustBuild()
+	if len(sys.Trees()) != 2 {
+		t.Fatalf("trees = %d, want one per scheduler", len(sys.Trees()))
+	}
+	all := sys.TreeByAdversary("race/go+all")
+	rr := sys.TreeByAdversary("race/go+rr")
+	if all == nil || rr == nil {
+		var names []string
+		for _, tr := range sys.Trees() {
+			names = append(names, tr.Adversary)
+		}
+		t.Fatalf("missing scheduler trees; have %v", names)
+	}
+	// Under "all", both agents acted twice.
+	leafAll := all.NodeAt(0, 2).State
+	if leafAll.Local(0) != "a:xx" || leafAll.Local(1) != "b:xx" {
+		t.Errorf("all-scheduler leaf = %v", leafAll)
+	}
+	// Under round robin, agent a acted in round 0 only, b in round 1 only.
+	leafRR := rr.NodeAt(0, 2).State
+	if leafRR.Local(0) != "a:x" || leafRR.Local(1) != "b:x" {
+		t.Errorf("rr-scheduler leaf = %v", leafRR)
+	}
+	// The agents themselves cannot tell which scheduler ran before any
+	// difference manifests: at time 0 their locals agree across trees, so
+	// knowledge spans both trees (the adversary is nondeterministic, not
+	// observed).
+	p0 := system.Point{Tree: all, Run: 0, Time: 0}
+	if sys.K(0, p0).SingleTree() != nil {
+		t.Error("agent should consider both scheduler trees possible at time 0")
+	}
+}
+
+// TestSchedulerUnscheduledStillReceives: an unscheduled agent keeps its
+// state but still receives messages.
+func TestSchedulerUnscheduledStillReceives(t *testing.T) {
+	p := &Protocol{
+		Name: "recv",
+		Agents: []AgentDef{
+			{
+				Name: "sender",
+				Init: func(string) string { return "s" },
+				Act: func(local string, _ int) []Action {
+					return Deterministic("s:sent", Msg{To: 1, Body: "hi"})
+				},
+			},
+			{
+				Name: "sleeper",
+				Init: func(string) string { return "z" },
+				Act: func(local string, _ int) []Action {
+					return Deterministic(local + "!") // never scheduled
+				},
+				Recv: func(local string, d []Delivery, _ int) string {
+					if len(d) > 0 {
+						return local + "+got"
+					}
+					return local
+				},
+			},
+		},
+		Inputs: []string{"x"},
+		Schedulers: []Scheduler{{
+			Name:   "only-sender",
+			Active: func(agent system.AgentID, _ int) bool { return agent == 0 },
+		}},
+		DeliveryProb: rat.One,
+		Rounds:       1,
+	}
+	sys := p.MustBuild()
+	leaf := sys.Trees()[0].NodeAt(0, 1).State
+	if leaf.Local(1) != "z+got" {
+		t.Errorf("sleeper local = %q, want state kept + message received", leaf.Local(1))
+	}
+}

@@ -1,0 +1,345 @@
+package rat
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	tests := []struct {
+		name     string
+		num, den int64
+		want     string
+	}{
+		{"half", 1, 2, "1/2"},
+		{"normalized", 2, 4, "1/2"},
+		{"integer", 6, 3, "2"},
+		{"zero", 0, 5, "0"},
+		{"negative num", -1, 2, "-1/2"},
+		{"negative den", 1, -2, "-1/2"},
+		{"both negative", -3, -4, "3/4"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := New(tt.num, tt.den).String(); got != tt.want {
+				t.Errorf("New(%d,%d) = %s, want %s", tt.num, tt.den, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewZeroDenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValue(t *testing.T) {
+	var x Rat
+	if !x.IsZero() {
+		t.Error("zero value is not zero")
+	}
+	if got := x.Add(One); !got.Equal(One) {
+		t.Errorf("0+1 = %s, want 1", got)
+	}
+	if got := x.String(); got != "0" {
+		t.Errorf("zero String() = %q, want \"0\"", got)
+	}
+	if x.Sign() != 0 {
+		t.Errorf("zero Sign() = %d", x.Sign())
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"3/4", "3/4", true},
+		{"0.25", "1/4", true},
+		{"7", "7", true},
+		{"-2/6", "-1/3", true},
+		{"99/100", "99/100", true},
+		{"", "", false},
+		{"x", "", false},
+		{"1/0", "", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := Parse(tt.in)
+			if tt.ok != (err == nil) {
+				t.Fatalf("Parse(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			}
+			if tt.ok && got.String() != tt.want {
+				t.Errorf("Parse(%q) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse(\"bogus\") did not panic")
+		}
+	}()
+	MustParse("bogus")
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := New(1, 2), New(1, 3)
+	if got := a.Add(b); !got.Equal(New(5, 6)) {
+		t.Errorf("1/2+1/3 = %s", got)
+	}
+	if got := a.Sub(b); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2-1/3 = %s", got)
+	}
+	if got := a.Mul(b); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2*1/3 = %s", got)
+	}
+	if got := a.Div(b); !got.Equal(New(3, 2)) {
+		t.Errorf("(1/2)/(1/3) = %s", got)
+	}
+	if got := a.Neg(); !got.Equal(New(-1, 2)) {
+		t.Errorf("-(1/2) = %s", got)
+	}
+	if got := b.Inv(); !got.Equal(New(3, 1)) {
+		t.Errorf("1/(1/3) = %s", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv of zero did not panic")
+		}
+	}()
+	Zero.Inv()
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := New(1, 3), New(1, 2)
+	if !a.Less(b) || !a.LessEq(b) || !a.LessEq(a) {
+		t.Error("Less/LessEq wrong")
+	}
+	if !b.Greater(a) || !b.GreaterEq(a) || !b.GreaterEq(b) {
+		t.Error("Greater/GreaterEq wrong")
+	}
+	if a.Equal(b) || !a.Equal(New(2, 6)) {
+		t.Error("Equal wrong")
+	}
+	if Min(a, b) != a || Max(a, b) != b {
+		t.Error("Min/Max wrong")
+	}
+	if Min(b, a) != a || Max(b, a) != b {
+		t.Error("Min/Max (swapped) wrong")
+	}
+}
+
+func TestSumProd(t *testing.T) {
+	if got := Sum(); !got.IsZero() {
+		t.Errorf("Sum() = %s", got)
+	}
+	if got := Prod(); !got.IsOne() {
+		t.Errorf("Prod() = %s", got)
+	}
+	if got := Sum(New(1, 4), New(1, 4), Half); !got.IsOne() {
+		t.Errorf("Sum = %s, want 1", got)
+	}
+	if got := Prod(Half, Half, New(2, 1)); !got.Equal(Half) {
+		t.Errorf("Prod = %s, want 1/2", got)
+	}
+}
+
+func TestPow(t *testing.T) {
+	tests := []struct {
+		base Rat
+		n    int
+		want Rat
+	}{
+		{Half, 0, One},
+		{Half, 1, Half},
+		{Half, 10, New(1, 1024)},
+		{New(2, 3), 3, New(8, 27)},
+		{Zero, 5, Zero},
+	}
+	for _, tt := range tests {
+		if got := Pow(tt.base, tt.n); !got.Equal(tt.want) {
+			t.Errorf("Pow(%s,%d) = %s, want %s", tt.base, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPowNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow(x,-1) did not panic")
+		}
+	}()
+	Pow(Half, -1)
+}
+
+func TestImmutability(t *testing.T) {
+	a := New(1, 2)
+	_ = a.Add(One)
+	_ = a.Mul(New(7, 3))
+	_ = a.Neg()
+	_ = a.Inv()
+	if !a.Equal(Half) {
+		t.Errorf("operand mutated: a = %s", a)
+	}
+	// Big() must return a copy.
+	b := a.Big()
+	b.SetInt64(42)
+	if !a.Equal(Half) {
+		t.Error("Big() leaked internal state")
+	}
+	// FromBig must copy its argument.
+	src := big.NewRat(1, 3)
+	c := FromBig(src)
+	src.SetInt64(9)
+	if !c.Equal(New(1, 3)) {
+		t.Error("FromBig aliased its argument")
+	}
+	if !FromBig(nil).IsZero() {
+		t.Error("FromBig(nil) != 0")
+	}
+}
+
+func TestInUnit(t *testing.T) {
+	for _, x := range []Rat{Zero, One, Half, New(99, 100)} {
+		if !x.InUnit() {
+			t.Errorf("%s should be in [0,1]", x)
+		}
+	}
+	for _, x := range []Rat{New(-1, 2), New(3, 2)} {
+		if x.InUnit() {
+			t.Errorf("%s should not be in [0,1]", x)
+		}
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := Half.Float64(); got != 0.5 {
+		t.Errorf("Half.Float64() = %v", got)
+	}
+}
+
+func TestKey(t *testing.T) {
+	if New(2, 4).Key() != New(1, 2).Key() {
+		t.Error("equal rationals have different keys")
+	}
+	if New(1, 2).Key() == New(1, 3).Key() {
+		t.Error("distinct rationals share a key")
+	}
+}
+
+// qr builds a Rat from arbitrary int64s supplied by testing/quick,
+// avoiding the zero denominator.
+func qr(num, den int64) Rat {
+	if den == 0 {
+		den = 1
+	}
+	return New(num, den)
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(an, ad, bn, bd int64) bool {
+		a, b := qr(an, ad), qr(bn, bd)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDistributesOverAdd(t *testing.T) {
+	f := func(an, ad, bn, bd, cn, cd int64) bool {
+		a, b, c := qr(an, ad), qr(bn, bd), qr(cn, cd)
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(an, ad, bn, bd int64) bool {
+		a, b := qr(an, ad), qr(bn, bd)
+		return a.Add(b).Sub(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(an, ad int64) bool {
+		a := qr(an, ad)
+		got, err := Parse(a.String())
+		return err == nil && got.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpTotalOrder(t *testing.T) {
+	f := func(an, ad, bn, bd int64) bool {
+		a, b := qr(an, ad), qr(bn, bd)
+		switch a.Cmp(b) {
+		case -1:
+			return b.Cmp(a) == 1 && a.Less(b)
+		case 0:
+			return a.Equal(b)
+		case 1:
+			return b.Cmp(a) == -1 && b.Less(a)
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInvInvolution(t *testing.T) {
+	f := func(an, ad int64) bool {
+		a := qr(an, ad)
+		if a.IsZero() {
+			return true
+		}
+		return a.Inv().Inv().Equal(a) && a.Mul(a.Inv()).IsOne()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(1, 3), New(2, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkPow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Pow(Half, 64)
+	}
+}

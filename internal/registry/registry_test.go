@@ -1,0 +1,73 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupAllFixedNames(t *testing.T) {
+	for _, name := range []string{
+		"introcoin", "vardi", "die", "biased", "fig1",
+		"ca1", "ca2", "ca3", "canever", "aces-fixed", "aces-random",
+	} {
+		t.Run(name, func(t *testing.T) {
+			e, err := Lookup(name)
+			if err != nil {
+				t.Fatalf("Lookup(%q): %v", name, err)
+			}
+			if e.Sys == nil || e.Name != name || e.Description == "" {
+				t.Errorf("entry malformed: %+v", e)
+			}
+			if e.Props == nil {
+				t.Error("nil props map")
+			}
+			// All propositions hold somewhere or fail somewhere — sanity:
+			// just evaluate each at every point without panicking.
+			for pname, fact := range e.Props {
+				for p := range e.Sys.Points() {
+					_ = fact.Holds(p)
+				}
+				if pname == "" {
+					t.Error("empty proposition name")
+				}
+			}
+		})
+	}
+}
+
+func TestLookupAsync(t *testing.T) {
+	e, err := Lookup("async:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Sys.Trees()[0].NumRuns(); got != 16 {
+		t.Errorf("async:4 runs = %d, want 16", got)
+	}
+	for _, bad := range []string{"async:", "async:0", "async:99", "async:x"} {
+		if _, err := Lookup(bad); err == nil {
+			t.Errorf("Lookup(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("nonsense")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "introcoin") {
+		t.Errorf("error should list known names: %v", err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package system
+
+import (
+	"testing"
+
+	"kpa/internal/rat"
+)
+
+// buildBinaryTree builds a complete binary tree of the given depth with one
+// all-seeing agent.
+func buildBinaryTree(depth int) *Tree {
+	tb := NewTree("bench", gs("", "a:"))
+	frontier := []NodeID{0}
+	hist := []string{""}
+	for d := 0; d < depth; d++ {
+		var nf []NodeID
+		var nh []string
+		for i, id := range frontier {
+			for _, c := range []string{"0", "1"} {
+				h := hist[i] + c
+				nf = append(nf, tb.Child(id, rat.Half, gs(h, "a:"+h)))
+				nh = append(nh, h)
+			}
+		}
+		frontier, hist = nf, nh
+	}
+	return tb.MustBuild()
+}
+
+func BenchmarkTreeBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = buildBinaryTree(8)
+	}
+}
+
+func BenchmarkSystemIndices(b *testing.B) {
+	tree := buildBinaryTree(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(1, tree); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		// New caches per-tree state inside the system only; rebuild the
+		// tree is not needed, indices are recomputed per New call.
+		b.StartTimer()
+	}
+}
+
+func BenchmarkKnowledgeQuery(b *testing.B) {
+	sys := MustNew(1, buildBinaryTree(8))
+	tree := sys.Trees()[0]
+	p := Point{Tree: tree, Run: 0, Time: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.K(0, p)
+	}
+}
+
+func BenchmarkRunSetOps(b *testing.B) {
+	a := NewRunSet(4096)
+	c := NewRunSet(4096)
+	for i := 0; i < 4096; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		c.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Union(c).Intersect(a.Complement()).Len()
+	}
+}
+
+func BenchmarkTreeProb(b *testing.B) {
+	tree := buildBinaryTree(10)
+	rs := tree.AllRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tree.Prob(rs)
+	}
+}

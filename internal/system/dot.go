@@ -1,0 +1,65 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the computation tree in Graphviz dot format: nodes show the
+// global state, edges are labelled with their transition probabilities
+// (exact rationals). Useful for inspecting small trees:
+//
+//	go run ./cmd/kpacheck -system introcoin -dot | dot -Tsvg > tree.svg
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", t.Adversary)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		label := fmt.Sprintf("t=%d\\n%s", n.Time, dotEscape(stateLabel(n.State)))
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", n.ID, label)
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		for _, e := range n.Edges {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%s\"];\n", n.ID, e.Child, e.Prob)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// stateLabel renders a global state compactly for DOT labels.
+func stateLabel(g GlobalState) string {
+	parts := make([]string, 0, len(g.Locals)+1)
+	if g.Env != "" {
+		parts = append(parts, "env: "+g.Env)
+	}
+	for i, l := range g.Locals {
+		parts = append(parts, fmt.Sprintf("p%d: %s", i+1, l))
+	}
+	return strings.Join(parts, "\\n")
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	// Preserve intentional \n label breaks; escape stray control bytes.
+	s = strings.Map(func(r rune) rune {
+		if r < 32 && r != '\n' {
+			return '?'
+		}
+		return r
+	}, s)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// SystemDOT renders every tree of the system as separate digraphs in one
+// document.
+func SystemDOT(s *System) string {
+	var b strings.Builder
+	for _, t := range s.Trees() {
+		b.WriteString(t.DOT())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

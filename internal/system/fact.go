@@ -1,0 +1,139 @@
+package system
+
+// Fact is a fact in the sense of Section 2: a (semantic) property of points.
+// We identify a fact with the set of points at which it is true; Holds
+// reports membership. Facts are the raw semantic objects; the formulas of
+// the logic package evaluate to facts.
+type Fact interface {
+	// Holds reports whether the fact is true at point p.
+	Holds(p Point) bool
+	// String names the fact for diagnostics.
+	String() string
+}
+
+// FactFunc adapts a predicate on points into a Fact.
+type FactFunc struct {
+	Name string
+	Fn   func(Point) bool
+}
+
+var _ Fact = FactFunc{}
+
+// Holds implements Fact.
+func (f FactFunc) Holds(p Point) bool { return f.Fn(p) }
+
+func (f FactFunc) String() string { return f.Name }
+
+// NewFact returns a Fact with the given name and predicate.
+func NewFact(name string, fn func(Point) bool) Fact {
+	return FactFunc{Name: name, Fn: fn}
+}
+
+// StateFact returns a fact about the global state: true at exactly the
+// points whose global state satisfies the predicate.
+func StateFact(name string, fn func(GlobalState) bool) Fact {
+	return FactFunc{Name: name, Fn: func(p Point) bool { return fn(p.State()) }}
+}
+
+// LocalFact returns a fact about agent i's local state.
+func LocalFact(name string, i AgentID, fn func(LocalState) bool) Fact {
+	return FactFunc{Name: name, Fn: func(p Point) bool { return fn(p.Local(i)) }}
+}
+
+// EnvFact returns a fact about the environment's state.
+func EnvFact(name string, fn func(string) bool) Fact {
+	return FactFunc{Name: name, Fn: func(p Point) bool { return fn(p.Env()) }}
+}
+
+// FactOfSet returns the fact "p ∈ s".
+func FactOfSet(name string, s PointSet) Fact {
+	return FactFunc{Name: name, Fn: s.Contains}
+}
+
+// AtState returns the fact true at exactly the points with global state g —
+// the primitive proposition that the paper's "sufficiently rich" languages
+// contain for every global state.
+func AtState(g GlobalState) Fact {
+	key := g.Key()
+	return FactFunc{
+		Name: "at" + g.String(),
+		Fn:   func(p Point) bool { return p.State().Key() == key },
+	}
+}
+
+// PointsWhere returns the subset of universe where the fact holds — the
+// paper's S(φ) notation.
+func PointsWhere(universe PointSet, phi Fact) PointSet {
+	return universe.Filter(phi.Holds)
+}
+
+// IsFactAboutRun reports whether φ is a fact about the run in system s:
+// given two points of the same run, φ is true at both or false at both.
+func IsFactAboutRun(s *System, phi Fact) bool {
+	for _, t := range s.Trees() {
+		for r := 0; r < t.NumRuns(); r++ {
+			first := phi.Holds(Point{Tree: t, Run: r, Time: 0})
+			for k := 1; k < t.RunLen(r); k++ {
+				if phi.Holds(Point{Tree: t, Run: r, Time: k}) != first {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsFactAboutState reports whether φ is a fact about the global state in
+// system s: any two points with the same global state agree on φ.
+func IsFactAboutState(s *System, phi Fact) bool {
+	val := make(map[string]bool)
+	for p := range s.Points() {
+		key := p.State().Key()
+		h := phi.Holds(p)
+		if prev, seen := val[key]; seen {
+			if prev != h {
+				return false
+			}
+		} else {
+			val[key] = h
+		}
+	}
+	return true
+}
+
+// Not returns the negation of a fact.
+func Not(phi Fact) Fact {
+	return FactFunc{
+		Name: "¬" + phi.String(),
+		Fn:   func(p Point) bool { return !phi.Holds(p) },
+	}
+}
+
+// AndFact returns the conjunction of facts.
+func AndFact(phis ...Fact) Fact {
+	name := "("
+	for i, f := range phis {
+		if i > 0 {
+			name += " ∧ "
+		}
+		name += f.String()
+	}
+	name += ")"
+	return FactFunc{
+		Name: name,
+		Fn: func(p Point) bool {
+			for _, f := range phis {
+				if !f.Holds(p) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// TrueFact is the fact true at every point.
+var TrueFact Fact = FactFunc{Name: "true", Fn: func(Point) bool { return true }}
+
+// FalseFact is the fact false at every point.
+var FalseFact Fact = FactFunc{Name: "false", Fn: func(Point) bool { return false }}

@@ -1,0 +1,87 @@
+package system
+
+import (
+	"fmt"
+
+	"kpa/internal/rat"
+)
+
+// EdgeRef identifies an edge of a tree by its parent node and the index of
+// the edge in the parent's edge list.
+type EdgeRef struct {
+	Parent NodeID
+	Index  int
+}
+
+// Relabel returns a new tree with the same shape and global states but new
+// transition probabilities. probs is consulted for every edge; returning a
+// zero Rat (ok=false) keeps the original label. The new labels are validated
+// as in Build.
+//
+// Relabel implements the paper's quantification over "transition probability
+// assignments τ for an unlabelled tree" (Section 6, Theorems 7–8): the same
+// computation tree structure considered under different labellings.
+func (t *Tree) Relabel(probs func(EdgeRef) (rat.Rat, bool)) (*Tree, error) {
+	nt := &Tree{Adversary: t.Adversary}
+	nt.nodes = make([]Node, len(t.nodes))
+	for i, n := range t.nodes {
+		cp := n
+		cp.Edges = make([]Edge, len(n.Edges))
+		copy(cp.Edges, n.Edges)
+		nt.nodes[i] = cp
+	}
+	for i := range nt.nodes {
+		n := &nt.nodes[i]
+		for e := range n.Edges {
+			if p, ok := probs(EdgeRef{Parent: n.ID, Index: e}); ok {
+				n.Edges[e].Prob = p
+			}
+		}
+	}
+	// Validate as Build does.
+	for i := range nt.nodes {
+		n := &nt.nodes[i]
+		if n.Time > nt.depth {
+			nt.depth = n.Time
+		}
+		if len(n.Edges) == 0 {
+			continue
+		}
+		sum := rat.Zero
+		for _, e := range n.Edges {
+			if e.Prob.Sign() <= 0 {
+				return nil, fmt.Errorf("relabel tree %q: node %d has non-positive probability %s",
+					nt.Adversary, n.ID, e.Prob)
+			}
+			sum = sum.Add(e.Prob)
+		}
+		if !sum.IsOne() {
+			return nil, fmt.Errorf("relabel tree %q: node %d probabilities sum to %s",
+				nt.Adversary, n.ID, sum)
+		}
+	}
+	nt.enumerateRuns()
+	return nt, nil
+}
+
+// PathTo returns the edges from the root to the given node, in order.
+func (t *Tree) PathTo(id NodeID) []EdgeRef {
+	var rev []EdgeRef
+	for id != 0 {
+		parent := t.nodes[id].Parent
+		idx := -1
+		for e, edge := range t.nodes[parent].Edges {
+			if edge.Child == id {
+				idx = e
+				break
+			}
+		}
+		rev = append(rev, EdgeRef{Parent: parent, Index: idx})
+		id = parent
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

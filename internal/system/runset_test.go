@@ -1,0 +1,155 @@
+package system
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func runSetFrom(n int, members ...int) RunSet {
+	s := NewRunSet(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+func TestRunSetBasics(t *testing.T) {
+	s := NewRunSet(130) // spans three words
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, r := range []int{0, 63, 64, 127, 129} {
+		s.Add(r)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+	for _, r := range []int{0, 63, 64, 127, 129} {
+		if !s.Contains(r) {
+			t.Errorf("missing %d", r)
+		}
+	}
+	if s.Contains(1) || s.Contains(128) {
+		t.Error("contains unexpected element")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Len() != 4 {
+		t.Error("Remove failed")
+	}
+	if s.Universe() != 130 {
+		t.Errorf("Universe = %d", s.Universe())
+	}
+}
+
+func TestRunSetOps(t *testing.T) {
+	a := runSetFrom(10, 1, 2, 3)
+	b := runSetFrom(10, 3, 4)
+	if got := a.Union(b); got.Len() != 4 || !got.Contains(4) {
+		t.Errorf("Union = %s", got)
+	}
+	if got := a.Intersect(b); got.Len() != 1 || !got.Contains(3) {
+		t.Errorf("Intersect = %s", got)
+	}
+	if got := a.Minus(b); got.Len() != 2 || got.Contains(3) {
+		t.Errorf("Minus = %s", got)
+	}
+	if !runSetFrom(10, 1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.Equal(runSetFrom(10, 3, 2, 1)) || a.Equal(b) {
+		t.Error("Equal wrong")
+	}
+	c := a.Clone()
+	c.Add(9)
+	if a.Contains(9) {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestRunSetComplement(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 65, 100} {
+		s := NewRunSet(n)
+		s.Add(0)
+		comp := s.Complement()
+		if comp.Len() != n-1 {
+			t.Errorf("n=%d: |complement| = %d, want %d", n, comp.Len(), n-1)
+		}
+		if comp.Contains(0) {
+			t.Errorf("n=%d: complement contains removed element", n)
+		}
+		if !s.Complement().Complement().Equal(s) {
+			t.Errorf("n=%d: double complement broken", n)
+		}
+		// Union with complement is the universe.
+		if got := s.Union(comp).Len(); got != n {
+			t.Errorf("n=%d: s ∪ sᶜ has %d elements, want %d", n, got, n)
+		}
+	}
+}
+
+func TestRunSetString(t *testing.T) {
+	if got := runSetFrom(10, 2, 5).String(); got != "{2,5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewRunSet(4).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestRunSetRunsSorted(t *testing.T) {
+	s := runSetFrom(100, 99, 0, 50)
+	got := s.Runs()
+	want := []int{0, 50, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Runs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Runs = %v, want %v", got, want)
+		}
+	}
+}
+
+// quickSet turns a bitmask into a RunSet over a 64-run universe.
+func quickSet(mask uint64) RunSet {
+	s := NewRunSet(64)
+	for i := 0; i < 64; i++ {
+		if mask&(1<<i) != 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(am, bm uint64) bool {
+		a, b := quickSet(am), quickSet(bm)
+		lhs := a.Union(b).Complement()
+		rhs := a.Complement().Intersect(b.Complement())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinusIsIntersectComplement(t *testing.T) {
+	f := func(am, bm uint64) bool {
+		a, b := quickSet(am), quickSet(bm)
+		return a.Minus(b).Equal(a.Intersect(b.Complement()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetUnionAbsorption(t *testing.T) {
+	f := func(am, bm uint64) bool {
+		a, b := quickSet(am), quickSet(bm)
+		u := a.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u) && u.Intersect(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+package system
+
+import (
+	"fmt"
+)
+
+// System is a probabilistic system in the sense of Section 3: a collection
+// of labelled computation trees, one per type-1 adversary, over a common set
+// of agents. The trees are separate probability spaces; the nondeterministic
+// choices distinguishing them have been factored out by the adversary.
+type System struct {
+	numAgents int
+	trees     []*Tree
+
+	points     PointSet                     // all points, cached
+	byLocal    []map[LocalState][]Point     // agent → local state → points
+	byState    map[string][]Point           // global-state key → points
+	treeByName map[string]*Tree             // adversary name → tree
+	timeIndex  map[*Tree]map[int][]Point    // tree → time → points
+	nodePoints map[*Tree]map[NodeID][]Point // tree → node → points on it
+	synchOnce  bool
+	synchVal   bool
+}
+
+// New assembles a system from computation trees. It validates that every
+// global state has exactly numAgents local states, that adversary names are
+// unique, and — the paper's technical assumption — that no global state
+// appears in two different trees or at two different nodes of one tree.
+func New(numAgents int, trees ...*Tree) (*System, error) {
+	if numAgents < 1 {
+		return nil, fmt.Errorf("system: need at least one agent, got %d", numAgents)
+	}
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("system: need at least one computation tree")
+	}
+	s := &System{
+		numAgents:  numAgents,
+		trees:      trees,
+		treeByName: make(map[string]*Tree, len(trees)),
+	}
+	seenStates := make(map[string]string) // state key → adversary of first sighting
+	for _, t := range trees {
+		if _, dup := s.treeByName[t.Adversary]; dup {
+			return nil, fmt.Errorf("system: duplicate adversary name %q", t.Adversary)
+		}
+		s.treeByName[t.Adversary] = t
+		for i := 0; i < t.NumNodes(); i++ {
+			n := t.Node(NodeID(i))
+			if got := n.State.NumAgents(); got != numAgents {
+				return nil, fmt.Errorf("system: tree %q node %d has %d local states, want %d",
+					t.Adversary, n.ID, got, numAgents)
+			}
+			key := n.State.Key()
+			if prev, ok := seenStates[key]; ok {
+				return nil, fmt.Errorf(
+					"system: global state %s appears twice (trees %q and %q); "+
+						"the environment component must encode the adversary and history",
+					n.State, prev, t.Adversary)
+			}
+			seenStates[key] = t.Adversary
+		}
+	}
+	s.buildIndices()
+	return s, nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples.
+func MustNew(numAgents int, trees ...*Tree) *System {
+	s, err := New(numAgents, trees...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) buildIndices() {
+	s.points = make(PointSet)
+	s.byLocal = make([]map[LocalState][]Point, s.numAgents)
+	for i := range s.byLocal {
+		s.byLocal[i] = make(map[LocalState][]Point)
+	}
+	s.byState = make(map[string][]Point)
+	s.timeIndex = make(map[*Tree]map[int][]Point, len(s.trees))
+	s.nodePoints = make(map[*Tree]map[NodeID][]Point, len(s.trees))
+	for _, t := range s.trees {
+		s.timeIndex[t] = make(map[int][]Point)
+		s.nodePoints[t] = make(map[NodeID][]Point)
+		for r := 0; r < t.NumRuns(); r++ {
+			for k := 0; k < t.RunLen(r); k++ {
+				p := Point{Tree: t, Run: r, Time: k}
+				s.points.Add(p)
+				st := p.State()
+				for i := 0; i < s.numAgents; i++ {
+					l := st.Local(AgentID(i))
+					s.byLocal[i][l] = append(s.byLocal[i][l], p)
+				}
+				s.byState[st.Key()] = append(s.byState[st.Key()], p)
+				s.timeIndex[t][k] = append(s.timeIndex[t][k], p)
+				s.nodePoints[t][t.runs[r][k]] = append(s.nodePoints[t][t.runs[r][k]], p)
+			}
+		}
+	}
+}
+
+// NumAgents returns the number of agents in the system.
+func (s *System) NumAgents() int { return s.numAgents }
+
+// Agents returns the agent IDs 0..n−1.
+func (s *System) Agents() []AgentID {
+	out := make([]AgentID, s.numAgents)
+	for i := range out {
+		out[i] = AgentID(i)
+	}
+	return out
+}
+
+// Trees returns the system's computation trees. The slice must not be
+// modified.
+func (s *System) Trees() []*Tree { return s.trees }
+
+// TreeByAdversary returns the tree for the named type-1 adversary, or nil.
+func (s *System) TreeByAdversary(name string) *Tree { return s.treeByName[name] }
+
+// Points returns the set of all points of the system. The returned set must
+// not be modified; Clone it first.
+func (s *System) Points() PointSet { return s.points }
+
+// PointsOfTree returns all points lying in tree t.
+func (s *System) PointsOfTree(t *Tree) PointSet {
+	u := make(PointSet)
+	for p := range s.points {
+		if p.Tree == t {
+			u[p] = struct{}{}
+		}
+	}
+	return u
+}
+
+// PointsAtTime returns the points of tree t at time k.
+func (s *System) PointsAtTime(t *Tree, k int) []Point { return s.timeIndex[t][k] }
+
+// PointsOnNode returns the points (run, time) lying on the given node of
+// tree t — one per run through the node.
+func (s *System) PointsOnNode(t *Tree, id NodeID) []Point { return s.nodePoints[t][id] }
+
+// PointsWithState returns all points whose global state equals g.
+func (s *System) PointsWithState(g GlobalState) []Point { return s.byState[g.Key()] }
+
+// K returns K_i(c): the set of points agent i considers possible at c —
+// all points of the system at which i has the same local state as at c.
+// This is the possibility relation ∼_i of Section 2; it may span several
+// computation trees.
+func (s *System) K(i AgentID, c Point) PointSet {
+	pts := s.byLocal[i][c.Local(i)]
+	u := make(PointSet, len(pts))
+	for _, p := range pts {
+		u[p] = struct{}{}
+	}
+	return u
+}
+
+// KInTree returns Tree_ic = {d ∈ T(c) : c ∼_i d}: the points of c's own
+// computation tree that agent i considers possible at c (Section 6).
+func (s *System) KInTree(i AgentID, c Point) PointSet {
+	u := make(PointSet)
+	for _, p := range s.byLocal[i][c.Local(i)] {
+		if p.Tree == c.Tree {
+			u[p] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Knows reports whether agent i knows fact φ at c: whether φ holds at every
+// point of K_i(c).
+func (s *System) Knows(i AgentID, c Point, phi Fact) bool {
+	for p := range s.K(i, c) {
+		if !phi.Holds(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSynchronous reports whether the system is synchronous in the sense of
+// [HV89]: whenever an agent has the same local state at (r,k) and (r′,k′),
+// then k = k′. Equivalently, every agent can read the time off its local
+// state. The result is computed once and cached.
+func (s *System) IsSynchronous() bool {
+	if s.synchOnce {
+		return s.synchVal
+	}
+	s.synchOnce = true
+	s.synchVal = true
+	for i := 0; i < s.numAgents && s.synchVal; i++ {
+		for _, pts := range s.byLocal[i] {
+			for j := 1; j < len(pts); j++ {
+				if pts[j].Time != pts[0].Time {
+					s.synchVal = false
+				}
+			}
+		}
+	}
+	return s.synchVal
+}
+
+// SameLocalTimes reports, for diagnostics, the first synchrony violation:
+// an agent and two points it cannot distinguish at different times.
+func (s *System) SameLocalTimes() (AgentID, Point, Point, bool) {
+	for i := 0; i < s.numAgents; i++ {
+		for _, pts := range s.byLocal[i] {
+			for j := 1; j < len(pts); j++ {
+				if pts[j].Time != pts[0].Time {
+					return AgentID(i), pts[0], pts[j], true
+				}
+			}
+		}
+	}
+	return 0, Point{}, Point{}, false
+}

@@ -1,0 +1,45 @@
+package twoaces_test
+
+import (
+	"fmt"
+	"strings"
+
+	"kpa/internal/core"
+	"kpa/internal/twoaces"
+)
+
+// Example reproduces the puzzle's protocol dependence: after "I hold the
+// ace of spades", the probability of both aces is 1/3 under the
+// fixed-questions protocol but 1/5 under the random-ace protocol.
+func Example() {
+	for _, tc := range []struct {
+		variant twoaces.Variant
+		match   string
+	}{
+		{twoaces.VariantFixedQuestions, "spades-yes"},
+		{twoaces.VariantRandomAce, "suit=spades"},
+	} {
+		sys, err := twoaces.Build(tc.variant)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		post := core.NewProbAssignment(sys, core.Post(sys))
+		tree := sys.Trees()[0]
+		for _, p := range sys.PointsAtTime(tree, 3) {
+			if !strings.Contains(string(p.Local(twoaces.Listener)), tc.match) {
+				continue
+			}
+			pr, err := post.MustSpace(twoaces.Listener, p).ProbFact(twoaces.BothAces())
+			if err != nil {
+				fmt.Println(err)
+				return
+			}
+			fmt.Printf("%s: %s\n", tc.variant, pr)
+			break
+		}
+	}
+	// Output:
+	// fixed-questions: 1/3
+	// random-ace: 1/5
+}

@@ -1,0 +1,244 @@
+// Package twoaces implements Freund's puzzle of the two aces (Appendix B.1
+// of the paper, after Shafer [Sha85]): from a four-card deck — the aces and
+// deuces of hearts and spades — two cards are dealt to p1, and p2 updates
+// its probability that p1 holds both aces as p1 makes announcements.
+//
+// The puzzle: after learning p1 holds an ace, Pr(both aces) = 1/5; after
+// learning p1 holds the ace of spades, is it 1/3 or still 1/5? Shafer's
+// resolution, which the paper endorses, is that the answer depends on the
+// protocol: if the agents agreed in advance that p1 would answer "do you
+// hold the ace of spades?", the probability rises to 1/3; if instead p1
+// announces the suit of an ace it holds, choosing at random when it holds
+// both, the probability stays 1/5. Both protocols are built here as
+// systems, and conditioning p2's posterior (the P^post assignment) on its
+// local state mechanically produces both answers.
+package twoaces
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kpa/internal/protocol"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Agent indices.
+const (
+	// Holder is p1, who is dealt the two cards.
+	Holder system.AgentID = 0
+	// Listener is p2, who hears the announcements.
+	Listener system.AgentID = 1
+)
+
+// The four cards.
+const (
+	AceSpades   = "AS"
+	AceHearts   = "AH"
+	DeuceSpades = "2S"
+	DeuceHearts = "2H"
+)
+
+// Hands enumerates the six equally likely two-card hands.
+func Hands() [][2]string {
+	return [][2]string{
+		{AceSpades, AceHearts},
+		{AceSpades, DeuceSpades},
+		{AceSpades, DeuceHearts},
+		{AceHearts, DeuceSpades},
+		{AceHearts, DeuceHearts},
+		{DeuceSpades, DeuceHearts},
+	}
+}
+
+// Variant selects the announcement protocol.
+type Variant int
+
+// The protocol variants of Appendix B.1.
+const (
+	// VariantFixedQuestions: p1 first says whether it holds an ace, then
+	// whether it holds the ace of spades.
+	VariantFixedQuestions Variant = iota + 1
+	// VariantRandomAce: p1 first says whether it holds an ace; if it does,
+	// it then announces the suit of one of its aces, choosing uniformly at
+	// random when it holds both.
+	VariantRandomAce
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantFixedQuestions:
+		return "fixed-questions"
+	case VariantRandomAce:
+		return "random-ace"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Build compiles the protocol: round 0 deals the hand (a fair shuffle:
+// each of the six hands with probability 1/6), round 1 announces ace/no
+// ace, round 2 makes the variant's second announcement. The system is
+// synchronous; points at times 0..3.
+func Build(v Variant) (*system.System, error) {
+	if v != VariantFixedQuestions && v != VariantRandomAce {
+		return nil, fmt.Errorf("twoaces: unknown variant %v", v)
+	}
+	holder := protocol.AgentDef{
+		Name: "p1",
+		Init: func(string) string { return "p1|r0" },
+		Act: func(local string, round int) []protocol.Action {
+			switch round {
+			case 0:
+				hands := Hands()
+				acts := make([]protocol.Action, len(hands))
+				for i, h := range hands {
+					acts[i] = protocol.Action{
+						Prob:     rat.New(1, 6),
+						NewLocal: bump(local) + ",hand=" + h[0] + "+" + h[1],
+					}
+				}
+				return acts
+			case 1:
+				ans := "no-ace"
+				if HasAce(handOf(local)) {
+					ans = "ace"
+				}
+				return protocol.Deterministic(bump(local),
+					protocol.Msg{To: Listener, Body: ans})
+			case 2:
+				hand := handOf(local)
+				switch v {
+				case VariantFixedQuestions:
+					ans := "spades-no"
+					if hasCard(hand, AceSpades) {
+						ans = "spades-yes"
+					}
+					return protocol.Deterministic(bump(local),
+						protocol.Msg{To: Listener, Body: ans})
+				default: // VariantRandomAce
+					hasS, hasH := hasCard(hand, AceSpades), hasCard(hand, AceHearts)
+					switch {
+					case hasS && hasH:
+						return []protocol.Action{
+							{Prob: rat.Half, NewLocal: bump(local),
+								Send: []protocol.Msg{{To: Listener, Body: "suit=spades"}}},
+							{Prob: rat.Half, NewLocal: bump(local),
+								Send: []protocol.Msg{{To: Listener, Body: "suit=hearts"}}},
+						}
+					case hasS:
+						return protocol.Deterministic(bump(local),
+							protocol.Msg{To: Listener, Body: "suit=spades"})
+					case hasH:
+						return protocol.Deterministic(bump(local),
+							protocol.Msg{To: Listener, Body: "suit=hearts"})
+					default:
+						return protocol.Deterministic(bump(local),
+							protocol.Msg{To: Listener, Body: "no-ace"})
+					}
+				}
+			default:
+				return protocol.Deterministic(bump(local))
+			}
+		},
+	}
+	listener := protocol.AgentDef{
+		Name: "p2",
+		Init: func(string) string { return "p2|r0" },
+		Act: func(local string, _ int) []protocol.Action {
+			return protocol.Deterministic(bump(local))
+		},
+		Recv: func(local string, delivered []protocol.Delivery, _ int) string {
+			for _, d := range delivered {
+				local += "," + d.Body
+			}
+			return local
+		},
+	}
+	p := &protocol.Protocol{
+		Name:         "twoaces-" + v.String(),
+		Agents:       []protocol.AgentDef{holder, listener},
+		Inputs:       []string{"deal"},
+		DeliveryProb: rat.One,
+		Rounds:       3,
+	}
+	return p.Build()
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(v Variant) *system.System {
+	sys, err := Build(v)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// bump advances a local state's round counter "x|r<k>...".
+func bump(local string) string {
+	head, tail, _ := strings.Cut(local, "|")
+	var round int
+	rest := ""
+	if idx := strings.Index(tail, ","); idx >= 0 {
+		fmt.Sscanf(tail[:idx], "r%d", &round)
+		rest = tail[idx:]
+	} else {
+		fmt.Sscanf(tail, "r%d", &round)
+	}
+	return head + "|r" + strconv.Itoa(round+1) + rest
+}
+
+// handOf extracts the dealt hand from p1's local state.
+func handOf(local string) [2]string {
+	idx := strings.Index(local, "hand=")
+	if idx < 0 {
+		return [2]string{}
+	}
+	spec := local[idx+len("hand="):]
+	if end := strings.IndexByte(spec, ','); end >= 0 {
+		spec = spec[:end]
+	}
+	a, b, _ := strings.Cut(spec, "+")
+	return [2]string{a, b}
+}
+
+func hasCard(hand [2]string, card string) bool {
+	return hand[0] == card || hand[1] == card
+}
+
+// HasAce reports whether the hand contains at least one ace (event B).
+func HasAce(hand [2]string) bool {
+	return hasCard(hand, AceSpades) || hasCard(hand, AceHearts)
+}
+
+// BothAces is event A: p1 holds both aces.
+func BothAces() system.Fact {
+	return system.NewFact("bothAces", func(p system.Point) bool {
+		h := handOf(string(p.Local(Holder)))
+		return hasCard(h, AceSpades) && hasCard(h, AceHearts)
+	})
+}
+
+// HoldsAce is event B: p1 holds at least one ace.
+func HoldsAce() system.Fact {
+	return system.NewFact("holdsAce", func(p system.Point) bool {
+		return HasAce(handOf(string(p.Local(Holder))))
+	})
+}
+
+// HoldsAceOfSpades is event C: p1 holds the ace of spades.
+func HoldsAceOfSpades() system.Fact {
+	return system.NewFact("holdsAS", func(p system.Point) bool {
+		return hasCard(handOf(string(p.Local(Holder))), AceSpades)
+	})
+}
+
+// ListenerHeard returns the fact "p2's local state records the given
+// announcement".
+func ListenerHeard(announcement string) system.Fact {
+	return system.NewFact("heard("+announcement+")", func(p system.Point) bool {
+		return strings.Contains(string(p.Local(Listener)), ","+announcement)
+	})
+}

@@ -1,0 +1,237 @@
+package twoaces
+
+import (
+	"testing"
+
+	"kpa/internal/core"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// listenerProb returns p2's posterior probability of the fact at a time-k
+// point where p2's local state matches the predicate (there must be at
+// least one such point; all matching points share the same P^post space
+// since it is a function of p2's local state).
+func listenerProb(t *testing.T, sys *system.System, k int, match func(string) bool, phi system.Fact) rat.Rat {
+	t.Helper()
+	post := core.NewProbAssignment(sys, core.Post(sys))
+	tree := sys.Trees()[0]
+	for _, p := range sys.PointsAtTime(tree, k) {
+		if !match(string(p.Local(Listener))) {
+			continue
+		}
+		sp := post.MustSpace(Listener, p)
+		pr, err := sp.ProbFact(phi)
+		if err != nil {
+			t.Fatalf("ProbFact: %v", err)
+		}
+		return pr
+	}
+	t.Fatalf("no matching listener point at time %d", k)
+	return rat.Rat{}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Variant(9)); err == nil {
+		t.Error("accepted unknown variant")
+	}
+	if VariantFixedQuestions.String() != "fixed-questions" ||
+		VariantRandomAce.String() != "random-ace" {
+		t.Error("variant names wrong")
+	}
+	if Variant(9).String() == "" {
+		t.Error("unknown variant should still render")
+	}
+}
+
+func TestSystemShape(t *testing.T) {
+	fixed := MustBuild(VariantFixedQuestions)
+	if !fixed.IsSynchronous() {
+		t.Error("fixed-questions system should be synchronous")
+	}
+	// Deterministic announcements: 6 runs (one per hand).
+	if got := fixed.Trees()[0].NumRuns(); got != 6 {
+		t.Errorf("fixed runs = %d, want 6", got)
+	}
+	random := MustBuild(VariantRandomAce)
+	// The both-aces hand splits in two: 7 runs.
+	if got := random.Trees()[0].NumRuns(); got != 7 {
+		t.Errorf("random runs = %d, want 7", got)
+	}
+	if !random.Trees()[0].Prob(random.Trees()[0].AllRuns()).IsOne() {
+		t.Error("run probabilities do not sum to 1")
+	}
+}
+
+// TestPriorProbabilities reproduces the puzzle's base numbers: Pr(A) = 1/6,
+// Pr(B) = 5/6, Pr(C) = Pr(D) = 1/2, before any announcement.
+func TestPriorProbabilities(t *testing.T) {
+	sys := MustBuild(VariantFixedQuestions)
+	anyState := func(string) bool { return true }
+	if pr := listenerProb(t, sys, 1, anyState, BothAces()); !pr.Equal(rat.New(1, 6)) {
+		t.Errorf("Pr(A) = %s, want 1/6", pr)
+	}
+	if pr := listenerProb(t, sys, 1, anyState, HoldsAce()); !pr.Equal(rat.New(5, 6)) {
+		t.Errorf("Pr(B) = %s, want 5/6", pr)
+	}
+	if pr := listenerProb(t, sys, 1, anyState, HoldsAceOfSpades()); !pr.Equal(rat.Half) {
+		t.Errorf("Pr(C) = %s, want 1/2", pr)
+	}
+}
+
+// TestAfterAceAnnouncement: learning B, p2's probability of A rises to
+// Pr(A|B) = 1/5 in both protocols.
+func TestAfterAceAnnouncement(t *testing.T) {
+	for _, v := range []Variant{VariantFixedQuestions, VariantRandomAce} {
+		sys := MustBuild(v)
+		// Sanity: the string match agrees with the ListenerHeard fact.
+		heardAce := ListenerHeard("ace")
+		p := findListenerPoint(t, sys, 2, "p2|r2,ace")
+		if !heardAce.Holds(p) {
+			t.Fatalf("%s: ListenerHeard disagrees with the local state", v)
+		}
+		pr := listenerProb(t, sys, 2, func(l string) bool {
+			return contains(l, ",ace")
+		}, BothAces())
+		if !pr.Equal(rat.New(1, 5)) {
+			t.Errorf("%s: Pr(A | ace) = %s, want 1/5", v, pr)
+		}
+	}
+}
+
+// TestFixedQuestionsSecondAnswer: under the agreed-questions protocol,
+// learning C raises the probability to Pr(A|C) = 1/3 — and learning ¬C
+// (p1 lacks the ace of spades) drops it to 0.
+func TestFixedQuestionsSecondAnswer(t *testing.T) {
+	sys := MustBuild(VariantFixedQuestions)
+	pr := listenerProb(t, sys, 3, func(l string) bool {
+		return contains(l, ",ace") && contains(l, "spades-yes")
+	}, BothAces())
+	if !pr.Equal(rat.New(1, 3)) {
+		t.Errorf("Pr(A | ace, spades-yes) = %s, want 1/3", pr)
+	}
+	pr0 := listenerProb(t, sys, 3, func(l string) bool {
+		return contains(l, ",ace") && contains(l, "spades-no")
+	}, BothAces())
+	if !pr0.IsZero() {
+		t.Errorf("Pr(A | ace, spades-no) = %s, want 0", pr0)
+	}
+}
+
+// TestRandomAceSecondAnswer: under the random-ace protocol, hearing
+// "suit=spades" leaves the probability at 1/5 — the announcement carries no
+// information about the second card.
+func TestRandomAceSecondAnswer(t *testing.T) {
+	sys := MustBuild(VariantRandomAce)
+	for _, suit := range []string{"suit=spades", "suit=hearts"} {
+		pr := listenerProb(t, sys, 3, func(l string) bool {
+			return contains(l, suit)
+		}, BothAces())
+		if !pr.Equal(rat.New(1, 5)) {
+			t.Errorf("Pr(A | %s) = %s, want 1/5", suit, pr)
+		}
+	}
+}
+
+// TestAlwaysHeartsVariantFootnote checks footnote 20's observation: if p1
+// always says "hearts" when it holds both aces, then hearing "spades"
+// drives the probability of both aces to 0. We simulate that protocol by
+// conditioning the random-ace system on the runs where the double-ace hand
+// announced hearts — equivalently, checking Pr(A | spades) in a biased
+// variant built ad hoc.
+func TestAlwaysHeartsVariantFootnote(t *testing.T) {
+	// Built directly: the double-ace hand deterministically says hearts.
+	sys := biasedBuild(t)
+	pr := listenerProb(t, sys, 3, func(l string) bool {
+		return contains(l, "suit=spades")
+	}, BothAces())
+	if !pr.IsZero() {
+		t.Errorf("Pr(A | spades) = %s, want 0 under the always-hearts bias", pr)
+	}
+	prH := listenerProb(t, sys, 3, func(l string) bool {
+		return contains(l, "suit=hearts")
+	}, BothAces())
+	// Pr(A | hearts) = (1/6)/(1/6 + 2/6) = 1/3.
+	if !prH.Equal(rat.New(1, 3)) {
+		t.Errorf("Pr(A | hearts) = %s, want 1/3", prH)
+	}
+}
+
+// biasedBuild builds the footnote-20 variant by relabelling... simpler: it
+// rebuilds the random-ace protocol with the both-aces hand always
+// announcing hearts, via a tiny inline protocol sharing this package's
+// fact helpers.
+func biasedBuild(t *testing.T) *system.System {
+	t.Helper()
+	// Reuse Build's machinery by post-processing is impossible (the choice
+	// is structural), so construct directly with the system builder.
+	// Tree: root → 6 hands (1/6) → announce ace → announce suit.
+	gs := func(env, p1, p2 string) system.GlobalState {
+		return system.GlobalState{Env: env, Locals: []system.LocalState{
+			system.LocalState(p1), system.LocalState(p2)}}
+	}
+	tb := system.NewTree("biased/deal", gs("root", "p1|r0", "p2|r0"))
+	for _, h := range Hands() {
+		hand := h[0] + "+" + h[1]
+		p1 := "p1|r1,hand=" + hand
+		n1 := tb.Child(0, rat.New(1, 6), gs("h:"+hand, p1, "p2|r1"))
+		ans := "no-ace"
+		if HasAce(h) {
+			ans = "ace"
+		}
+		p1b := bump(p1)
+		n2 := tb.Child(n1, rat.One, gs("h:"+hand+"|a:"+ans, p1b, "p2|r2,"+ans))
+		var suit string
+		switch {
+		case hasCard(h, AceSpades) && hasCard(h, AceHearts):
+			suit = "suit=hearts" // the bias: always hearts
+		case hasCard(h, AceSpades):
+			suit = "suit=spades"
+		case hasCard(h, AceHearts):
+			suit = "suit=hearts"
+		default:
+			suit = "no-ace"
+		}
+		tb.Child(n2, rat.One, gs("h:"+hand+"|a:"+ans+"|s:"+suit, bump(p1b), "p2|r3,"+ans+","+suit))
+	}
+	return system.MustNew(2, tb.MustBuild())
+}
+
+func findListenerPoint(t *testing.T, sys *system.System, k int, local string) system.Point {
+	t.Helper()
+	tree := sys.Trees()[0]
+	for _, p := range sys.PointsAtTime(tree, k) {
+		if string(p.Local(Listener)) == local {
+			return p
+		}
+	}
+	t.Fatalf("no listener point with local %q", local)
+	return system.Point{}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHandHelpers(t *testing.T) {
+	if len(Hands()) != 6 {
+		t.Fatal("six hands expected")
+	}
+	if !HasAce([2]string{AceSpades, DeuceHearts}) {
+		t.Error("HasAce wrong")
+	}
+	if HasAce([2]string{DeuceSpades, DeuceHearts}) {
+		t.Error("HasAce on no-ace hand")
+	}
+	if handOf("p1|r1,hand=AS+AH") != [2]string{AceSpades, AceHearts} {
+		t.Error("handOf wrong")
+	}
+	if handOf("p1|r0") != [2]string{} {
+		t.Error("handOf on undealt state")
+	}
+}

@@ -1,0 +1,380 @@
+// Package kpa is a Go implementation of the framework of Halpern & Tuttle,
+// "Knowledge, Probability, and Adversaries" (PODC 1989; JACM 40(4):917–962,
+// 1993): probabilistic knowledge in finite systems of interacting agents,
+// organized around three types of adversaries.
+//
+// # The model
+//
+// A system is a set of runs over global states (one local state per agent
+// plus an environment); factoring the nondeterministic choices into a
+// type-1 adversary turns it into a collection of labelled computation
+// trees, each a probability space over its runs. A point is a (run, time)
+// pair; agent i knows φ at a point when φ holds at every point with the
+// same i-local state.
+//
+// To say "agent i knows φ holds with probability α" one must choose, for
+// every agent and point, a sample space of points S_ic — a sample-space
+// assignment — and condition the tree's run distribution on the runs
+// through it. The paper's four canonical assignments correspond to betting
+// opponents of different strengths (the type-2 adversary):
+//
+//	Post     S_ic = Tree_ic           an opponent who knows what you know
+//	Opponent S_ic = Tree_ic ∩ Tree_jc the agent p_j
+//	Future   S_ic = Pref_ic           an opponent who knows the whole past
+//	Prior    S_ic = All_ic            nobody: the a-priori run distribution
+//
+// The headline theorem (Theorem 7, betting.CheckTheorem7) makes the
+// correspondence precise: accepting bets on φ at payoff 1/α against p_j is
+// safe exactly when K_i^α φ holds under the Opponent(j) assignment. In
+// asynchronous systems a third adversary type chooses *when* a bet is
+// placed (a cut through the sample space — package adversary), which is
+// where the pts and state adversary classes of Section 7 diverge.
+//
+// # Packages
+//
+// This root package re-exports the library's public API as a facade over
+// the internal packages:
+//
+//   - internal/system: runs, points, trees, knowledge (§2–3)
+//   - internal/measure: probability spaces on points, inner/outer measure
+//     (§3, §5, App. B.2)
+//   - internal/core: sample-space and probability assignments (§5–6)
+//   - internal/logic: the language L(Φ) and its model checker (§5, §8)
+//   - internal/betting: the betting game and Theorems 7–8 (§6, App. B)
+//   - internal/adversary: type-3 adversaries, P^pts vs P^state (§7)
+//   - internal/protocol: the round-based protocol substrate
+//   - internal/coordattack: probabilistic coordinated attack (§4, §8)
+//   - internal/primality: Miller–Rabin and its knowledge model (§1, §3)
+//   - internal/twoaces: Freund's puzzle of the two aces (App. B.1)
+//
+// # Quickstart
+//
+// Build the introduction's coin-toss system and ask what probability the
+// blind agent p1 should assign to heads after the toss — against an
+// opponent as ignorant as itself (1/2), and against the tosser (0 or 1):
+//
+//	sys := kpa.IntroCoin()
+//	post := kpa.NewProbAssignment(sys, kpa.Post(sys))
+//	fut := kpa.NewProbAssignment(sys, kpa.Future(sys))
+//	h := ... // the (heads, 1) point
+//	post.MustSpace(0, h).ProbFact(kpa.Heads()) // 1/2
+//	fut.MustSpace(0, h).ProbFact(kpa.Heads())  // 1
+//
+// See examples/ for complete runnable programs.
+package kpa
+
+import (
+	"kpa/internal/adversary"
+	"kpa/internal/agreement"
+	"kpa/internal/betting"
+	"kpa/internal/canon"
+	"kpa/internal/coordattack"
+	"kpa/internal/core"
+	"kpa/internal/encode"
+	"kpa/internal/logic"
+	"kpa/internal/measure"
+	"kpa/internal/primality"
+	"kpa/internal/protocol"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+	"kpa/internal/twoaces"
+)
+
+// Core model types (internal/system).
+type (
+	// AgentID identifies an agent by 0-based index.
+	AgentID = system.AgentID
+	// LocalState is an agent's local state.
+	LocalState = system.LocalState
+	// GlobalState is an environment state plus one local state per agent.
+	GlobalState = system.GlobalState
+	// Tree is a labelled computation tree (one per type-1 adversary).
+	Tree = system.Tree
+	// TreeBuilder constructs trees incrementally.
+	TreeBuilder = system.TreeBuilder
+	// NodeID identifies a node within a tree.
+	NodeID = system.NodeID
+	// EdgeRef identifies an edge of a tree.
+	EdgeRef = system.EdgeRef
+	// System is a collection of computation trees over common agents.
+	System = system.System
+	// Point is a (run, time) pair of some tree.
+	Point = system.Point
+	// PointSet is a finite set of points.
+	PointSet = system.PointSet
+	// RunSet is a set of runs of one tree.
+	RunSet = system.RunSet
+	// Fact is a property of points (the semantic object of the logic).
+	Fact = system.Fact
+)
+
+// Exact rational arithmetic (internal/rat).
+type (
+	// Rat is an immutable exact rational.
+	Rat = rat.Rat
+)
+
+// Measure-theoretic layer (internal/measure).
+type (
+	// Space is an induced probability space of points P_ic.
+	Space = measure.Space
+	// Algebra is a finite σ-algebra of run sets.
+	Algebra = measure.Algebra
+	// Measure is a probability measure on an Algebra.
+	Measure = measure.Measure
+)
+
+// Assignments (internal/core).
+type (
+	// SampleAssignment maps (agent, point) to a sample space.
+	SampleAssignment = core.SampleAssignment
+	// KeyedAssignment is a SampleAssignment with cheap cache keys.
+	KeyedAssignment = core.KeyedAssignment
+	// ProbAssignment is the probability assignment induced by a
+	// sample-space assignment.
+	ProbAssignment = core.ProbAssignment
+)
+
+// Logic (internal/logic).
+type (
+	// Formula is a formula of L(Φ).
+	Formula = logic.Formula
+	// Evaluator model-checks formulas over a system.
+	Evaluator = logic.Evaluator
+)
+
+// Betting game (internal/betting).
+type (
+	// Offer is the opponent's action: no bet, or a payoff.
+	Offer = betting.Offer
+	// Strategy is a function from the opponent's local states to offers.
+	Strategy = betting.Strategy
+	// Rule is the acceptance rule Bet(φ, α).
+	Rule = betting.Rule
+	// Theorem7Report holds both sides of a Theorem 7 instance.
+	Theorem7Report = betting.Theorem7Report
+	// EmbeddedGame is the betting game embedded into a system (App. B.3).
+	EmbeddedGame = betting.EmbeddedGame
+)
+
+// Type-3 adversaries (internal/adversary).
+type (
+	// CutClass is a class of type-3 adversaries (cut choosers).
+	CutClass = adversary.Class
+	// PtsClass is the class of all total point cuts.
+	PtsClass = adversary.PtsClass
+	// StateClass is the [FZ88a] class of global-state cuts.
+	StateClass = adversary.StateClass
+	// WidthClass bounds the time width of cuts (partial synchrony).
+	WidthClass = adversary.WidthClass
+	// PartialClass allows skipping runs entirely.
+	PartialClass = adversary.PartialClass
+)
+
+// Protocol substrate (internal/protocol).
+type (
+	// Protocol describes a round-based protocol compiled into a System.
+	Protocol = protocol.Protocol
+	// AgentDef defines one protocol agent.
+	AgentDef = protocol.AgentDef
+	// Action is a probabilistic action alternative.
+	Action = protocol.Action
+	// Msg is a message an agent sends.
+	Msg = protocol.Msg
+	// Delivery is a delivered message.
+	Delivery = protocol.Delivery
+	// Scheduler is a scheduling type-1 adversary.
+	Scheduler = protocol.Scheduler
+)
+
+// Agreement (internal/agreement).
+type (
+	// AgreementModel is a common-prior information model.
+	AgreementModel = agreement.Model
+	// AumannReport is the outcome of checking Aumann's theorem at a point.
+	AumannReport = agreement.AumannReport
+	// DialogueResult records a posterior dialogue.
+	DialogueResult = agreement.DialogueResult
+)
+
+// Rational constructors.
+var (
+	// NewRat returns num/den.
+	NewRat = rat.New
+	// ParseRat parses "3/4", "0.75" or "3".
+	ParseRat = rat.Parse
+	// RatZero, RatHalf and RatOne are common constants.
+	RatZero = rat.Zero
+	RatHalf = rat.Half
+	RatOne  = rat.One
+)
+
+// System construction.
+var (
+	// NewGlobalState builds a global state.
+	NewGlobalState = system.NewGlobalState
+	// NewTree starts building a computation tree.
+	NewTree = system.NewTree
+	// NewSystem assembles a system from trees.
+	NewSystem = system.New
+	// NewPointSet builds a point set.
+	NewPointSet = system.NewPointSet
+	// NewFact wraps a predicate as a Fact.
+	NewFact = system.NewFact
+	// StateFact builds a fact about the global state.
+	StateFact = system.StateFact
+	// EnvFact builds a fact about the environment.
+	EnvFact = system.EnvFact
+	// AtState is the proposition "the global state is g".
+	AtState = system.AtState
+)
+
+// Probability spaces and assignments.
+var (
+	// NewSpace builds the induced probability space over a sample set.
+	NewSpace = measure.NewSpace
+	// NewAlgebra builds a finite σ-algebra from generators.
+	NewAlgebra = measure.NewAlgebra
+	// NewMeasure puts a probability measure on an algebra.
+	NewMeasure = measure.NewMeasure
+
+	// Post is S^post: condition on everything the agent knows.
+	Post = core.Post
+	// Opponent is S^j: condition on the joint knowledge with p_j.
+	Opponent = core.Opponent
+	// Future is S^fut: the opponent knows the entire past.
+	Future = core.Future
+	// Prior is S^prior: the a-priori distribution over runs.
+	Prior = core.Prior
+	// NewAssignment wraps a function as a sample-space assignment.
+	NewAssignment = core.NewAssignment
+	// NewKeyedAssignment additionally supplies cache keys.
+	NewKeyedAssignment = core.NewKeyedAssignment
+	// NewProbAssignment binds an assignment to its system.
+	NewProbAssignment = core.NewProbAssignment
+	// CheckREQ validates REQ1 and REQ2 for an assignment.
+	CheckREQ = core.CheckREQ
+	// IsStandard reports state-generation, inclusiveness and uniformity.
+	IsStandard = core.IsStandard
+	// IsConsistent reports S_ic ⊆ K_i(c).
+	IsConsistent = core.IsConsistent
+	// LessEq is the lattice order on assignments.
+	LessEq = core.LessEq
+)
+
+// Logic.
+var (
+	// ParseFormula parses the ASCII formula syntax.
+	ParseFormula = logic.Parse
+	// MustParseFormula panics on parse errors.
+	MustParseFormula = logic.MustParse
+	// NewEvaluator builds a model checker.
+	NewEvaluator = logic.NewEvaluator
+	// KPr builds K_i^α φ.
+	KPr = logic.KPr
+	// KInterval builds K_i^[α,β] φ.
+	KInterval = logic.KInterval
+	// CommonPr builds probabilistic common knowledge C_G^α φ.
+	CommonPr = logic.CommonPr
+)
+
+// Betting.
+var (
+	// NewBetRule builds Bet(φ, α).
+	NewBetRule = betting.NewRule
+	// ConstantStrategy always offers the same payoff.
+	ConstantStrategy = betting.Constant
+	// NeverBet never offers.
+	NeverBet = betting.Never
+	// ExpectedWinnings computes E[W_f] over a space.
+	ExpectedWinnings = betting.ExpectedWinnings
+	// SafeBet decides P-safety of a rule and returns a witness when unsafe.
+	SafeBet = betting.Safe
+	// CheckTheorem7 evaluates both sides of Theorem 7 at a point.
+	CheckTheorem7 = betting.CheckTheorem7
+	// EmbedGame inserts the betting game into a system (App. B.3).
+	EmbedGame = betting.EmbedGame
+	// RelabelSystem rebuilds a system under new transition probabilities.
+	RelabelSystem = betting.RelabelSystem
+	// IsRationalStrategy tests the §9 rationality condition for a strategy.
+	IsRationalStrategy = betting.IsRational
+	// RationalSafeBet is safety restricted to rational opponents.
+	RationalSafeBet = betting.RationalSafe
+
+	// NewAgreementModel builds a common-prior information model.
+	NewAgreementModel = agreement.NewModel
+	// AgreementFromSystem builds one from a system time-slice.
+	AgreementFromSystem = agreement.FromSystem
+
+	// DecodeSystem parses a JSON system description.
+	DecodeSystem = encode.Decode
+	// EncodeSystem serializes a system to a JSON document.
+	EncodeSystem = encode.Encode
+)
+
+// Type-3 adversaries.
+var (
+	// PtsInterval is the closed-form pts-class interval.
+	PtsInterval = adversary.PtsInterval
+	// IntervalOverCuts computes a class's interval by enumeration.
+	IntervalOverCuts = adversary.IntervalOverCuts
+	// KnowsIntervalUnderClass folds the interval over K_i(c).
+	KnowsIntervalUnderClass = adversary.KnowsIntervalUnderClass
+	// CheckProposition10 compares P^post with P^pts at a point.
+	CheckProposition10 = adversary.CheckProposition10
+)
+
+// Canonical paper systems (internal/canon).
+var (
+	// IntroCoin is the introduction's three-agent coin toss.
+	IntroCoin = canon.IntroCoin
+	// Heads is its "the coin landed heads" fact.
+	Heads = canon.Heads
+	// VardiCoin is Section 3's fair-vs-biased coin (two trees).
+	VardiCoin = canon.VardiCoin
+	// Die is Section 5's fair die.
+	Die = canon.Die
+	// Even is its "die landed even" fact.
+	Even = canon.Even
+	// AsyncCoins is Section 7's clockless n-coin system.
+	AsyncCoins = canon.AsyncCoins
+	// LastTossHeads is its non-measurable fact.
+	LastTossHeads = canon.LastTossHeads
+	// BiasedPtsState is Section 7's pts-vs-state example.
+	BiasedPtsState = canon.BiasedPtsState
+)
+
+// Applications.
+var (
+	// BuildCoordAttack compiles a coordinated-attack protocol variant.
+	BuildCoordAttack = coordattack.Build
+	// Proposition11Table evaluates the protocol × assignment matrix.
+	Proposition11Table = coordattack.Proposition11Table
+	// NewPrimalityModel builds the Rabin-testing knowledge model.
+	NewPrimalityModel = primality.NewModel
+	// IsPrime is exact Miller–Rabin for uint64.
+	IsPrime = primality.IsPrime
+	// BuildTwoAces compiles a two-aces protocol variant.
+	BuildTwoAces = twoaces.Build
+)
+
+// Coordinated-attack re-exports.
+type (
+	// CoordAttackConfig parameterizes the generals' protocols.
+	CoordAttackConfig = coordattack.Config
+	// CoordAttackVariant selects CA1, CA2 or never-attack.
+	CoordAttackVariant = coordattack.Variant
+	// PrimalityModel is the knowledge model of Rabin testing.
+	PrimalityModel = primality.Model
+	// TwoAcesVariant selects a two-aces protocol.
+	TwoAcesVariant = twoaces.Variant
+)
+
+// Variant and assignment constants.
+const (
+	CA1        = coordattack.VariantCA1
+	CA2        = coordattack.VariantCA2
+	CANever    = coordattack.VariantNever
+	AcesFixed  = twoaces.VariantFixedQuestions
+	AcesRandom = twoaces.VariantRandomAce
+)

@@ -1,0 +1,184 @@
+package kpa
+
+import (
+	"fmt"
+	"testing"
+)
+
+// headsPoint finds the (heads, 1) point of the intro coin system.
+func headsPoint(sys *System) Point {
+	tree := sys.Trees()[0]
+	for _, p := range sys.PointsAtTime(tree, 1) {
+		if p.Env() == "heads" {
+			return p
+		}
+	}
+	return Point{}
+}
+
+// TestFacadeSurface exercises the public API end to end, the way the
+// README's quickstart does.
+func TestFacadeSurface(t *testing.T) {
+	sys := IntroCoin()
+	h := headsPoint(sys)
+	if !h.IsValid() {
+		t.Fatal("no heads point")
+	}
+
+	post := NewProbAssignment(sys, Post(sys))
+	fut := NewProbAssignment(sys, Future(sys))
+	prPost, err := post.MustSpace(0, h).ProbFact(Heads())
+	if err != nil || !prPost.Equal(RatHalf) {
+		t.Fatalf("post probability = %v, %v", prPost, err)
+	}
+	prFut, err := fut.MustSpace(0, h).ProbFact(Heads())
+	if err != nil || !prFut.Equal(RatOne) {
+		t.Fatalf("fut probability = %v, %v", prFut, err)
+	}
+
+	e := NewEvaluator(sys, post, map[string]Fact{"heads": Heads()})
+	ok, err := e.Holds(MustParseFormula("K1^1/2 heads"), h)
+	if err != nil || !ok {
+		t.Fatalf("K1^1/2 heads = %v, %v", ok, err)
+	}
+
+	P3 := NewProbAssignment(sys, Opponent(sys, 2))
+	rep, err := CheckTheorem7(P3, 0, 2, h, Heads(), RatHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Knows || rep.Safe || !rep.Agree() {
+		t.Fatalf("Theorem 7 against the tosser: %+v", rep)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	// Build a custom system through the facade only.
+	tb := NewTree("mine", NewGlobalState("s0", "a:t0"))
+	tb.Child(0, RatHalf, NewGlobalState("s1", "a:x"))
+	tb.Child(0, RatHalf, NewGlobalState("s2", "a:y"))
+	tree, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(1, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := EnvFact("isS1", func(e string) bool { return e == "s1" })
+	sp, err := NewSpace(NewPointSet(sys.PointsAtTime(tree, 1)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := sp.ProbFact(phi)
+	if err != nil || !pr.Equal(RatHalf) {
+		t.Fatalf("Pr = %v, %v", pr, err)
+	}
+	r, err := ParseRat("2/4")
+	if err != nil || !r.Equal(RatHalf) {
+		t.Fatalf("ParseRat: %v %v", r, err)
+	}
+	if !NewRat(1, 2).Equal(RatHalf) {
+		t.Fatal("NewRat")
+	}
+}
+
+func TestFacadeAssignmentHelpers(t *testing.T) {
+	sys := Die()
+	for _, s := range []SampleAssignment{Post(sys), Future(sys), Prior(sys), Opponent(sys, 1)} {
+		if err := CheckREQ(sys, s); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		if !IsStandard(sys, s) {
+			t.Errorf("%s: not standard", s.Name())
+		}
+	}
+	if !IsConsistent(sys, Post(sys)) {
+		t.Error("post consistent")
+	}
+	if !LessEq(sys, Future(sys), Post(sys)) {
+		t.Error("lattice")
+	}
+}
+
+func TestFacadeApplications(t *testing.T) {
+	cells, err := Proposition11Table(CoordAttackConfig{Messengers: 3, LossProb: RatHalf}, NewRat(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 { // 4 protocols × 3 assignments
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if !IsPrime(101) || IsPrime(561) {
+		t.Error("IsPrime")
+	}
+	if _, err := BuildTwoAces(AcesRandom); err != nil {
+		t.Error(err)
+	}
+	m, err := NewPrimalityModel([]uint64{9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WorstCaseCorrectness().Less(m.RabinBound()) {
+		t.Error("primality bound")
+	}
+}
+
+func TestFacadeAdversaries(t *testing.T) {
+	sys := AsyncCoins(3)
+	tree := sys.Trees()[0]
+	c := Point{Tree: tree, Run: 0, Time: 1}
+	rep, err := CheckProposition10(sys, 0, c, LastTossHeads())
+	if err != nil || !rep.Agree() {
+		t.Fatalf("Prop 10 via facade: %+v, %v", rep, err)
+	}
+	lo, hi, err := PtsInterval(sys.KInTree(0, c), LastTossHeads())
+	if err != nil || !lo.Equal(NewRat(1, 8)) || !hi.Equal(NewRat(7, 8)) {
+		t.Fatalf("PtsInterval = [%v,%v], %v", lo, hi, err)
+	}
+}
+
+// ExampleCheckTheorem7 demonstrates the betting-game correspondence on the
+// introduction's coin system.
+func ExampleCheckTheorem7() {
+	sys := IntroCoin()
+	h := headsPoint(sys)
+
+	// Betting against p2 (who knows nothing): safe at even odds.
+	vsP2 := NewProbAssignment(sys, Opponent(sys, 1))
+	rep2, _ := CheckTheorem7(vsP2, 0, 1, h, Heads(), RatHalf)
+	fmt.Println("vs p2:", rep2.Knows, rep2.Safe)
+
+	// Betting against p3 (who saw the coin): unsafe.
+	vsP3 := NewProbAssignment(sys, Opponent(sys, 2))
+	rep3, _ := CheckTheorem7(vsP3, 0, 2, h, Heads(), RatHalf)
+	fmt.Println("vs p3:", rep3.Knows, rep3.Safe)
+	// Output:
+	// vs p2: true true
+	// vs p3: false false
+}
+
+// ExampleParseFormula parses and renders a formula of the logic.
+func ExampleParseFormula() {
+	f, err := ParseFormula("C{1,2}^0.99 coordinated")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(f)
+	// Output:
+	// C{1,2}^99/100 coordinated
+}
+
+// ExampleProbAssignment_SharpInterval shows interval knowledge in the
+// asynchronous coin system.
+func ExampleProbAssignment_SharpInterval() {
+	sys := AsyncCoins(10)
+	tree := sys.Trees()[0]
+	c := Point{Tree: tree, Run: 0, Time: 1}
+	post := NewProbAssignment(sys, Post(sys))
+	lo, hi, _ := post.SharpInterval(0, c, LastTossHeads())
+	fmt.Printf("[%s, %s]\n", lo, hi)
+	// Output:
+	// [1/1024, 1023/1024]
+}
