@@ -1,0 +1,18 @@
+# Development entry points; CI should run `make verify`.
+
+.PHONY: build test verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# vet + full test suite under the race detector (validates the concurrent
+# query service's pooling contract).
+verify:
+	./scripts/verify.sh
+
+# Every paper experiment plus the serving-layer baselines.
+bench:
+	go test -bench=. -benchmem ./...

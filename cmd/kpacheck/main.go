@@ -22,7 +22,6 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"kpa/internal/core"
@@ -113,7 +112,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *repl {
-		sa, err := pickAssignment(entry.Sys, *assign)
+		sa, err := registry.Assignment(entry.Sys, *assign)
 		if err != nil {
 			return err
 		}
@@ -127,7 +126,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sa, err := pickAssignment(entry.Sys, *assign)
+	sa, err := registry.Assignment(entry.Sys, *assign)
 	if err != nil {
 		return err
 	}
@@ -183,24 +182,6 @@ func run(args []string) error {
 	return nil
 }
 
-func pickAssignment(sys *system.System, name string) (core.SampleAssignment, error) {
-	switch {
-	case name == "post":
-		return core.Post(sys), nil
-	case name == "fut":
-		return core.Future(sys), nil
-	case name == "prior":
-		return core.Prior(sys), nil
-	case strings.HasPrefix(name, "opp:"):
-		j, err := strconv.Atoi(strings.TrimPrefix(name, "opp:"))
-		if err != nil || j < 1 || j > sys.NumAgents() {
-			return nil, fmt.Errorf("opp:J needs 1 ≤ J ≤ %d, got %q", sys.NumAgents(), name)
-		}
-		return core.Opponent(sys, system.AgentID(j-1)), nil
-	default:
-		return nil, fmt.Errorf("unknown assignment %q (post, fut, prior, opp:J)", name)
-	}
-}
 
 // runREPL evaluates formulas read line by line. Lines starting with ":"
 // are commands: ":props" lists propositions, ":assign <name>" switches the
@@ -228,7 +209,7 @@ func runREPL(entry registry.Entry, sa core.SampleAssignment, in io.Reader, out i
 			continue
 		case strings.HasPrefix(line, ":assign "):
 			name := strings.TrimSpace(strings.TrimPrefix(line, ":assign "))
-			newSA, err := pickAssignment(entry.Sys, name)
+			newSA, err := registry.Assignment(entry.Sys, name)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue

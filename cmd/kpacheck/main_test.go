@@ -76,7 +76,7 @@ func TestREPL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sa, err := pickAssignment(entry.Sys, "post")
+	sa, err := registry.Assignment(entry.Sys, "post")
 	if err != nil {
 		t.Fatal(err)
 	}

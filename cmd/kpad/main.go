@@ -1,0 +1,190 @@
+// Command kpad is the knowledge-probability-adversary daemon: an HTTP/JSON
+// front end for internal/service, serving model-checking queries over the
+// library's example systems and uploaded JSON systems.
+//
+// Usage:
+//
+//	kpad -addr :8123 -preload introcoin,die
+//
+// Endpoints:
+//
+//	POST /v1/check    {"system":"introcoin","assign":"post","formula":"K1^1/2 heads"}
+//	POST /v1/batch    {"system":"die","formulas":["K2 even","Pr2(even) >= 1/2"]}
+//	GET  /v1/systems  list the loaded systems
+//	POST /v1/systems  {"name":"mycoin","doc":{...encode document...}}
+//	GET  /v1/stats    cache, pool and request counters
+//
+// Every response is JSON; errors are {"error":"..."} with a 4xx/5xx status.
+// Request bodies are size-limited and each request runs under a timeout.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kpa/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kpad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kpad", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8123", "listen address")
+		preload = fs.String("preload", "", "comma-separated registry systems to load at startup")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request evaluation timeout")
+		maxBody = fs.Int64("max-body", 1<<20, "maximum request body in bytes")
+		cache   = fs.Int("cache", 0, "verdict cache entries (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{CacheSize: *cache})
+	for _, name := range strings.Split(*preload, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		info, err := svc.Load(name)
+		if err != nil {
+			return fmt.Errorf("preload %q: %w", name, err)
+		}
+		log.Printf("loaded %s (%d points, hash %.12s)", info.Name, info.Points, info.Hash)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(svc, *timeout, *maxBody),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("kpad listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+// newHandler builds the kpad HTTP mux over the service. Factored out of run
+// so tests can drive it through httptest.
+func newHandler(svc *service.Service, timeout time.Duration, maxBody int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
+		var req service.CheckRequest
+		if !readJSON(w, r, maxBody, &req) {
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		v, err := svc.Check(ctx, req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req service.BatchRequest
+		if !readJSON(w, r, maxBody, &req) {
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		items, err := svc.Batch(ctx, req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"items": items})
+	})
+	mux.HandleFunc("GET /v1/systems", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"systems": svc.Systems()})
+	})
+	mux.HandleFunc("POST /v1/systems", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name string          `json:"name"`
+			Doc  json.RawMessage `json:"doc"`
+		}
+		if !readJSON(w, r, maxBody, &req) {
+			return
+		}
+		info, err := svc.Upload(req.Name, req.Doc)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	return mux
+}
+
+// readJSON decodes a size-limited JSON body, writing the error response
+// itself when decoding fails.
+func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request
+	case strings.Contains(err.Error(), "unknown system"):
+		status = http.StatusNotFound
+	case strings.Contains(err.Error(), "already names a different system"):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("kpad: write response: %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"kpa/internal/system"
+)
+
+// Hash returns a canonical content hash of the system: two systems built
+// independently from the same trees (agents, adversary names, node states
+// and transition probabilities) hash identically, regardless of the order
+// in which the trees were supplied. The hash is the hex-encoded SHA-256 of
+// a deterministic serialization, suitable for keying caches and deduping
+// uploaded systems.
+func Hash(sys *system.System) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "agents %d\n", sys.NumAgents())
+	trees := append([]*system.Tree(nil), sys.Trees()...)
+	sort.Slice(trees, func(i, j int) bool { return trees[i].Adversary < trees[j].Adversary })
+	for _, t := range trees {
+		fmt.Fprintf(h, "tree %q\n", t.Adversary)
+		hashNode(h, t, t.Root().ID)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashNode writes the subtree rooted at id in preorder. Child order is part
+// of the tree's identity (it is the order runs are numbered in), so it is
+// preserved rather than sorted.
+func hashNode(w io.Writer, t *system.Tree, id system.NodeID) {
+	n := t.Node(id)
+	fmt.Fprintf(w, "n %q", n.State.Env)
+	for _, l := range n.State.Locals {
+		fmt.Fprintf(w, " %q", string(l))
+	}
+	fmt.Fprintf(w, " c%d\n", len(n.Edges))
+	for _, e := range n.Edges {
+		fmt.Fprintf(w, "e %s\n", e.Prob)
+		hashNode(w, t, e.Child)
+	}
+}

@@ -1,0 +1,79 @@
+package canon
+
+import (
+	"testing"
+
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	h1 := Hash(IntroCoin())
+	h2 := Hash(IntroCoin())
+	if h1 != h2 {
+		t.Fatalf("two builds of IntroCoin hash differently: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex sha256", h1)
+	}
+}
+
+func TestHashDistinguishesSystems(t *testing.T) {
+	seen := map[string]string{}
+	for name, sys := range map[string]*system.System{
+		"introcoin": IntroCoin(),
+		"vardi":     VardiCoin(),
+		"die":       Die(),
+		"fig1":      Fig1(),
+		"async:3":   AsyncCoins(3),
+	} {
+		h := Hash(sys)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("%s and %s collide: %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+}
+
+func TestHashIgnoresTreeOrder(t *testing.T) {
+	mk := func(adv, env string) *system.Tree {
+		tb := system.NewTree(adv, gs("start-"+adv, "a", "b"))
+		tb.Child(0, rat.One, gs(env, "a1", "b1"))
+		tr, err := tb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	s1, err := system.New(2, mk("x", "ex"), mk("y", "ey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := system.New(2, mk("y", "ey"), mk("x", "ex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(s1) != Hash(s2) {
+		t.Fatal("hash depends on tree supply order")
+	}
+}
+
+func TestHashSensitiveToProbabilities(t *testing.T) {
+	mk := func(p rat.Rat) *system.System {
+		tb := system.NewTree("toss", gs("start", "a"))
+		tb.Child(0, p, gs("h", "a"))
+		tb.Child(0, rat.One.Sub(p), gs("t", "a"))
+		tr, err := tb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := system.New(1, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	if Hash(mk(rat.New(1, 2))) == Hash(mk(rat.New(2, 3))) {
+		t.Fatal("hash insensitive to transition probabilities")
+	}
+}

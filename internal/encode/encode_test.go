@@ -206,3 +206,71 @@ func TestMarshalIsStable(t *testing.T) {
 		t.Error("probabilities should serialize as rationals")
 	}
 }
+
+// TestDecodeErrorMessages pins down the error *messages* for the failure
+// modes a kpad client is most likely to hit, so the HTTP surface stays
+// debuggable: the substring must name what is wrong, not just fail.
+func TestDecodeErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			"malformed probability",
+			`{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"],
+			  "children":[{"prob":"one half","node":{"env":"f","locals":["a"]}}]}}]}`,
+			`bad probability "one half"`,
+		},
+		{
+			"children sum below 1",
+			`{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"],
+			  "children":[{"prob":"1/3","node":{"env":"f","locals":["a"]}}]}}]}`,
+			"sum",
+		},
+		{
+			"children sum above 1",
+			`{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"],
+			  "children":[{"prob":"2/3","node":{"env":"f","locals":["a"]}},
+			              {"prob":"2/3","node":{"env":"g","locals":["a"]}}]}}]}`,
+			"sum",
+		},
+		{
+			"negative probability",
+			`{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"],
+			  "children":[{"prob":"-1/2","node":{"env":"f","locals":["a"]}},
+			              {"prob":"3/2","node":{"env":"g","locals":["a"]}}]}}]}`,
+			"probability",
+		},
+		{
+			"unknown prop matcher",
+			`{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"]}}],
+			  "props": {"p": {"envMatches": "e"}}}`,
+			"unknown field",
+		},
+		{
+			"negate without matcher",
+			`{"agents": 1, "trees": [{"adversary":"t","root":{"env":"e","locals":["a"]}}],
+			  "props": {"p": {"negate": true}}}`,
+			"exactly one matcher",
+		},
+		{
+			"duplicate adversary",
+			`{"agents": 1, "trees": [
+			  {"adversary":"t","root":{"env":"e1","locals":["a"]}},
+			  {"adversary":"t","root":{"env":"e2","locals":["a"]}}]}`,
+			"t",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Decode([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Decode accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -30,7 +30,14 @@ var (
 //
 // An Evaluator memoizes formula extensions (the set of points where each
 // subformula holds) by node identity, so reusing formula objects across
-// queries is cheap. Evaluators are not safe for concurrent use.
+// queries is cheap.
+//
+// Evaluators are NOT safe for concurrent use: callers that share a system
+// across goroutines must give each goroutine its own Evaluator, or check
+// evaluators in and out of a pool (see internal/service). A pooled
+// evaluator stays warm — its memo survives between checkouts — and can be
+// cheaply demoted to cold with Reset when the memo grows past a cap; the
+// underlying System and props are read-only and may be shared freely.
 type Evaluator struct {
 	sys   *system.System
 	prob  *core.ProbAssignment
@@ -58,6 +65,17 @@ func (e *Evaluator) DefineProp(name string, fact system.Fact) {
 	e.props[name] = fact
 	e.memo = make(map[Formula]system.PointSet)
 }
+
+// Reset drops the memo table, returning the evaluator to its
+// freshly-constructed state. Pools call this when a long-lived evaluator's
+// memo exceeds their cap; the proposition table is kept.
+func (e *Evaluator) Reset() {
+	e.memo = make(map[Formula]system.PointSet)
+}
+
+// MemoLen reports the number of memoized subformula extensions, so pools
+// can bound a pooled evaluator's footprint.
+func (e *Evaluator) MemoLen() int { return len(e.memo) }
 
 // Holds reports whether the formula is true at the point.
 func (e *Evaluator) Holds(f Formula, at system.Point) (bool, error) {

@@ -416,3 +416,27 @@ func TestAsyncNonMeasurableInLogic(t *testing.T) {
 		t.Errorf("K1^1/2 lastHeads under S² = %v, %v; want true", ok, err)
 	}
 }
+
+func TestEvaluatorReset(t *testing.T) {
+	e, _ := introEval(t)
+	f := MustParse("K1^1/2 heads")
+	want, err := e.Valid(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MemoLen() == 0 {
+		t.Fatal("evaluation memoized nothing")
+	}
+	e.Reset()
+	if e.MemoLen() != 0 {
+		t.Fatalf("MemoLen after Reset = %d, want 0", e.MemoLen())
+	}
+	// Propositions survive a Reset, so the same formula still evaluates.
+	got, err := e.Valid(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("verdict changed across Reset: %v -> %v", want, got)
+	}
+}

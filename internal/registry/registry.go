@@ -11,6 +11,7 @@ import (
 
 	"kpa/internal/canon"
 	"kpa/internal/coordattack"
+	"kpa/internal/core"
 	"kpa/internal/system"
 	"kpa/internal/twoaces"
 )
@@ -156,6 +157,40 @@ func Lookup(name string) (Entry, error) {
 		return Entry{}, fmt.Errorf("registry: unknown system %q (try %s)",
 			name, strings.Join(Names(), ", "))
 	}
+}
+
+// Assignment resolves a probability-assignment name for the system.
+// Recognized names:
+//
+//	post     the postfix assignment (future branching resolved)
+//	fut      the future assignment
+//	prior    the prior assignment
+//	opp:J    agent J (1-based) is the opponent
+//
+// The CLI tools and the query service share this resolution so the names
+// and error messages stay in sync.
+func Assignment(sys *system.System, name string) (core.SampleAssignment, error) {
+	switch {
+	case name == "post":
+		return core.Post(sys), nil
+	case name == "fut":
+		return core.Future(sys), nil
+	case name == "prior":
+		return core.Prior(sys), nil
+	case strings.HasPrefix(name, "opp:"):
+		j, err := strconv.Atoi(strings.TrimPrefix(name, "opp:"))
+		if err != nil || j < 1 || j > sys.NumAgents() {
+			return nil, fmt.Errorf("opp:J needs 1 ≤ J ≤ %d, got %q", sys.NumAgents(), name)
+		}
+		return core.Opponent(sys, system.AgentID(j-1)), nil
+	default:
+		return nil, fmt.Errorf("unknown assignment %q (post, fut, prior, opp:J)", name)
+	}
+}
+
+// AssignmentNames lists the fixed assignment names (opp:J is parameterized).
+func AssignmentNames() []string {
+	return []string{"post", "fut", "prior", "opp:J"}
 }
 
 // Names lists the registry's fixed names (async:N is parameterized).

@@ -71,3 +71,24 @@ func TestNamesSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestAssignment(t *testing.T) {
+	entry, err := Lookup("introcoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"post", "fut", "prior", "opp:1"} {
+		sa, err := Assignment(entry.Sys, name)
+		if err != nil {
+			t.Fatalf("Assignment(%q): %v", name, err)
+		}
+		if sa == nil || sa.Name() == "" {
+			t.Fatalf("Assignment(%q) returned unnamed assignment", name)
+		}
+	}
+	for _, name := range []string{"", "nope", "opp:0", "opp:9", "opp:x"} {
+		if _, err := Assignment(entry.Sys, name); err == nil {
+			t.Fatalf("Assignment(%q) unexpectedly succeeded", name)
+		}
+	}
+}

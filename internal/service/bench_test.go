@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkServiceCheck baselines the serving layer for future perf PRs:
+// cold measures a full evaluation per request (fresh service each time),
+// warm measures the verdict-cache path, and warm_pool measures a cache miss
+// served by a warm pooled evaluator (distinct formulas, shared memoized
+// subformulas). batch measures the fan-out path.
+
+func BenchmarkServiceCheck(b *testing.B) {
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		// New service per iteration: no verdict cache, no warm pool.
+		for i := 0; i < b.N; i++ {
+			svc := New(Config{})
+			if _, err := svc.Check(ctx, CheckRequest{System: "async:6", Formula: "K1^1/2 lastHeads"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm_cache", func(b *testing.B) {
+		svc := New(Config{})
+		req := CheckRequest{System: "async:6", Formula: "K1^1/2 lastHeads"}
+		if _, err := svc.Check(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := svc.Check(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !v.Cached {
+				b.Fatal("warm_cache benchmark missed the cache")
+			}
+		}
+	})
+
+	b.Run("warm_pool", func(b *testing.B) {
+		// Rotate distinct formulas over one pooled evaluator: every request
+		// misses the verdict cache but hits the evaluator's subformula
+		// memo (the extensions of lastHeads and Pr1 are shared).
+		svc := New(Config{CacheSize: 1})
+		reqs := []CheckRequest{
+			{System: "async:6", Formula: "K1^1/2 lastHeads"},
+			{System: "async:6", Formula: "K1 lastHeads"},
+			{System: "async:6", Formula: "F (K1^1/2 lastHeads)"},
+			{System: "async:6", Formula: "!lastHeads | lastHeads"},
+		}
+		if _, err := svc.Check(ctx, reqs[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Check(ctx, reqs[i%len(reqs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		svc := New(Config{CacheSize: 1}) // defeat the verdict cache
+		formulas := make([]string, 16)
+		for i := range formulas {
+			// Distinct per slot so the batch genuinely fans out.
+			formulas[i] = fmt.Sprintf("K1^%d/16 lastHeads", i+1)
+		}
+		req := BatchRequest{System: "async:6", Formulas: formulas}
+		if _, err := svc.Batch(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			items, err := svc.Batch(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, item := range items {
+				if item.Error != "" {
+					b.Fatal(item.Error)
+				}
+			}
+		}
+	})
+}

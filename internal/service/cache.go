@@ -1,0 +1,95 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies a verdict: the system's canonical content hash (so
+// aliased uploads of the same system share entries), the canonical
+// probability-assignment name, and the canonical (re-rendered) formula.
+type cacheKey struct {
+	sysHash string
+	assign  string
+	formula string
+}
+
+// verdictCache is a bounded LRU map from cacheKey to Verdict, shared by
+// every system in the service. All methods are safe for concurrent use.
+type verdictCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	v   Verdict
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached verdict and records a hit or miss.
+func (c *verdictCache) get(k cacheKey) (Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return Verdict{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+// put inserts (or refreshes) a verdict, evicting the least recently used
+// entry when over capacity.
+func (c *verdictCache) put(k cacheKey, v Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, v: v})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the verdict cache's counters.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *verdictCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"sync"
+
+	"kpa/internal/core"
+	"kpa/internal/logic"
+	"kpa/internal/system"
+)
+
+// worker is the unit an evalPool checks out to a goroutine: a non-thread-safe
+// logic.Evaluator with its own core.ProbAssignment (whose space memo is also
+// written during evaluation), plus a parse cache mapping canonical formula
+// text back to the Formula node the evaluator's memo is keyed by. Reusing the
+// node across checkouts is what keeps a warm worker's memo effective.
+type worker struct {
+	eval   *logic.Evaluator
+	parsed map[string]logic.Formula
+}
+
+// formula returns the worker's node for the canonical formula text, parsing
+// on first use.
+func (w *worker) formula(canonical string) (logic.Formula, error) {
+	if f, ok := w.parsed[canonical]; ok {
+		return f, nil
+	}
+	f, err := logic.Parse(canonical)
+	if err != nil {
+		return nil, err
+	}
+	w.parsed[canonical] = f
+	return f, nil
+}
+
+// evalPool lends warm evaluators to request goroutines for one
+// (system, probability assignment) pair. logic.Evaluator is not safe for
+// concurrent use, so each checkout owns its worker exclusively; on return
+// the worker keeps its memo (warm) unless the memo grew past memoCap, in
+// which case it is Reset. The pool creates workers on demand and keeps at
+// most maxIdle of them between requests.
+type evalPool struct {
+	sys    *system.System
+	sample core.SampleAssignment
+	props  map[string]system.Fact
+
+	memoCap int
+	maxIdle int
+
+	mu      sync.Mutex
+	idle    []*worker
+	created uint64 // cold checkouts: a new worker was built
+	reused  uint64 // warm checkouts: an idle worker was handed out
+	resets  uint64 // workers whose memo was dropped on return
+}
+
+func newEvalPool(sys *system.System, sample core.SampleAssignment, props map[string]system.Fact, memoCap, maxIdle int) *evalPool {
+	return &evalPool{
+		sys:     sys,
+		sample:  sample,
+		props:   props,
+		memoCap: memoCap,
+		maxIdle: maxIdle,
+	}
+}
+
+// get checks a worker out; the caller must return it with put.
+func (p *evalPool) get() *worker {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		w := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.reused++
+		p.mu.Unlock()
+		return w
+	}
+	p.created++
+	p.mu.Unlock()
+	// Build outside the lock: constructing the ProbAssignment is cheap but
+	// there is no reason to serialize concurrent cold checkouts.
+	prob := core.NewProbAssignment(p.sys, p.sample)
+	return &worker{
+		eval:   logic.NewEvaluator(p.sys, prob, p.props),
+		parsed: make(map[string]logic.Formula),
+	}
+}
+
+// put returns a worker to the pool, resetting it if its memo outgrew the
+// cap and discarding it if the pool is already full of idle workers.
+func (p *evalPool) put(w *worker) {
+	if w.eval.MemoLen() > p.memoCap {
+		w.eval.Reset()
+		w.parsed = make(map[string]logic.Formula)
+		p.mu.Lock()
+		p.resets++
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, w)
+	}
+}
+
+// PoolStats is a point-in-time snapshot of one evaluator pool's counters.
+type PoolStats struct {
+	System     string `json:"system"`
+	Assignment string `json:"assignment"`
+	Idle       int    `json:"idle"`
+	Created    uint64 `json:"created"`
+	Reused     uint64 `json:"reused"`
+	Resets     uint64 `json:"resets"`
+}
+
+func (p *evalPool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Assignment: p.sample.Name(),
+		Idle:       len(p.idle),
+		Created:    p.created,
+		Reused:     p.reused,
+		Resets:     p.resets,
+	}
+}

@@ -1,0 +1,331 @@
+// Package service is the concurrent query-serving layer over the
+// Halpern–Tuttle model-checking stack: it loads systems into a session
+// store (registry names plus uploaded internal/encode documents, deduped by
+// canonical content hash), lends warm non-thread-safe logic.Evaluators out
+// of per-(system, assignment) pools, and memoizes verdicts in a bounded LRU
+// cache keyed by (system hash, assignment, canonical formula). cmd/kpad
+// exposes it over HTTP.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kpa/internal/logic"
+)
+
+// Config tunes a Service. The zero value is usable: each field falls back
+// to the listed default.
+type Config struct {
+	// CacheSize bounds the verdict cache (entries). Default 4096.
+	CacheSize int
+	// MaxIdle bounds the idle evaluators kept per (system, assignment)
+	// pool. Default 8.
+	MaxIdle int
+	// MemoCap is the memoized-extension count above which a returned
+	// evaluator's memo is dropped. Default 4096.
+	MemoCap int
+	// MaxCounterexamples bounds the counterexamples reported per verdict.
+	// Default 20.
+	MaxCounterexamples int
+	// MaxBatch bounds the formulas accepted by one Batch call. Default 256.
+	MaxBatch int
+	// BatchParallelism bounds the evaluator goroutines one Batch call fans
+	// out to. Default 8.
+	BatchParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxIdle <= 0 {
+		c.MaxIdle = 8
+	}
+	if c.MemoCap <= 0 {
+		c.MemoCap = 4096
+	}
+	if c.MaxCounterexamples <= 0 {
+		c.MaxCounterexamples = 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.BatchParallelism <= 0 {
+		c.BatchParallelism = 8
+	}
+	return c
+}
+
+// Service answers model-checking queries concurrently. All methods are safe
+// for concurrent use.
+type Service struct {
+	cfg   Config
+	store *store
+	cache *verdictCache
+
+	checks        atomic.Uint64
+	batches       atomic.Uint64
+	batchFormulas atomic.Uint64
+}
+
+// New builds a Service with the config (zero value for defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{cfg: cfg, store: newStore(), cache: newVerdictCache(cfg.CacheSize)}
+}
+
+// CheckRequest asks whether a formula is valid (holds at every point) in a
+// system under a probability assignment.
+type CheckRequest struct {
+	// System is a registry name (loaded on first use) or an upload name.
+	System string `json:"system"`
+	// Assign is the probability-assignment name (post, fut, prior, opp:J).
+	// Empty means post.
+	Assign string `json:"assign,omitempty"`
+	// Formula is the formula in the ASCII syntax of logic.Parse.
+	Formula string `json:"formula"`
+}
+
+// Verdict is the result of checking one formula.
+type Verdict struct {
+	// System and Hash identify the checked system; Hash is the canonical
+	// content hash, so clients can tell aliased names apart.
+	System string `json:"system"`
+	Hash   string `json:"hash"`
+	// Assignment is the canonical name of the probability assignment.
+	Assignment string `json:"assignment"`
+	// Formula is the canonical rendering of the checked formula.
+	Formula string `json:"formula"`
+	// Valid reports whether the formula holds at every point.
+	Valid bool `json:"valid"`
+	// HoldsAt and Points count the points where the formula holds and the
+	// system's points.
+	HoldsAt int `json:"holdsAt"`
+	Points  int `json:"points"`
+	// CounterExamples lists (a bounded number of) points where the formula
+	// fails; CounterTotal is the unbounded count.
+	CounterExamples []string `json:"counterExamples,omitempty"`
+	CounterTotal    int      `json:"counterTotal,omitempty"`
+	// Cached reports whether this verdict was served from the cache.
+	Cached bool `json:"cached"`
+}
+
+// Load makes sure the named registry system is loaded, returning its info.
+func (s *Service) Load(name string) (SystemInfo, error) {
+	sess, err := s.store.get(name)
+	if err != nil {
+		return SystemInfo{}, err
+	}
+	return sess.info(name), nil
+}
+
+// Upload registers a JSON-encoded system (an internal/encode document)
+// under the name. Identical tree content dedupes onto the existing session
+// — including its proposition table: a document whose trees match a loaded
+// system but whose props differ keeps the loaded system's props.
+func (s *Service) Upload(name string, doc []byte) (SystemInfo, error) {
+	sess, err := s.store.upload(name, doc)
+	if err != nil {
+		return SystemInfo{}, err
+	}
+	return sess.info(name), nil
+}
+
+// Systems lists the loaded systems by name.
+func (s *Service) Systems() []SystemInfo { return s.store.list() }
+
+// Check evaluates one formula, consulting the verdict cache first. The
+// context bounds the wait: on expiry Check returns ctx.Err() while the
+// evaluation finishes in the background and still warms the cache and pool.
+func (s *Service) Check(ctx context.Context, req CheckRequest) (Verdict, error) {
+	s.checks.Add(1)
+	return s.check(ctx, req)
+}
+
+func (s *Service) check(ctx context.Context, req CheckRequest) (Verdict, error) {
+	sess, err := s.store.get(req.System)
+	if err != nil {
+		return Verdict{}, err
+	}
+	f, err := logic.Parse(req.Formula)
+	if err != nil {
+		return Verdict{}, err
+	}
+	canonical := f.String()
+	assign := req.Assign
+	if assign == "" {
+		assign = "post"
+	}
+	pool, err := sess.pool(assign, s.cfg)
+	if err != nil {
+		return Verdict{}, err
+	}
+	key := cacheKey{sysHash: sess.hash, assign: pool.sample.Name(), formula: canonical}
+	if v, ok := s.cache.get(key); ok {
+		v.System = req.System
+		v.Cached = true
+		return v, nil
+	}
+
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	type result struct {
+		v   Verdict
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		w := pool.get()
+		v, err := s.evaluate(w, sess, canonical, key.assign)
+		pool.put(w)
+		if err == nil {
+			s.cache.put(key, v)
+		}
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return Verdict{}, r.err
+		}
+		r.v.System = req.System
+		return r.v, nil
+	case <-ctx.Done():
+		return Verdict{}, ctx.Err()
+	}
+}
+
+// evaluate runs one formula on a checked-out worker. The verdict it returns
+// carries the session's canonical name; Check overwrites System with the
+// requested alias.
+func (s *Service) evaluate(w *worker, sess *session, canonical, assignName string) (Verdict, error) {
+	f, err := w.formula(canonical)
+	if err != nil {
+		return Verdict{}, err
+	}
+	ext, err := w.eval.Extension(f)
+	if err != nil {
+		return Verdict{}, err
+	}
+	total := sess.sys.Points().Len()
+	v := Verdict{
+		System:     sess.name,
+		Hash:       sess.hash,
+		Assignment: assignName,
+		Formula:    canonical,
+		Valid:      ext.Len() == total,
+		HoldsAt:    ext.Len(),
+		Points:     total,
+	}
+	if !v.Valid {
+		ces := sess.sys.Points().Minus(ext).Sorted()
+		v.CounterTotal = len(ces)
+		max := s.cfg.MaxCounterexamples
+		if len(ces) < max {
+			max = len(ces)
+		}
+		for _, p := range ces[:max] {
+			v.CounterExamples = append(v.CounterExamples, fmt.Sprintf("%v %s", p, p.State()))
+		}
+	}
+	return v, nil
+}
+
+// BatchRequest checks many formulas against one system and assignment.
+type BatchRequest struct {
+	System   string   `json:"system"`
+	Assign   string   `json:"assign,omitempty"`
+	Formulas []string `json:"formulas"`
+}
+
+// BatchItem is the per-formula outcome of a batch: either a verdict or an
+// error message.
+type BatchItem struct {
+	Formula string   `json:"formula"`
+	Verdict *Verdict `json:"verdict,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Batch fans the formulas out across pooled evaluators and joins the
+// results in input order. Formula-level failures (parse errors, unknown
+// propositions) are reported per item; system- or assignment-level failures
+// fail the whole batch.
+func (s *Service) Batch(ctx context.Context, req BatchRequest) ([]BatchItem, error) {
+	s.batches.Add(1)
+	s.batchFormulas.Add(uint64(len(req.Formulas)))
+	if len(req.Formulas) == 0 {
+		return nil, fmt.Errorf("service: batch has no formulas")
+	}
+	if len(req.Formulas) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("service: batch of %d formulas exceeds limit %d", len(req.Formulas), s.cfg.MaxBatch)
+	}
+	// Resolve the system and assignment once so a bad request fails whole.
+	sess, err := s.store.get(req.System)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sess.pool(orPost(req.Assign), s.cfg); err != nil {
+		return nil, err
+	}
+
+	items := make([]BatchItem, len(req.Formulas))
+	sem := make(chan struct{}, s.cfg.BatchParallelism)
+	var wg sync.WaitGroup
+	for i, formula := range req.Formulas {
+		wg.Add(1)
+		go func(i int, formula string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			items[i].Formula = formula
+			v, err := s.check(ctx, CheckRequest{System: req.System, Assign: req.Assign, Formula: formula})
+			if err != nil {
+				items[i].Error = err.Error()
+				return
+			}
+			items[i].Verdict = &v
+		}(i, formula)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func orPost(assign string) string {
+	if assign == "" {
+		return "post"
+	}
+	return assign
+}
+
+// Stats is a point-in-time snapshot of the service's counters.
+type Stats struct {
+	Systems       int         `json:"systems"`
+	Checks        uint64      `json:"checks"`
+	Batches       uint64      `json:"batches"`
+	BatchFormulas uint64      `json:"batchFormulas"`
+	Cache         CacheStats  `json:"cache"`
+	Pools         []PoolStats `json:"pools"`
+}
+
+// Stats snapshots the cache, pool and request counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Checks:        s.checks.Load(),
+		Batches:       s.batches.Load(),
+		BatchFormulas: s.batchFormulas.Load(),
+		Cache:         s.cache.stats(),
+	}
+	sessions := s.store.sessions()
+	st.Systems = len(sessions)
+	for _, sess := range sessions {
+		st.Pools = append(st.Pools, sess.poolStats()...)
+	}
+	return st
+}

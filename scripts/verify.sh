@@ -1,0 +1,12 @@
+#!/bin/sh
+# verify.sh — the checks every PR must pass: vet, then the full test suite
+# under the race detector. The -race run is what validates the pooling
+# contract in internal/service (its concurrency tests hammer shared
+# services from dozens of goroutines).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
