@@ -1,12 +1,19 @@
 # Development entry points; CI should run `make verify`.
 
-.PHONY: build test verify bench
+.PHONY: build test lint verify bench
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# go vet plus kpavet, the repo-invariant contract checks (exact rationals
+# behind internal/rat, no floats in probability code, immutable big.Rat
+# receivers, pool get/put pairing). See docs/LINTING.md.
+lint:
+	go vet ./...
+	go run ./cmd/kpavet ./...
 
 # vet + full test suite under the race detector (validates the concurrent
 # query service's pooling contract).

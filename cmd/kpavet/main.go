@@ -1,0 +1,111 @@
+// Command kpavet runs the repo-invariant static-analysis suite: the
+// contracts this reproduction rests on — exact rational probabilities,
+// immutable rat.Rat values, the evaluator-pool checkout discipline —
+// machine-checked on every build. See docs/LINTING.md.
+//
+// Usage:
+//
+//	kpavet [-root dir] [-list] [./...]
+//
+// kpavet always analyzes the whole module containing -root (default: the
+// enclosing module of the working directory); the ./... argument is
+// accepted for familiarity. It prints one line per violation,
+//
+//	file:line: [analyzer] message
+//
+// and exits 1 if there were any, 2 if the module failed to load, 0 when
+// clean. Suppress a diagnostic with a justified directive:
+//
+//	//kpavet:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/bigimport"
+	"kpa/internal/analysis/driver"
+	"kpa/internal/analysis/floatprob"
+	"kpa/internal/analysis/poolpair"
+	"kpa/internal/analysis/ratmut"
+)
+
+func defaultAnalyzers() []analysis.Analyzer {
+	return []analysis.Analyzer{
+		bigimport.New(),
+		floatprob.New(),
+		poolpair.New(),
+		ratmut.New(),
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kpavet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root to analyze (default: the module containing the working directory)")
+	list := fs.Bool("list", false, "list the analyzers and the contracts they enforce, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := defaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	for _, pattern := range fs.Args() {
+		if pattern != "./..." {
+			fmt.Fprintf(stderr, "kpavet: unsupported pattern %q: the whole module is always analyzed (use ./...)\n", pattern)
+			return 2
+		}
+	}
+	if *root == "" {
+		found, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(stderr, "kpavet: %v\n", err)
+			return 2
+		}
+		*root = found
+	}
+	diags, err := driver.Run(driver.Config{Root: *root, Analyzers: analyzers})
+	if err != nil {
+		fmt.Fprintf(stderr, "kpavet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", d.File, d.Line, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "kpavet: %d contract violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks from the working directory up to the nearest
+// directory containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

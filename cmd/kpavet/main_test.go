@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the full suite against this repository's own
+// module root and demands a clean bill: exit status 0, no diagnostics.
+// This is the same invocation `make lint` and scripts/verify.sh use, so
+// a contract violation anywhere in the tree fails the tier-1 suite here.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", "../..", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("kpavet on own repo: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("kpavet on own repo: unexpected diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestList pins the analyzer roster: each of the four contracts must be
+// present and documented.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("kpavet -list: exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"bigimport:", "floatprob:", "poolpair:", "ratmut:"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("kpavet -list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestBadPattern rejects anything but ./... so a typo'd invocation can't
+// silently analyze the wrong thing.
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./cmd/kpavet"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("kpavet ./cmd/kpavet: exit %d, want 2", code)
+	}
+}

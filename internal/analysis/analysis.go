@@ -1,0 +1,68 @@
+// Package analysis defines the small analyzer API behind cmd/kpavet, the
+// repo-invariant static-analysis suite.
+//
+// The contracts this reproduction rests on are invisible to the Go type
+// system: every probability is an exact rational (DESIGN.md trades real
+// numbers for big.Rat), rat.Rat values are immutable and freely shareable,
+// and the evaluator pools in internal/service lend out non-thread-safe
+// workers that must come back. An Analyzer turns one such contract into a
+// machine-checked invariant: it inspects the type-checked syntax of one
+// package and reports diagnostics wherever the contract is violated.
+//
+// Analyzers are deliberately dependency-free (go/ast + go/types only) so
+// the suite runs with the toolchain alone; the loading and scheduling live
+// in the sibling driver package, fixtures-based testing in analysistest.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer checks one invariant over one type-checked package at a time.
+// Implementations must be safe for concurrent Run calls on distinct passes:
+// the driver fans packages out across goroutines.
+type Analyzer interface {
+	// Name is the short identifier that appears in diagnostics as
+	// "[name]" and in //kpavet:ignore directives.
+	Name() string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc() string
+	// Run inspects one package and reports violations via pass.Report.
+	// A non-nil error aborts the whole kpavet run (it means the analyzer
+	// itself failed, not that the code has violations).
+	Run(pass *Pass) error
+}
+
+// Pass carries everything an Analyzer may inspect about one package.
+type Pass struct {
+	// Fset maps token.Pos values in Files to positions.
+	Fset *token.FileSet
+	// Module is the module path from go.mod (e.g. "kpa"). Analyzers use
+	// it to scope themselves to module-relative package paths, so fixture
+	// modules exercise the same policy as the real repository.
+	Module string
+	// PkgPath is the import path of the package under analysis.
+	PkgPath string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Files are the parsed non-test source files of the package.
+	Files []*ast.File
+	// Info holds the type-checking results for Files.
+	Info *types.Info
+	// Report records a diagnostic at pos. The driver attaches the
+	// analyzer name, resolves the position and applies ignore directives.
+	Report func(pos token.Pos, msg string)
+}
+
+// Diagnostic is one reported contract violation, already resolved to a
+// file position. The driver returns them sorted by (File, Line, Col,
+// Analyzer, Message) so output is deterministic run to run.
+type Diagnostic struct {
+	File     string // path relative to the module root
+	Line     int
+	Col      int
+	Analyzer string
+	Message  string
+}

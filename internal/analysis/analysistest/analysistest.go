@@ -1,0 +1,119 @@
+// Package analysistest runs analyzers against fixture modules and checks
+// their diagnostics against want-comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest but with zero dependencies.
+//
+// A fixture is a complete module rooted at an analyzer's testdata
+// directory — its go.mod declares `module kpa`, so module-relative
+// scoping (internal/rat, internal/service, cmd/*) behaves exactly as in
+// the real repository. Expectations are comments of the form
+//
+//	x := 0.5 // want `float literal` `float arithmetic`
+//
+// where each quoted text (backquotes or double quotes) is a regular
+// expression matched against one "[analyzer] message" diagnostic
+// reported for that line. Every want must be matched by a diagnostic and
+// every diagnostic must be matched by a want; files with no
+// want-comments therefore double as clean-pass fixtures.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/driver"
+)
+
+var (
+	wantRE    = regexp.MustCompile(`//[ \t]*want[ \t]+(.+)$`)
+	patternRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture module at dir, runs the analyzers and compares
+// diagnostics against the fixture's want-comments.
+func Run(t *testing.T, dir string, analyzers ...analysis.Analyzer) {
+	t.Helper()
+	diags, err := driver.Run(driver.Config{Root: dir, Analyzers: analyzers})
+	if err != nil {
+		t.Fatalf("driver.Run(%s): %v", dir, err)
+	}
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if w := match(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic %s:%d: [%s] %s", d.File, d.Line, d.Analyzer, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func match(wants []*expectation, d analysis.Diagnostic) *expectation {
+	text := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+	for _, w := range wants {
+		if !w.matched && w.file == d.File && w.line == d.Line && w.pattern.MatchString(text) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every non-test .go file under the fixture for
+// want-comments, keyed by module-root-relative path to match driver
+// diagnostics.
+func collectWants(dir string) ([]*expectation, error) {
+	var wants []*expectation
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			for _, q := range patternRE.FindAllStringSubmatch(m[1], -1) {
+				raw := q[1]
+				if raw == "" {
+					raw = q[2]
+				}
+				pat, err := regexp.Compile(raw)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, i+1, raw, err)
+				}
+				wants = append(wants, &expectation{file: filepath.ToSlash(rel), line: i + 1, pattern: pat})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}

@@ -1,0 +1,46 @@
+// Package bigimport implements the kpavet analyzer that keeps math/big
+// behind a single audited chokepoint.
+//
+// DESIGN.md substitutes exact rationals for the paper's real-valued
+// probabilities; the substitution is only trustworthy if every big.Rat in
+// the module flows through internal/rat, whose wrapper enforces the
+// never-mutate-operands rule (see the ratmut analyzer). Any other import
+// of math/big reopens the door to ad-hoc, possibly aliasing arithmetic,
+// so it is a diagnostic. Test files are exempt: the driver never loads
+// them, and asserting against raw big values in tests is legitimate.
+package bigimport
+
+import (
+	"strings"
+
+	"kpa/internal/analysis"
+)
+
+// Message is the diagnostic text, pinned for tests.
+const Message = "math/big imported outside internal/rat; exact probabilities must flow through the kpa/internal/rat chokepoint"
+
+// Analyzer flags imports of math/big outside <module>/internal/rat.
+type Analyzer struct{}
+
+// New returns the bigimport analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+func (*Analyzer) Name() string { return "bigimport" }
+
+func (*Analyzer) Doc() string {
+	return "math/big may only be imported by internal/rat (and _test.go files), so exactness has a single audited chokepoint"
+}
+
+func (*Analyzer) Run(pass *analysis.Pass) error {
+	if pass.PkgPath == pass.Module+"/internal/rat" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "math/big" {
+				pass.Report(imp.Pos(), Message)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package bigimport_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/bigimport"
+)
+
+// TestFixture checks one caught violation (internal/protocol importing
+// math/big) and one clean pass (internal/rat, the chokepoint).
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", bigimport.New())
+}

@@ -1,0 +1,17 @@
+// Package protocol mirrors the pre-PR-2 violation: building a binomial
+// coefficient with raw math/big instead of going through internal/rat.
+package protocol
+
+import (
+	"math/big" // want `\[bigimport\] math/big imported outside internal/rat`
+
+	"kpa/internal/rat"
+)
+
+// Binom computes C(n, k) the forbidden way.
+func Binom(n, k int64) *big.Int {
+	return new(big.Int).Binomial(n, k)
+}
+
+// Half is fine: it uses the chokepoint.
+var Half = rat.New(1, 2)

@@ -1,0 +1,436 @@
+// Package driver loads and type-checks a Go module with the standard
+// library alone (go/parser + go/types; no go/packages, matching the
+// module's zero-dependency rule) and fans the packages out to analyzers
+// across goroutines.
+//
+// The driver type-checks ./... once: every non-test file outside testdata
+// directories is parsed, packages are topologically sorted by their local
+// imports and checked in order, and the resulting *types.Package objects
+// are shared by every analyzer. Standard-library imports resolve through
+// the compiler's export data with a source-importer fallback, so the
+// driver works wherever the go toolchain itself does.
+//
+// Suppression: a comment of the form
+//
+//	//kpavet:ignore <analyzer> <reason>
+//
+// on the offending line, or alone on the line above it, suppresses that
+// analyzer's diagnostics there. The reason is mandatory — a bare ignore is
+// itself a diagnostic (BareIgnoreMessage) so silent opt-outs cannot
+// accumulate.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"kpa/internal/analysis"
+)
+
+// Config describes one driver run.
+type Config struct {
+	// Root is the module root: the directory containing go.mod. Relative
+	// paths are resolved against the current working directory.
+	Root string
+	// Analyzers are run over every loaded package.
+	Analyzers []analysis.Analyzer
+}
+
+// BareIgnoreMessage is the pinned diagnostic for an ignore directive that
+// is missing its analyzer name or its reason. Tests assert this text
+// verbatim; change it only with them.
+const BareIgnoreMessage = `bare //kpavet:ignore directive: an analyzer name and a reason are required ("//kpavet:ignore <analyzer> <reason>")`
+
+// driverName labels diagnostics emitted by the driver itself (malformed
+// ignore directives) rather than by an analyzer.
+const driverName = "kpavet"
+
+// Run loads the module at cfg.Root, type-checks every package and runs
+// every analyzer, returning the surviving diagnostics sorted by position.
+// A non-nil error means the module could not be loaded or an analyzer
+// failed — not that diagnostics were found.
+func Run(cfg Config) ([]analysis.Diagnostic, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := parseModule(fset, root, module)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newImporter(fset)
+	for _, p := range order {
+		if err := typeCheck(fset, imp, p); err != nil {
+			return nil, err
+		}
+	}
+
+	ig, diags := collectDirectives(fset, root, order)
+
+	// Fan the type-checked packages out to the analyzers. Each (package,
+	// analyzer) pair is independent; bound the goroutines to the CPU count
+	// so a large module doesn't explode into thousands of runners.
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
+	)
+	for _, p := range order {
+		for _, a := range cfg.Analyzers {
+			wg.Add(1)
+			go func(p *pkg, a analysis.Analyzer) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pass := &analysis.Pass{
+					Fset:    fset,
+					Module:  module,
+					PkgPath: p.path,
+					Pkg:     p.types,
+					Files:   p.files,
+					Info:    p.info,
+				}
+				var local []analysis.Diagnostic
+				pass.Report = func(pos token.Pos, msg string) {
+					local = append(local, diag(fset, root, pos, a.Name(), msg))
+				}
+				err := a.Run(pass)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("analyzer %s on %s: %w", a.Name(), p.path, err)
+				}
+				diags = append(diags, local...)
+			}(p, a)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	diags = ig.filter(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return dedupe(diags), nil
+}
+
+// pkg is one package during loading: parsed first, type-checked later.
+type pkg struct {
+	dir     string
+	path    string
+	name    string
+	files   []*ast.File
+	imports []string // local (module-internal) imports only
+	types   *types.Package
+	info    *types.Info
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)\s*$`)
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("driver: reading %s: %w", gomod, err)
+	}
+	m := moduleRE.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("driver: no module directive in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+// parseModule walks the tree under root and parses every buildable package.
+// Hidden directories, testdata directories, nested modules and _test.go
+// files are skipped: the analyzers enforce contracts on shipped code, and
+// test files are explicitly exempt from them (bigimport, floatprob).
+func parseModule(fset *token.FileSet, root, module string) (map[string]*pkg, error) {
+	pkgs := make(map[string]*pkg)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root {
+				if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" {
+					return filepath.SkipDir
+				}
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		base := filepath.Base(path)
+		if strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("driver: %w", err)
+		}
+		dir := filepath.Dir(path)
+		ipath := module
+		if dir != root {
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			ipath = module + "/" + filepath.ToSlash(rel)
+		}
+		p := pkgs[ipath]
+		if p == nil {
+			p = &pkg{dir: dir, path: ipath, name: file.Name.Name}
+			pkgs[ipath] = p
+		}
+		if file.Name.Name != p.name {
+			return fmt.Errorf("driver: %s: found packages %s and %s", dir, p.name, file.Name.Name)
+		}
+		p.files = append(p.files, file)
+		for _, imp := range file.Imports {
+			dep := strings.Trim(imp.Path.Value, `"`)
+			if dep == module || strings.HasPrefix(dep, module+"/") {
+				p.imports = append(p.imports, dep)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic file order within each package (WalkDir is sorted, but
+	// keep it explicit: diagnostics must not depend on readdir order).
+	for _, p := range pkgs {
+		sort.Slice(p.files, func(i, j int) bool {
+			return fset.File(p.files[i].Pos()).Name() < fset.File(p.files[j].Pos()).Name()
+		})
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages so every local import is checked before its
+// importer, detecting cycles.
+func topoSort(pkgs map[string]*pkg) ([]*pkg, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*pkg
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := pkgs[path]
+		if !ok {
+			return nil // import of a module path with no source here (won't type-check; reported there)
+		}
+		switch state[path] {
+		case visiting:
+			return fmt.Errorf("driver: import cycle through %s", path)
+		case done:
+			return nil
+		}
+		state[path] = visiting
+		deps := append([]string(nil), p.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-local imports from the already-checked
+// package set and everything else (the standard library) via the
+// compiler's export data, falling back to type-checking stdlib from
+// source when no export data is available.
+type moduleImporter struct {
+	std    types.Importer
+	source types.Importer
+	local  map[string]*types.Package
+}
+
+func newImporter(fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		std:    importer.Default(),
+		source: importer.ForCompiler(fset, "source", nil),
+		local:  make(map[string]*types.Package),
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	p, err := m.std.Import(path)
+	if err == nil {
+		return p, nil
+	}
+	p, srcErr := m.source.Import(path)
+	if srcErr == nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("driver: importing %s: %v (source fallback: %v)", path, err, srcErr)
+}
+
+func typeCheck(fset *token.FileSet, imp *moduleImporter, p *pkg) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.path, fset, p.files, info)
+	if err != nil {
+		return fmt.Errorf("driver: type-checking %s: %w", p.path, err)
+	}
+	p.types = tpkg
+	p.info = info
+	imp.local[p.path] = tpkg
+	return nil
+}
+
+func diag(fset *token.FileSet, root string, pos token.Pos, name, msg string) analysis.Diagnostic {
+	position := fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return analysis.Diagnostic{
+		File:     file,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: name,
+		Message:  msg,
+	}
+}
+
+// ignoreSet records well-formed //kpavet:ignore directives by file and line.
+type ignoreSet map[string]map[int]map[string]bool
+
+var ignoreRE = regexp.MustCompile(`^//kpavet:ignore(?:[ \t]+(\S+))?(?:[ \t]+(\S.*))?$`)
+
+// collectDirectives scans every comment in the module for kpavet:ignore
+// directives. Well-formed directives land in the returned ignoreSet;
+// malformed ones (missing analyzer or reason) come back as driver
+// diagnostics so they fail the build instead of silently suppressing.
+func collectDirectives(fset *token.FileSet, root string, pkgs []*pkg) (ignoreSet, []analysis.Diagnostic) {
+	ig := make(ignoreSet)
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					m := ignoreRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					analyzer, reason := m[1], strings.TrimSpace(m[2])
+					if analyzer == "" || reason == "" {
+						diags = append(diags, diag(fset, root, c.Pos(), driverName, BareIgnoreMessage))
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					file := diag(fset, root, c.Pos(), "", "").File
+					if ig[file] == nil {
+						ig[file] = make(map[int]map[string]bool)
+					}
+					if ig[file][pos.Line] == nil {
+						ig[file][pos.Line] = make(map[string]bool)
+					}
+					ig[file][pos.Line][analyzer] = true
+				}
+			}
+		}
+	}
+	return ig, diags
+}
+
+// filter drops diagnostics covered by an ignore directive on the same
+// line or on the line directly above. Driver diagnostics (malformed
+// directives) are never suppressible.
+func (ig ignoreSet) filter(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != driverName && (ig.match(d.File, d.Line, d.Analyzer) || ig.match(d.File, d.Line-1, d.Analyzer)) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (ig ignoreSet) match(file string, line int, analyzer string) bool {
+	return ig[file] != nil && ig[file][line] != nil && ig[file][line][analyzer]
+}
+
+func dedupe(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

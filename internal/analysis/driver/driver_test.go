@@ -1,0 +1,169 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/bigimport"
+	"kpa/internal/analysis/driver"
+	"kpa/internal/analysis/floatprob"
+)
+
+// writeModule materializes a tiny module in a fresh tmpdir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func run(t *testing.T, root string, analyzers ...analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	diags, err := driver.Run(driver.Config{Root: root, Analyzers: analyzers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestDeterministicAndSorted type-checks a tmpdir module with violations
+// spread over several files and packages, and demands that repeated runs
+// agree byte for byte and that output is sorted by position — the driver
+// fans packages out across goroutines, so this is what makes CI output
+// stable.
+func TestDeterministicAndSorted(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": "package a\n\n// P is approximate.\nvar P = 0.5\n\n// Q is too.\nvar Q = 0.25\n",
+		"a/b.go": "package a\n\n// R rounds.\nfunc R(x int) float64 { return float64(x) / 4.0 }\n",
+		"b/b.go": "package b\n\nimport \"math/big\"\n\n// N is a raw big value.\nvar N = big.NewRat(1, 2)\n",
+	})
+	first := run(t, root, bigimport.New(), floatprob.New())
+	if len(first) == 0 {
+		t.Fatal("expected diagnostics from the fixture module, got none")
+	}
+	if !sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i], first[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	}) {
+		t.Errorf("diagnostics not sorted by position: %+v", first)
+	}
+	for i := 0; i < 5; i++ {
+		again := run(t, root, bigimport.New(), floatprob.New())
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+	// The fixture has exactly five violations: two float literals in a.go,
+	// a conversion, a quotient and a literal in b.go, plus the import.
+	var files []string
+	for _, d := range first {
+		files = append(files, d.File)
+	}
+	want := []string{"a/a.go", "a/a.go", "a/b.go", "a/b.go", "a/b.go", "b/b.go"}
+	if !reflect.DeepEqual(files, want) {
+		t.Errorf("diagnostic files = %v, want %v", files, want)
+	}
+}
+
+// TestIgnoreDirective covers the suppression grammar: same line, the
+// line above, and the non-suppression cases (wrong analyzer, unrelated
+// line).
+func TestIgnoreDirective(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+// P is display-only, justified inline.
+var P = 0.5 //kpavet:ignore floatprob display constant, never compared
+
+//kpavet:ignore floatprob smoothing weight for the demo renderer
+var Q = 0.25
+
+var R = 0.75 //kpavet:ignore bigimport wrong analyzer name does not suppress
+`,
+	})
+	diags := run(t, root, floatprob.New())
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %+v, want exactly the unsuppressed R", diags)
+	}
+	if d := diags[0]; d.Line != 9 || d.Analyzer != "floatprob" {
+		t.Errorf("surviving diagnostic = %+v, want floatprob at a/a.go:9", d)
+	}
+}
+
+// TestBareIgnoreIsDiagnostic pins the error message for a directive with
+// no reason: silent opt-outs must fail the build, loudly and stably.
+func TestBareIgnoreIsDiagnostic(t *testing.T) {
+	const pinned = `bare //kpavet:ignore directive: an analyzer name and a reason are required ("//kpavet:ignore <analyzer> <reason>")`
+	if driver.BareIgnoreMessage != pinned {
+		t.Fatalf("BareIgnoreMessage drifted:\n got: %s\nwant: %s", driver.BareIgnoreMessage, pinned)
+	}
+	root := writeModule(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+//kpavet:ignore
+var P = 0.5
+
+//kpavet:ignore floatprob
+var Q = 0.25
+`,
+	})
+	diags := run(t, root, floatprob.New())
+	var bare []analysis.Diagnostic
+	var rest []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "kpavet" {
+			bare = append(bare, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	if len(bare) != 2 {
+		t.Fatalf("bare-ignore diagnostics = %+v, want 2", bare)
+	}
+	for _, d := range bare {
+		if d.Message != pinned {
+			t.Errorf("bare-ignore message = %q, want %q", d.Message, pinned)
+		}
+	}
+	// A malformed directive must not suppress anything: both float
+	// literals still fire.
+	if len(rest) != 2 {
+		t.Errorf("float diagnostics = %+v, want both literals unsuppressed", rest)
+	}
+}
+
+// TestLoadErrors: a module that does not type-check is a driver error,
+// not a silent pass.
+func TestLoadErrors(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nvar X undefined\n",
+	})
+	if _, err := driver.Run(driver.Config{Root: root, Analyzers: []analysis.Analyzer{floatprob.New()}}); err == nil {
+		t.Fatal("expected a type-check error, got none")
+	}
+	if _, err := driver.Run(driver.Config{Root: t.TempDir()}); err == nil {
+		t.Fatal("expected a missing-go.mod error, got none")
+	}
+}

@@ -1,0 +1,80 @@
+// Package floatprob implements the kpavet analyzer that keeps approximate
+// arithmetic out of probability-carrying code.
+//
+// Every number the theorem checkers compare is an exact rational
+// (DESIGN.md: "exact arithmetic removes float-comparison noise from
+// theorem checks"), so a float64 anywhere in the library proper is either
+// a display concern or a bug about to happen. The analyzer flags float
+// literals, conversions to float types and float arithmetic everywhere
+// except the whitelisted display surfaces: packages under cmd/ (output
+// formatting and simulation statistics) and the Float64 accessors in
+// internal/rat, which are the documented exits from exact arithmetic.
+// Test files are exempt (the driver never loads them).
+package floatprob
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kpa/internal/analysis"
+)
+
+// Analyzer flags float usage outside the display whitelist.
+type Analyzer struct{}
+
+// New returns the floatprob analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+func (*Analyzer) Name() string { return "floatprob" }
+
+func (*Analyzer) Doc() string {
+	return "no float32/float64 literals, conversions or arithmetic in probability-carrying code; exact rationals only, with cmd/* output and rat's Float64 accessors whitelisted"
+}
+
+func (*Analyzer) Run(pass *analysis.Pass) error {
+	if strings.HasPrefix(pass.PkgPath, pass.Module+"/cmd/") {
+		return nil // display and simulation front-ends may use floats
+	}
+	inRat := pass.PkgPath == pass.Module+"/internal/rat"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && inRat && fd.Name.Name == "Float64" {
+				continue // rat's documented exact→approximate exit
+			}
+			check(pass, decl)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.FLOAT {
+				pass.Report(n.Pos(), fmt.Sprintf("float literal %s in probability-carrying code; use an exact rat.Rat", n.Value))
+			}
+		case *ast.CallExpr:
+			// A conversion is a call whose "function" is a type.
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() && isFloat(tv.Type) {
+				pass.Report(n.Pos(), fmt.Sprintf("conversion to %s in probability-carrying code; use an exact rat.Rat", tv.Type))
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if tv, ok := pass.Info.Types[n]; ok && isFloat(tv.Type) {
+					pass.Report(n.Pos(), fmt.Sprintf("float arithmetic (%s) in probability-carrying code; use an exact rat.Rat", n.Op))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

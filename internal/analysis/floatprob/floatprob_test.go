@@ -1,0 +1,15 @@
+package floatprob_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/floatprob"
+)
+
+// TestFixture checks caught violations (literals, conversions and
+// arithmetic in internal/prob and in a non-Float64 rat method) and the
+// clean passes (rat.Rat.Float64 itself and cmd/show's formatting).
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", floatprob.New())
+}

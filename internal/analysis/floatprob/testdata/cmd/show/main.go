@@ -1,0 +1,15 @@
+// Command show is output formatting: cmd/* may use floats freely, so
+// this file must produce no diagnostics.
+package main
+
+import (
+	"fmt"
+
+	"kpa/internal/rat"
+)
+
+func main() {
+	x := rat.Rat{Num: 1, Den: 3}
+	pct := x.Float64() * 100.0
+	fmt.Printf("%.2f%%\n", pct)
+}

@@ -1,0 +1,33 @@
+// Package prob is probability-carrying code: floats here are exactly
+// what the floatprob analyzer exists to reject.
+package prob
+
+// Threshold is an approximate probability — forbidden.
+var Threshold = 0.99 // want `\[floatprob\] float literal 0\.99`
+
+// Ratio divides two counts approximately — forbidden twice over: the
+// conversions and the quotient.
+func Ratio(num, den int) float64 {
+	return float64(num) / float64(den) // want `\[floatprob\] conversion to float64` `\[floatprob\] conversion to float64` `\[floatprob\] float arithmetic \(/\)`
+}
+
+// Scale mixes a float literal into arithmetic.
+func Scale(x float64) float64 {
+	return x * 2.5 // want `\[floatprob\] float arithmetic \(\*\)` `\[floatprob\] float literal 2\.5`
+}
+
+// Exact is clean: integer arithmetic carries no approximation.
+func Exact(num, den int) (int, int) {
+	g := gcd(num, den)
+	return num / g, den / g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

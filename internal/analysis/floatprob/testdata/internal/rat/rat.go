@@ -1,0 +1,16 @@
+// Package rat holds the whitelisted exact→approximate exit: a Float64
+// accessor may use floats because display is its whole purpose.
+package rat
+
+// Rat is a toy exact rational.
+type Rat struct{ Num, Den int64 }
+
+// Float64 is the documented display accessor; its floats are whitelisted.
+func (x Rat) Float64() float64 {
+	return float64(x.Num) / float64(x.Den)
+}
+
+// Mid is NOT named Float64, so its float sneaks past no one.
+func (x Rat) Mid(y Rat) float64 {
+	return (x.Float64() + y.Float64()) / 2.0 // want `\[floatprob\] float arithmetic \(\+\)` `\[floatprob\] float arithmetic \(/\)` `\[floatprob\] float literal 2\.0`
+}

@@ -1,0 +1,15 @@
+package ratmut_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/ratmut"
+)
+
+// TestFixture checks caught violations (mutating through the big()
+// accessor, a parameter, or a stored alias) and clean passes (fresh
+// receivers, fresh accumulators, copies from Big()).
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", ratmut.New())
+}

@@ -1,0 +1,67 @@
+// Package rat is a miniature of the real internal/rat: an immutable
+// wrapper whose big() accessor exposes a possibly shared internal
+// pointer. The good functions mutate only fresh allocations; the bad
+// ones mutate through aliases and must each draw a ratmut diagnostic.
+package rat
+
+import "math/big"
+
+// Rat is an immutable rational; r may be shared between values.
+type Rat struct{ r *big.Rat }
+
+var zeroBig = new(big.Rat)
+
+// big returns the internal pointer (shared!); callers must not mutate it.
+func (x Rat) big() *big.Rat {
+	if x.r == nil {
+		return zeroBig
+	}
+	return x.r
+}
+
+// Big returns a fresh copy of x, safe to mutate.
+func (x Rat) Big() *big.Rat { return new(big.Rat).Set(x.big()) }
+
+// Add is the canonical good shape: a fresh receiver takes the result.
+func (x Rat) Add(y Rat) Rat {
+	return Rat{r: new(big.Rat).Add(x.big(), y.big())}
+}
+
+// Sum accumulates into a fresh local — fine even though the receiver is
+// also an operand, because the accumulator is this function's own.
+func Sum(xs ...Rat) Rat {
+	acc := new(big.Rat)
+	for _, x := range xs {
+		acc.Add(acc, x.big())
+	}
+	return Rat{r: acc}
+}
+
+// Double mutates via a copy from Big(), a fresh source by fixpoint.
+func Double(x Rat) Rat {
+	b := x.Big()
+	b.Add(b, x.big())
+	return Rat{r: b}
+}
+
+// BadAdd writes the sum into x's own internals: every Rat sharing that
+// pointer silently changes value.
+func BadAdd(x, y Rat) Rat {
+	return Rat{r: x.big().Add(x.big(), y.big())} // want `\[ratmut\] \(\*big\.Rat\)\.Add on a receiver that may alias an operand`
+}
+
+// BadParam mutates a caller-owned pointer.
+func BadParam(a, b *big.Rat) *big.Rat {
+	return a.Add(a, b) // want `\[ratmut\] \(\*big\.Rat\)\.Add on a receiver that may alias an operand`
+}
+
+// BadShared negates through the accessor: the alias is one hop away.
+func BadShared(x Rat) {
+	p := x.big()
+	p.Neg(p) // want `\[ratmut\] \(\*big\.Rat\)\.Neg on a receiver that may alias an operand`
+}
+
+// BadInt mutates a shared *big.Int the same way.
+func BadInt(n *big.Int) *big.Int {
+	return n.SetInt64(42) // want `\[ratmut\] \(\*big\.Int\)\.SetInt64 on a receiver that may alias an operand`
+}

@@ -21,7 +21,6 @@ package protocol
 
 import (
 	"fmt"
-	"math/big"
 	"sort"
 	"strconv"
 	"strings"
@@ -369,8 +368,7 @@ func deliveryOutcomes(sent []sentMsg, q rat.Rat) []deliveryOutcome {
 		var next []deliveryOutcome
 		for _, o := range outcomes {
 			for d := 0; d <= mt.count; d++ {
-				binom := rat.FromBig(new(big.Rat).SetInt(
-					new(big.Int).Binomial(int64(mt.count), int64(d))))
+				binom := rat.Binomial(int64(mt.count), int64(d))
 				pd := binom.Mul(rat.Pow(q, d)).Mul(rat.Pow(lossProb, mt.count-d))
 				dtypes := make([]msgType, len(o.delivered), len(o.delivered)+1)
 				copy(dtypes, o.delivered)

@@ -173,6 +173,22 @@ func Prod(xs ...Rat) Rat {
 	return Rat{r: acc}
 }
 
+// Binomial returns the binomial coefficient C(n, k) as an exact rational.
+// It is 0 when k < 0 or k > n (the usual combinatorial convention) and
+// panics for negative n, which is a programming error on the level of a
+// negative slice length. Protocol code uses it for grouped message-
+// delivery outcomes: the number delivered out of n independent copies is
+// Binomial(n, q)-distributed.
+func Binomial(n, k int64) Rat {
+	if n < 0 {
+		panic("rat: negative n in binomial coefficient")
+	}
+	if k < 0 || k > n {
+		return Zero
+	}
+	return Rat{r: new(big.Rat).SetInt(new(big.Int).Binomial(n, k))}
+}
+
 // Pow returns x^n for n ≥ 0. It panics for negative n.
 func Pow(x Rat, n int) Rat {
 	if n < 0 {

@@ -184,6 +184,51 @@ func TestPow(t *testing.T) {
 	}
 }
 
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int64
+		want Rat
+	}{
+		{0, 0, One},
+		{1, 0, One},
+		{1, 1, One},
+		{5, 2, FromInt(10)},
+		{10, 3, FromInt(120)},
+		{10, 7, FromInt(120)},
+		{52, 5, FromInt(2598960)},
+		{4, -1, Zero},
+		{4, 5, Zero},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); !got.Equal(tt.want) {
+			t.Errorf("Binomial(%d,%d) = %s, want %s", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialRowSumsToPow2(t *testing.T) {
+	// Σ_k C(n,k) = 2^n ties Binomial to Pow, the shape deliveryOutcomes
+	// depends on: binomial delivery probabilities must sum to one.
+	for n := int64(0); n <= 12; n++ {
+		sum := Zero
+		for k := int64(0); k <= n; k++ {
+			sum = sum.Add(Binomial(n, k))
+		}
+		if want := Pow(New(2, 1), int(n)); !sum.Equal(want) {
+			t.Errorf("sum C(%d,k) = %s, want %s", n, sum, want)
+		}
+	}
+}
+
+func TestBinomialNegativeNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1,0) did not panic")
+		}
+	}()
+	Binomial(-1, 0)
+}
+
 func TestPowNegativePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,12 +1,15 @@
 #!/bin/sh
-# verify.sh — the checks every PR must pass: vet, then the full test suite
-# under the race detector. The -race run is what validates the pooling
-# contract in internal/service (its concurrency tests hammer shared
-# services from dozens of goroutines).
+# verify.sh — the checks every PR must pass: vet, the kpavet contract
+# suite, then the full test suite under the race detector. kpavet rejects
+# the code shapes that break the repo's invariants (docs/LINTING.md);
+# the -race run then validates the pooling contract dynamically
+# (internal/service's concurrency tests hammer shared services from
+# dozens of goroutines).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
+go run ./cmd/kpavet ./...
 go build ./...
 go test -race ./...
