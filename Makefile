@@ -20,6 +20,8 @@ lint:
 verify:
 	./scripts/verify.sh
 
-# Every paper experiment plus the serving-layer baselines.
+# The dense-engine benchmark trajectory: runs the Dense*/Naive* pairs,
+# records BENCH_PR3.json, prints the speedups and enforces the 3x floor on
+# the C_G^alpha fixpoint. See docs/PERFORMANCE.md.
 bench:
-	go test -bench=. -benchmem ./...
+	./scripts/bench.sh

@@ -65,3 +65,34 @@ func BadShared(x Rat) {
 func BadInt(n *big.Int) *big.Int {
 	return n.SetInt64(42) // want `\[ratmut\] \(\*big\.Int\)\.SetInt64 on a receiver that may alias an operand`
 }
+
+// DenseProb is the dense-engine shape: bitset words are mutated freely
+// (plain uint64 stores are outside the immutability contract) while the
+// probability accumulates into a fresh rational. Nothing here may be
+// flagged.
+func DenseProb(bits []uint64, probs []Rat) Rat {
+	acc := new(big.Rat)
+	for wi, w := range bits {
+		bits[wi] = w &^ 1 // word mutation on the owner's slice: fine
+		for w != 0 {
+			r := wi * 64 // placeholder for a trailing-zeros scan
+			acc.Add(acc, probs[r%len(probs)].big())
+			w &= w - 1
+		}
+	}
+	return Rat{r: acc}
+}
+
+// BadDenseProb is the same loop accumulating through a shared pointer:
+// the bitset idiom does not launder the rational mutation.
+func BadDenseProb(bits []uint64, total Rat, probs []Rat) Rat {
+	acc := total.big()
+	for wi, w := range bits {
+		_ = wi
+		for w != 0 {
+			acc.Add(acc, probs[0].big()) // want `\[ratmut\] \(\*big\.Rat\)\.Add on a receiver that may alias an operand`
+			w &= w - 1
+		}
+	}
+	return Rat{r: acc}
+}

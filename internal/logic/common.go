@@ -57,33 +57,27 @@ func (e *Evaluator) InductionRuleHolds(group []system.AgentID, psi, phi Formula)
 // definitions can differ in general, but they agree here; tests check the
 // agreement).
 func (e *Evaluator) CommonByIteration(group []system.AgentID, phi Formula) (system.PointSet, error) {
-	if err := e.checkGroup(group); err != nil {
+	if err := checkGroupIn(e.sys, group); err != nil {
 		return nil, err
 	}
-	sub, err := e.Extension(phi)
+	sub, err := e.DenseExtension(phi)
 	if err != nil {
 		return nil, err
 	}
 	// cur_k = extension of (E_G)^k φ; conj accumulates the intersection.
 	// The sequence cur_k lives in a finite lattice, so it eventually
 	// cycles; once a repeat is detected every future value has already
-	// been intersected into conj.
-	sig := func(s system.PointSet) string {
-		out := ""
-		for _, p := range s.Sorted() {
-			out += p.String() + ";"
-		}
-		return out
-	}
+	// been intersected into conj. Dense bit patterns double as the cheap
+	// cycle-detection signature.
 	cur := e.everyoneExtension(group, sub)
 	conj := cur.Clone()
-	seen := map[string]bool{sig(cur): true}
+	seen := map[string]bool{cur.Key(): true}
 	for {
 		cur = e.everyoneExtension(group, cur)
-		conj = conj.Intersect(cur)
-		s := sig(cur)
+		conj.IntersectWith(cur)
+		s := cur.Key()
 		if seen[s] {
-			return conj, nil
+			return conj.PointSet(), nil
 		}
 		seen[s] = true
 	}

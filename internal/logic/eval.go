@@ -28,21 +28,59 @@ var (
 // induced assignment of a sample-space assignment); different assignments
 // give different truths, which is the point of the paper.
 //
+// Internally the evaluator runs on the system's dense point index
+// (system.Index): subformula extensions are DenseSet bitsets combined by
+// word-wise arithmetic, K_i uses the index's cached information-cell
+// partition ("cell ⊆ extension" is one AND-NOT sweep per cell), and Pr_i
+// resolves each point's probability space once into a per-agent table that
+// every later probability query — in particular every iteration of the
+// E_G^α/C_G^α fixpoints — reuses. The exported API still speaks PointSet;
+// conversion happens only at this boundary and is memoized.
+//
 // An Evaluator memoizes formula extensions (the set of points where each
 // subformula holds) by node identity, so reusing formula objects across
-// queries is cheap.
+// queries is cheap; since the package hash-conses formula constructors,
+// re-parsing the same formula text reuses the same nodes and hence hits
+// the memo.
 //
 // Evaluators are NOT safe for concurrent use: callers that share a system
 // across goroutines must give each goroutine its own Evaluator, or check
 // evaluators in and out of a pool (see internal/service). A pooled
 // evaluator stays warm — its memo survives between checkouts — and can be
 // cheaply demoted to cold with Reset when the memo grows past a cap; the
-// underlying System and props are read-only and may be shared freely.
+// underlying System, its point index, and props are read-only and may be
+// shared freely.
 type Evaluator struct {
 	sys   *system.System
+	idx   *system.Index
 	prob  *core.ProbAssignment
 	props map[string]system.Fact
-	memo  map[Formula]system.PointSet
+
+	memo    map[Formula]*system.DenseSet // dense extensions, by node identity
+	extMemo map[Formula]system.PointSet  // boundary conversions of memo entries
+
+	// spaces[i] maps dense point ID → the point's probability space under
+	// prob, resolved lazily once per agent. The table depends only on the
+	// system and the assignment, so it survives Reset and DefineProp.
+	spaces map[system.AgentID][]*measure.Space
+
+	// prVerdicts memoizes probability-threshold verdicts by (space, inner-
+	// or hit-run pattern, bound). Fixpoint iterations re-ask mostly
+	// unchanged questions — a space whose run pattern did not move between
+	// rounds skips the exact rational arithmetic entirely. Like spaces,
+	// entries depend only on the immutable system and assignment, so the
+	// cache survives Reset and DefineProp.
+	prVerdicts map[prVerdictKey]bool
+}
+
+// prVerdictKey identifies one probability-threshold verdict: does the run
+// set with this bit pattern, conditioned on this space, have probability ≥
+// (geq) or ≤ (!geq) the bound?
+type prVerdictKey struct {
+	sp    *measure.Space
+	runs  string // RunSet.Key of the inner (geq) or hit (!geq) runs
+	bound string // rat.Key of the threshold
+	geq   bool
 }
 
 // NewEvaluator builds an evaluator for the system. prob may be nil if no
@@ -53,7 +91,16 @@ func NewEvaluator(sys *system.System, prob *core.ProbAssignment, props map[strin
 	for k, v := range props {
 		cp[k] = v
 	}
-	return &Evaluator{sys: sys, prob: prob, props: cp, memo: make(map[Formula]system.PointSet)}
+	return &Evaluator{
+		sys:        sys,
+		idx:        sys.Index(),
+		prob:       prob,
+		props:      cp,
+		memo:       make(map[Formula]*system.DenseSet),
+		extMemo:    make(map[Formula]system.PointSet),
+		spaces:     make(map[system.AgentID][]*measure.Space),
+		prVerdicts: make(map[prVerdictKey]bool),
+	}
 }
 
 // System returns the evaluator's system.
@@ -63,46 +110,56 @@ func (e *Evaluator) System() *system.System { return e.sys }
 // proposition invalidates the memo.
 func (e *Evaluator) DefineProp(name string, fact system.Fact) {
 	e.props[name] = fact
-	e.memo = make(map[Formula]system.PointSet)
+	e.memo = make(map[Formula]*system.DenseSet)
+	e.extMemo = make(map[Formula]system.PointSet)
 }
 
 // Reset drops the memo table, returning the evaluator to its
 // freshly-constructed state. Pools call this when a long-lived evaluator's
-// memo exceeds their cap; the proposition table is kept.
+// memo exceeds their cap; the proposition table and the per-agent space
+// tables (which depend only on the immutable system and assignment) are
+// kept.
 func (e *Evaluator) Reset() {
-	e.memo = make(map[Formula]system.PointSet)
+	e.memo = make(map[Formula]*system.DenseSet)
+	e.extMemo = make(map[Formula]system.PointSet)
 }
 
-// MemoLen reports the number of memoized subformula extensions, so pools
-// can bound a pooled evaluator's footprint.
+// MemoLen reports the number of memoized subformula extensions.
 func (e *Evaluator) MemoLen() int { return len(e.memo) }
+
+// MemoWords reports the evaluator's memo footprint in 64-bit words across
+// the memoized dense extensions, so pools can bound a pooled evaluator's
+// memory rather than just its entry count.
+func (e *Evaluator) MemoWords() int {
+	return len(e.memo) * e.idx.Words()
+}
 
 // Holds reports whether the formula is true at the point.
 func (e *Evaluator) Holds(f Formula, at system.Point) (bool, error) {
-	ext, err := e.Extension(f)
+	ext, err := e.DenseExtension(f)
 	if err != nil {
 		return false, err
 	}
-	return ext.Contains(at), nil
+	return ext.ContainsPoint(at), nil
 }
 
 // Valid reports whether the formula holds at every point of the system.
 func (e *Evaluator) Valid(f Formula) (bool, error) {
-	ext, err := e.Extension(f)
+	ext, err := e.DenseExtension(f)
 	if err != nil {
 		return false, err
 	}
-	return ext.Len() == e.sys.Points().Len(), nil
+	return ext.Len() == e.idx.NumPoints(), nil
 }
 
 // CounterExamples returns the points at which the formula fails, in
 // deterministic order.
 func (e *Evaluator) CounterExamples(f Formula) ([]system.Point, error) {
-	ext, err := e.Extension(f)
+	ext, err := e.DenseExtension(f)
 	if err != nil {
 		return nil, err
 	}
-	return e.sys.Points().Minus(ext).Sorted(), nil
+	return ext.Complement().PointSet().Sorted(), nil
 }
 
 // Fact converts a formula to a system.Fact (its extension as a predicate).
@@ -117,6 +174,22 @@ func (e *Evaluator) Fact(f Formula) (system.Fact, error) {
 // Extension returns the set of points where the formula holds. The returned
 // set is shared with the memo and must not be modified.
 func (e *Evaluator) Extension(f Formula) (system.PointSet, error) {
+	if ext, ok := e.extMemo[f]; ok {
+		return ext, nil
+	}
+	d, err := e.DenseExtension(f)
+	if err != nil {
+		return nil, err
+	}
+	ext := d.PointSet()
+	e.extMemo[f] = ext
+	return ext, nil
+}
+
+// DenseExtension returns the extension of the formula as a dense bitset
+// over the system's point index. The returned set is shared with the memo
+// and must not be modified.
+func (e *Evaluator) DenseExtension(f Formula) (*system.DenseSet, error) {
 	if ext, ok := e.memo[f]; ok {
 		return ext, nil
 	}
@@ -128,92 +201,105 @@ func (e *Evaluator) Extension(f Formula) (system.PointSet, error) {
 	return ext, nil
 }
 
-func (e *Evaluator) checkAgent(i system.AgentID) error {
-	if int(i) < 0 || int(i) >= e.sys.NumAgents() {
-		return fmt.Errorf("%w: p%d in a %d-agent system", ErrBadAgent, i+1, e.sys.NumAgents())
+// checkAgentIn validates an agent index against a system; shared between
+// the dense and reference evaluators.
+func checkAgentIn(sys *system.System, i system.AgentID) error {
+	if int(i) < 0 || int(i) >= sys.NumAgents() {
+		return fmt.Errorf("%w: p%d in a %d-agent system", ErrBadAgent, i+1, sys.NumAgents())
 	}
 	return nil
 }
 
-func (e *Evaluator) checkGroup(g []system.AgentID) error {
+// checkGroupIn validates a group of agent indices against a system.
+func checkGroupIn(sys *system.System, g []system.AgentID) error {
 	if len(g) == 0 {
 		return fmt.Errorf("logic: empty agent group")
 	}
 	for _, i := range g {
-		if err := e.checkAgent(i); err != nil {
+		if err := checkAgentIn(sys, i); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (e *Evaluator) compute(f Formula) (system.PointSet, error) {
-	all := e.sys.Points()
+func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
+	idx := e.idx
 	switch f := f.(type) {
 	case *PropFormula:
 		fact, ok := e.props[f.Name]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownProp, f.Name)
 		}
-		return all.Filter(fact.Holds), nil
+		out := idx.NewDense()
+		for id, n := 0, idx.NumPoints(); id < n; id++ {
+			if fact.Holds(idx.PointAt(id)) {
+				out.Add(id)
+			}
+		}
+		return out, nil
 
 	case *BoolFormula:
 		if f.Value {
-			return all.Clone(), nil
+			return idx.FullDense(), nil
 		}
-		return system.NewPointSet(), nil
+		return idx.NewDense(), nil
 
 	case *NotFormula:
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
-		return all.Minus(sub), nil
+		return sub.Complement(), nil
 
 	case *AndFormula:
-		l, err := e.Extension(f.Left)
+		l, err := e.DenseExtension(f.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.Extension(f.Right)
+		r, err := e.DenseExtension(f.Right)
 		if err != nil {
 			return nil, err
 		}
 		return l.Intersect(r), nil
 
 	case *OrFormula:
-		l, err := e.Extension(f.Left)
+		l, err := e.DenseExtension(f.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.Extension(f.Right)
+		r, err := e.DenseExtension(f.Right)
 		if err != nil {
 			return nil, err
 		}
 		return l.Union(r), nil
 
 	case *ImpliesFormula:
-		l, err := e.Extension(f.Left)
+		l, err := e.DenseExtension(f.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.Extension(f.Right)
+		r, err := e.DenseExtension(f.Right)
 		if err != nil {
 			return nil, err
 		}
-		return all.Minus(l).Union(r), nil
+		return l.Complement().Union(r), nil
 
 	case *NextFormula:
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
-		out := make(system.PointSet)
-		for p := range all {
-			if nxt, ok := p.Next(); ok && sub.Contains(nxt) {
-				out.Add(p)
+		out := idx.NewDense()
+		// Runs are contiguous ID ranges, so "the next point on the run"
+		// is ID+1.
+		idx.EachRun(func(_ *system.Tree, _ int, start, n int) {
+			for k := 0; k < n-1; k++ {
+				if sub.Contains(start + k + 1) {
+					out.Add(start + k)
+				}
 			}
-		}
+		})
 		return out, nil
 
 	case *UntilFormula:
@@ -223,64 +309,64 @@ func (e *Evaluator) compute(f Formula) (system.PointSet, error) {
 		return e.computeUntil(True, f.Sub)
 
 	case *AlwaysFormula:
-		// □φ = ¬◇¬φ.
+		// □φ = ¬◇¬φ. Not(f.Sub) is hash-consed, so the inner extension
+		// memoizes across queries; only the final complement is fresh.
 		ev, err := e.computeUntil(True, Not(f.Sub))
 		if err != nil {
 			return nil, err
 		}
-		// Careful: Not(f.Sub) above is a fresh node; memoize only here.
-		return all.Minus(ev), nil
+		return ev.Complement(), nil
 
 	case *KnowFormula:
-		if err := e.checkAgent(f.Agent); err != nil {
+		if err := checkAgentIn(e.sys, f.Agent); err != nil {
 			return nil, err
 		}
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
 		return e.knowExtension(f.Agent, sub), nil
 
 	case *PrGeqFormula:
-		if err := e.checkAgent(f.Agent); err != nil {
+		if err := checkAgentIn(e.sys, f.Agent); err != nil {
 			return nil, err
 		}
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
 		return e.prExtension(f.Agent, sub, f.Alpha, true)
 
 	case *PrLeqFormula:
-		if err := e.checkAgent(f.Agent); err != nil {
+		if err := checkAgentIn(e.sys, f.Agent); err != nil {
 			return nil, err
 		}
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
 		return e.prExtension(f.Agent, sub, f.Beta, false)
 
 	case *EveryoneFormula:
-		if err := e.checkGroup(f.Group); err != nil {
+		if err := checkGroupIn(e.sys, f.Group); err != nil {
 			return nil, err
 		}
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
 		return e.everyoneExtension(f.Group, sub), nil
 
 	case *CommonFormula:
-		if err := e.checkGroup(f.Group); err != nil {
+		if err := checkGroupIn(e.sys, f.Group); err != nil {
 			return nil, err
 		}
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
 		// Greatest fixed point of X = E_G(φ ∧ X), from X = all points.
-		x := all.Clone()
+		x := idx.FullDense()
 		for {
 			next := e.everyoneExtension(f.Group, sub.Intersect(x))
 			if next.Equal(x) {
@@ -290,25 +376,25 @@ func (e *Evaluator) compute(f Formula) (system.PointSet, error) {
 		}
 
 	case *EveryonePrFormula:
-		if err := e.checkGroup(f.Group); err != nil {
+		if err := checkGroupIn(e.sys, f.Group); err != nil {
 			return nil, err
 		}
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
 		return e.everyonePrExtension(f.Group, sub, f.Alpha)
 
 	case *CommonPrFormula:
-		if err := e.checkGroup(f.Group); err != nil {
+		if err := checkGroupIn(e.sys, f.Group); err != nil {
 			return nil, err
 		}
-		sub, err := e.Extension(f.Sub)
+		sub, err := e.DenseExtension(f.Sub)
 		if err != nil {
 			return nil, err
 		}
 		// Greatest fixed point of X = E_G^α(φ ∧ X).
-		x := all.Clone()
+		x := idx.FullDense()
 		for {
 			next, err := e.everyonePrExtension(f.Group, sub.Intersect(x), f.Alpha)
 			if err != nil {
@@ -326,115 +412,140 @@ func (e *Evaluator) compute(f Formula) (system.PointSet, error) {
 }
 
 // computeUntil computes the extension of φ U ψ over finite runs: ψ holds at
-// some point l ≥ k of the run and φ holds at all points in [k, l).
-func (e *Evaluator) computeUntil(phi, psi Formula) (system.PointSet, error) {
-	l, err := e.Extension(phi)
+// some point l ≥ k of the run and φ holds at all points in [k, l). Each run
+// is one backward sweep over its contiguous ID range.
+func (e *Evaluator) computeUntil(phi, psi Formula) (*system.DenseSet, error) {
+	l, err := e.DenseExtension(phi)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.Extension(psi)
+	r, err := e.DenseExtension(psi)
 	if err != nil {
 		return nil, err
 	}
-	out := make(system.PointSet)
-	for _, tree := range e.sys.Trees() {
-		for run := 0; run < tree.NumRuns(); run++ {
-			n := tree.RunLen(run)
-			// Walk the run backwards: until holds at k iff ψ at k, or
-			// (φ at k and until at k+1).
-			holds := false
-			for k := n - 1; k >= 0; k-- {
-				p := system.Point{Tree: tree, Run: run, Time: k}
-				switch {
-				case r.Contains(p):
-					holds = true
-				case l.Contains(p) && holds:
-					// keep holds = true
-				default:
-					holds = false
-				}
-				if holds {
-					out.Add(p)
-				}
+	out := e.idx.NewDense()
+	e.idx.EachRun(func(_ *system.Tree, _ int, start, n int) {
+		// until holds at k iff ψ at k, or (φ at k and until at k+1).
+		holds := false
+		for k := n - 1; k >= 0; k-- {
+			id := start + k
+			switch {
+			case r.Contains(id):
+				holds = true
+			case l.Contains(id) && holds:
+				// keep holds = true
+			default:
+				holds = false
+			}
+			if holds {
+				out.Add(id)
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
-// knowExtension computes {c : K_i(c) ⊆ ext}.
-func (e *Evaluator) knowExtension(i system.AgentID, ext system.PointSet) system.PointSet {
-	out := make(system.PointSet)
-	// Group points by agent i's local state: knowledge is constant on the
-	// information cells.
-	cells := make(map[system.LocalState][]system.Point)
-	for p := range e.sys.Points() {
-		cells[p.Local(i)] = append(cells[p.Local(i)], p)
-	}
-	for _, cell := range cells {
-		all := true
-		for _, p := range cell {
-			if !ext.Contains(p) {
-				all = false
-				break
-			}
-		}
-		if all {
-			for _, p := range cell {
-				out.Add(p)
-			}
+// knowExtension computes {c : K_i(c) ⊆ ext}: for each information cell of
+// agent i, one word-wise subset test; cells that pass are OR-ed into the
+// result. The partition itself is cached on the system's index.
+func (e *Evaluator) knowExtension(i system.AgentID, ext *system.DenseSet) *system.DenseSet {
+	cells := e.idx.Cells(i)
+	out := e.idx.NewDense()
+	for k := 0; k < cells.NumCells(); k++ {
+		mask := cells.Mask(k)
+		if mask.SubsetOf(ext) {
+			out.UnionWith(mask)
 		}
 	}
 	return out
 }
 
-// prExtension computes {c : inner measure of S_ic ∩ ext ≥ α} (geq) or
-// {c : outer measure ≤ α} (leq). The verdict is memoized per distinct space
-// object: with keyed assignments, all points of an information cell share
-// one space, so the measure is computed once per cell rather than per point.
-func (e *Evaluator) prExtension(i system.AgentID, ext system.PointSet, bound rat.Rat, geq bool) (system.PointSet, error) {
-	if e.prob == nil {
-		return nil, ErrNoProbability
+// spaceTable returns (building on first use) the dense-ID-indexed table of
+// agent i's probability spaces. With a keyed assignment all points of an
+// information cell share one *measure.Space, so the table is mostly
+// repeated pointers — which is exactly what lets prExtension compute one
+// verdict per distinct space.
+func (e *Evaluator) spaceTable(i system.AgentID) ([]*measure.Space, error) {
+	if tab, ok := e.spaces[i]; ok {
+		return tab, nil
 	}
-	out := make(system.PointSet)
-	verdicts := make(map[*measure.Space]bool)
-	for c := range e.sys.Points() {
+	tab := make([]*measure.Space, e.idx.NumPoints())
+	for id := range tab {
+		c := e.idx.PointAt(id)
 		sp, err := e.prob.Space(i, c)
 		if err != nil {
 			return nil, fmt.Errorf("Pr%d at %v: %w", i+1, c, err)
 		}
+		tab[id] = sp
+	}
+	e.spaces[i] = tab
+	return tab, nil
+}
+
+// prExtension computes {c : inner measure of S_ic ∩ ext ≥ α} (geq) or
+// {c : outer measure ≤ α} (leq). Spaces are resolved once per agent via
+// spaceTable; the measure verdict is computed once per distinct space and
+// fanned out to every point sharing it.
+func (e *Evaluator) prExtension(i system.AgentID, ext *system.DenseSet, bound rat.Rat, geq bool) (*system.DenseSet, error) {
+	if e.prob == nil {
+		return nil, ErrNoProbability
+	}
+	tab, err := e.spaceTable(i)
+	if err != nil {
+		return nil, err
+	}
+	contains := ext.ContainsPoint
+	boundKey := bound.Key()
+	out := e.idx.NewDense()
+	verdicts := make(map[*measure.Space]bool)
+	for id, sp := range tab {
 		v, ok := verdicts[sp]
 		if !ok {
+			// Reduce the query to a run pattern (cheap bit scanning), then
+			// look the pattern's verdict up before falling back to exact
+			// rational arithmetic. Fixpoint rounds re-ask the same patterns
+			// for most spaces, so the fallback runs rarely.
+			var runs system.RunSet
 			if geq {
-				v = sp.Inner(ext).GreaterEq(bound)
+				runs = sp.InnerRuns(contains)
 			} else {
-				v = sp.Outer(ext).LessEq(bound)
+				runs = sp.OuterRuns(contains)
+			}
+			key := prVerdictKey{sp: sp, runs: runs.Key(), bound: boundKey, geq: geq}
+			v, ok = e.prVerdicts[key]
+			if !ok {
+				if geq {
+					v = sp.ProbOfRuns(runs).GreaterEq(bound)
+				} else {
+					v = sp.ProbOfRuns(runs).LessEq(bound)
+				}
+				e.prVerdicts[key] = v
 			}
 			verdicts[sp] = v
 		}
 		if v {
-			out.Add(c)
+			out.Add(id)
 		}
 	}
 	return out, nil
 }
 
-func (e *Evaluator) everyoneExtension(group []system.AgentID, ext system.PointSet) system.PointSet {
-	out := e.sys.Points().Clone()
+func (e *Evaluator) everyoneExtension(group []system.AgentID, ext *system.DenseSet) *system.DenseSet {
+	out := e.idx.FullDense()
 	for _, i := range group {
-		out = out.Intersect(e.knowExtension(i, ext))
+		out.IntersectWith(e.knowExtension(i, ext))
 	}
 	return out
 }
 
-func (e *Evaluator) everyonePrExtension(group []system.AgentID, ext system.PointSet, alpha rat.Rat) (system.PointSet, error) {
-	out := e.sys.Points().Clone()
+func (e *Evaluator) everyonePrExtension(group []system.AgentID, ext *system.DenseSet, alpha rat.Rat) (*system.DenseSet, error) {
+	out := e.idx.FullDense()
 	for _, i := range group {
 		pr, err := e.prExtension(i, ext, alpha, true)
 		if err != nil {
 			return nil, err
 		}
-		out = out.Intersect(e.knowExtension(i, pr))
+		out.IntersectWith(e.knowExtension(i, pr))
 	}
 	return out, nil
 }

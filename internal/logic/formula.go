@@ -132,9 +132,13 @@ func (*CommonPrFormula) isFormula()   {}
 
 // Constructors. Agents are named 1-based in the concrete syntax (K1 is
 // agent p_1, i.e. system.AgentID 0) but the Go API uses AgentIDs directly.
+//
+// All constructors hash-cons: structurally equal formulas are pointer-equal
+// (see intern.go), so evaluator memos keyed by node identity hit across
+// separately-built copies of the same formula.
 
 // Prop returns the primitive proposition with the given name.
-func Prop(name string) Formula { return &PropFormula{Name: name} }
+func Prop(name string) Formula { return internProp(name) }
 
 // True and False are the boolean constants.
 var (
@@ -143,7 +147,7 @@ var (
 )
 
 // Not returns ¬φ.
-func Not(phi Formula) Formula { return &NotFormula{Sub: phi} }
+func Not(phi Formula) Formula { return internNot(phi) }
 
 // And returns the conjunction of the arguments (true for none).
 func And(phis ...Formula) Formula {
@@ -152,7 +156,7 @@ func And(phis ...Formula) Formula {
 	}
 	out := phis[0]
 	for _, phi := range phis[1:] {
-		out = &AndFormula{Left: out, Right: phi}
+		out = internAnd(out, phi)
 	}
 	return out
 }
@@ -164,13 +168,13 @@ func Or(phis ...Formula) Formula {
 	}
 	out := phis[0]
 	for _, phi := range phis[1:] {
-		out = &OrFormula{Left: out, Right: phi}
+		out = internOr(out, phi)
 	}
 	return out
 }
 
 // Implies returns φ → ψ.
-func Implies(phi, psi Formula) Formula { return &ImpliesFormula{Left: phi, Right: psi} }
+func Implies(phi, psi Formula) Formula { return internImplies(phi, psi) }
 
 // Iff returns (φ → ψ) ∧ (ψ → φ).
 func Iff(phi, psi Formula) Formula {
@@ -178,28 +182,28 @@ func Iff(phi, psi Formula) Formula {
 }
 
 // Next returns ◯φ.
-func Next(phi Formula) Formula { return &NextFormula{Sub: phi} }
+func Next(phi Formula) Formula { return internNext(phi) }
 
 // Until returns φ U ψ.
-func Until(phi, psi Formula) Formula { return &UntilFormula{Left: phi, Right: psi} }
+func Until(phi, psi Formula) Formula { return internUntil(phi, psi) }
 
 // Eventually returns ◇φ.
-func Eventually(phi Formula) Formula { return &EventuallyFormula{Sub: phi} }
+func Eventually(phi Formula) Formula { return internEventually(phi) }
 
 // Always returns □φ.
-func Always(phi Formula) Formula { return &AlwaysFormula{Sub: phi} }
+func Always(phi Formula) Formula { return internAlways(phi) }
 
 // K returns K_i φ.
-func K(i system.AgentID, phi Formula) Formula { return &KnowFormula{Agent: i, Sub: phi} }
+func K(i system.AgentID, phi Formula) Formula { return internK(i, phi) }
 
 // PrGeq returns Pr_i(φ) ≥ α.
 func PrGeq(i system.AgentID, phi Formula, alpha rat.Rat) Formula {
-	return &PrGeqFormula{Agent: i, Alpha: alpha, Sub: phi}
+	return internPrGeq(i, phi, alpha)
 }
 
 // PrLeq returns Pr_i(φ) ≤ β.
 func PrLeq(i system.AgentID, phi Formula, beta rat.Rat) Formula {
-	return &PrLeqFormula{Agent: i, Beta: beta, Sub: phi}
+	return internPrLeq(i, phi, beta)
 }
 
 // KPr returns K_i^α φ = K_i(Pr_i(φ) ≥ α).
@@ -215,22 +219,22 @@ func KInterval(i system.AgentID, phi Formula, alpha, beta rat.Rat) Formula {
 
 // Everyone returns E_G φ.
 func Everyone(group []system.AgentID, phi Formula) Formula {
-	return &EveryoneFormula{Group: normalizeGroup(group), Sub: phi}
+	return internEveryone(normalizeGroup(group), phi)
 }
 
 // Common returns C_G φ.
 func Common(group []system.AgentID, phi Formula) Formula {
-	return &CommonFormula{Group: normalizeGroup(group), Sub: phi}
+	return internCommon(normalizeGroup(group), phi)
 }
 
 // EveryonePr returns E_G^α φ.
 func EveryonePr(group []system.AgentID, phi Formula, alpha rat.Rat) Formula {
-	return &EveryonePrFormula{Group: normalizeGroup(group), Alpha: alpha, Sub: phi}
+	return internEveryonePr(normalizeGroup(group), phi, alpha)
 }
 
 // CommonPr returns C_G^α φ.
 func CommonPr(group []system.AgentID, phi Formula, alpha rat.Rat) Formula {
-	return &CommonPrFormula{Group: normalizeGroup(group), Alpha: alpha, Sub: phi}
+	return internCommonPr(normalizeGroup(group), phi, alpha)
 }
 
 func normalizeGroup(group []system.AgentID) []system.AgentID {

@@ -80,7 +80,7 @@ func (s *Space) ExtendAttainingOuter(set system.PointSet) (*PointMeasure, error)
 }
 
 func (s *Space) extend(set system.PointSet, avoid bool) (*PointMeasure, error) {
-	in := s.restrict(set)
+	in := set.Intersect(s.sample)
 	mass := make(map[system.Point]rat.Rat, s.sample.Len())
 	for p := range s.sample {
 		mass[p] = rat.Zero

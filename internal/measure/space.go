@@ -41,6 +41,12 @@ type Space struct {
 	sample system.PointSet
 	runs   system.RunSet // R(S_ic)
 	base   rat.Rat       // μ_A(R(S_ic)) > 0
+
+	// fibers[r] lists the sample points on run r in time order: the run
+	// fiber index. Every measure query (Inner, Outer, IsMeasurable, Prob,
+	// Expect) reduces to a walk over run fibers, so precomputing them once
+	// at construction removes the per-call RunsThrough projections.
+	fibers [][]system.Point
 }
 
 // NewSpace builds the induced probability space over the given sample set of
@@ -53,12 +59,21 @@ func NewSpace(sample system.PointSet) (*Space, error) {
 	if tree == nil {
 		return nil, ErrSpansTrees
 	}
-	runs := sample.RunsThrough(tree)
+	fibers := make([][]system.Point, tree.NumRuns())
+	for _, p := range sample.Sorted() {
+		fibers[p.Run] = append(fibers[p.Run], p)
+	}
+	runs := system.NewRunSet(tree.NumRuns())
+	for r, f := range fibers {
+		if len(f) > 0 {
+			runs.Add(r)
+		}
+	}
 	base := tree.Prob(runs)
 	if base.Sign() <= 0 {
 		return nil, ErrZeroMeasure
 	}
-	return &Space{tree: tree, sample: sample.Clone(), runs: runs, base: base}, nil
+	return &Space{tree: tree, sample: sample.Clone(), runs: runs, base: base, fibers: fibers}, nil
 }
 
 // MustSpace is NewSpace but panics on error; for tests and examples.
@@ -85,32 +100,48 @@ func (s *Space) BaseProb() rat.Rat { return s.base }
 
 // Fiber returns the points of the sample set lying on run r.
 func (s *Space) Fiber(r int) system.PointSet {
-	out := make(system.PointSet)
-	for p := range s.sample {
-		if p.Run == r {
-			out[p] = struct{}{}
-		}
+	out := make(system.PointSet, len(s.fibers[r]))
+	for _, p := range s.fibers[r] {
+		out.Add(p)
 	}
 	return out
-}
-
-// restrict intersects an arbitrary point set with the sample set.
-func (s *Space) restrict(set system.PointSet) system.PointSet {
-	return set.Intersect(s.sample)
 }
 
 // IsMeasurable reports whether set ∩ S_ic ∈ X_ic, i.e. whether the set is a
 // union of run fibers of the sample space.
 func (s *Space) IsMeasurable(set system.PointSet) bool {
-	in := s.restrict(set)
-	hit := in.RunsThrough(s.tree)
-	// Measurable ⟺ the set contains the whole fiber of every run it meets.
-	for p := range s.sample {
-		if hit.Contains(p.Run) && !in.Contains(p) {
-			return false
+	return s.isMeasurableFunc(set.Contains)
+}
+
+func (s *Space) isMeasurableFunc(contains func(system.Point) bool) bool {
+	// Measurable ⟺ every fiber is hit entirely or not at all.
+	all := true
+	s.runs.Iterate(func(r int) {
+		hits := 0
+		for _, p := range s.fibers[r] {
+			if contains(p) {
+				hits++
+			}
 		}
-	}
-	return true
+		if hits != 0 && hits != len(s.fibers[r]) {
+			all = false
+		}
+	})
+	return all
+}
+
+// hitRuns returns R(set ∩ S_ic): the runs whose fiber meets the set.
+func (s *Space) hitRuns(contains func(system.Point) bool) system.RunSet {
+	hit := system.NewRunSet(s.tree.NumRuns())
+	s.runs.Iterate(func(r int) {
+		for _, p := range s.fibers[r] {
+			if contains(p) {
+				hit.Add(r)
+				break
+			}
+		}
+	})
+	return hit
 }
 
 // Prob returns μ_ic(set ∩ S_ic). It returns ErrNotMeasurable if the set is
@@ -119,54 +150,95 @@ func (s *Space) Prob(set system.PointSet) (rat.Rat, error) {
 	if !s.IsMeasurable(set) {
 		return rat.Rat{}, fmt.Errorf("%w: %d points", ErrNotMeasurable, set.Len())
 	}
-	in := s.restrict(set)
-	return s.tree.Prob(in.RunsThrough(s.tree)).Div(s.base), nil
+	return s.tree.Prob(s.hitRuns(set.Contains)).Div(s.base), nil
 }
 
 // innerRuns returns the runs of R(S_ic) whose entire fiber lies inside the
 // set — the largest measurable subset of the set is their projection.
-func (s *Space) innerRuns(set system.PointSet) system.RunSet {
-	in := s.restrict(set)
-	ok := s.runs.Clone()
-	for p := range s.sample {
-		if !in.Contains(p) {
-			ok.Remove(p.Run)
+func (s *Space) innerRuns(contains func(system.Point) bool) system.RunSet {
+	ok := system.NewRunSet(s.tree.NumRuns())
+	s.runs.Iterate(func(r int) {
+		for _, p := range s.fibers[r] {
+			if !contains(p) {
+				return
+			}
 		}
-	}
+		ok.Add(r)
+	})
 	return ok
 }
 
 // Inner returns the inner measure (μ_ic)_*(set): the best lower bound on the
 // probability of the set, sup{μ(T) : T ⊆ set, T ∈ X_ic}.
 func (s *Space) Inner(set system.PointSet) rat.Rat {
-	return s.tree.Prob(s.innerRuns(set)).Div(s.base)
+	return s.InnerFunc(set.Contains)
+}
+
+// InnerFunc is Inner with the set given as a membership predicate, so
+// callers holding a non-PointSet representation (a DenseSet, a Fact) can
+// query without materializing a map.
+func (s *Space) InnerFunc(contains func(system.Point) bool) rat.Rat {
+	return s.tree.Prob(s.innerRuns(contains)).Div(s.base)
+}
+
+// InnerRuns returns the runs of R(S_ic) whose entire fiber satisfies the
+// predicate — the run projection of the largest measurable subset. Together
+// with ProbOfRuns it splits InnerFunc into the cheap bit-scanning half and
+// the expensive rational-arithmetic half, so callers evaluating many
+// near-identical queries (fixpoint iterations) can memoize the second half
+// by run pattern (RunSet.Key).
+func (s *Space) InnerRuns(contains func(system.Point) bool) system.RunSet {
+	return s.innerRuns(contains)
+}
+
+// OuterRuns returns R(set ∩ S_ic): the runs whose fiber meets the
+// predicate. It is the run-level half of OuterFunc, as InnerRuns is of
+// InnerFunc.
+func (s *Space) OuterRuns(contains func(system.Point) bool) system.RunSet {
+	return s.hitRuns(contains)
+}
+
+// ProbOfRuns returns the conditioned probability of a run set:
+// μ_A(rs)/μ_A(R(S_ic)). Combined with InnerRuns/OuterRuns it reproduces
+// InnerFunc/OuterFunc.
+func (s *Space) ProbOfRuns(rs system.RunSet) rat.Rat {
+	return s.tree.Prob(rs).Div(s.base)
 }
 
 // Outer returns the outer measure (μ_ic)*(set): the best upper bound,
 // inf{μ(T) : T ⊇ set, T ∈ X_ic}.
 func (s *Space) Outer(set system.PointSet) rat.Rat {
-	in := s.restrict(set)
-	return s.tree.Prob(in.RunsThrough(s.tree)).Div(s.base)
+	return s.OuterFunc(set.Contains)
+}
+
+// OuterFunc is Outer with the set given as a membership predicate.
+func (s *Space) OuterFunc(contains func(system.Point) bool) rat.Rat {
+	return s.tree.Prob(s.hitRuns(contains)).Div(s.base)
 }
 
 // ProbFact returns μ_ic(S_ic(φ)) for a fact φ, or ErrNotMeasurable.
+// Membership is tested fiber-wise, so the restricted set S_ic(φ) is never
+// materialized.
 func (s *Space) ProbFact(phi system.Fact) (rat.Rat, error) {
-	return s.Prob(s.sample.Filter(phi.Holds))
+	if !s.isMeasurableFunc(phi.Holds) {
+		return rat.Rat{}, fmt.Errorf("%w: fact %s", ErrNotMeasurable, phi)
+	}
+	return s.tree.Prob(s.hitRuns(phi.Holds)).Div(s.base), nil
 }
 
 // InnerFact returns the inner measure of S_ic(φ).
 func (s *Space) InnerFact(phi system.Fact) rat.Rat {
-	return s.Inner(s.sample.Filter(phi.Holds))
+	return s.InnerFunc(phi.Holds)
 }
 
 // OuterFact returns the outer measure of S_ic(φ).
 func (s *Space) OuterFact(phi system.Fact) rat.Rat {
-	return s.Outer(s.sample.Filter(phi.Holds))
+	return s.OuterFunc(phi.Holds)
 }
 
 // IsFactMeasurable reports whether S_ic(φ) ∈ X_ic.
 func (s *Space) IsFactMeasurable(phi system.Fact) bool {
-	return s.IsMeasurable(s.sample.Filter(phi.Holds))
+	return s.isMeasurableFunc(phi.Holds)
 }
 
 // Condition returns the space obtained by conditioning on a measurable
@@ -188,22 +260,26 @@ func (s *Space) Condition(sub system.PointSet) (*Space, error) {
 // ErrNotMeasurable is returned (use InnerExpectTwoValued for the two-valued
 // non-measurable case).
 func (s *Space) Expect(w func(system.Point) rat.Rat) (rat.Rat, error) {
-	// Group sample points by run; verify constancy per fiber.
-	vals := make(map[int]rat.Rat)
-	for p := range s.sample {
-		v := w(p)
-		if prev, ok := vals[p.Run]; ok {
-			if !prev.Equal(v) {
-				return rat.Rat{}, fmt.Errorf("expect: %w: variable not constant on run %d",
-					ErrNotMeasurable, p.Run)
-			}
-		} else {
-			vals[p.Run] = v
-		}
-	}
+	// Walk the run fibers; verify constancy per fiber.
 	acc := rat.Zero
-	for r, v := range vals {
+	var badRun = -1
+	s.runs.Iterate(func(r int) {
+		if badRun >= 0 {
+			return
+		}
+		fiber := s.fibers[r]
+		v := w(fiber[0])
+		for _, p := range fiber[1:] {
+			if !w(p).Equal(v) {
+				badRun = r
+				return
+			}
+		}
 		acc = acc.Add(v.Mul(s.tree.RunProb(r)))
+	})
+	if badRun >= 0 {
+		return rat.Rat{}, fmt.Errorf("expect: %w: variable not constant on run %d",
+			ErrNotMeasurable, badRun)
 	}
 	return acc.Div(s.base), nil
 }

@@ -85,9 +85,12 @@ func (p *evalPool) get() *worker {
 }
 
 // put returns a worker to the pool, resetting it if its memo outgrew the
-// cap and discarding it if the pool is already full of idle workers.
+// cap and discarding it if the pool is already full of idle workers. The cap
+// is measured in bitset words (MemoWords), so the budget tracks the real
+// retained footprint: memos over big systems cost proportionally more than
+// memos over small ones.
 func (p *evalPool) put(w *worker) {
-	if w.eval.MemoLen() > p.memoCap {
+	if w.eval.MemoWords() > p.memoCap {
 		w.eval.Reset()
 		w.parsed = make(map[string]logic.Formula)
 		p.mu.Lock()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kpa/internal/logic"
 )
@@ -24,7 +25,8 @@ type Config struct {
 	// MaxIdle bounds the idle evaluators kept per (system, assignment)
 	// pool. Default 8.
 	MaxIdle int
-	// MemoCap is the memoized-extension count above which a returned
+	// MemoCap is the memoized-extension budget, in 64-bit bitset words
+	// (formulas memoized × words per extension), above which a returned
 	// evaluator's memo is dropped. Default 4096.
 	MemoCap int
 	// MaxCounterexamples bounds the counterexamples reported per verdict.
@@ -69,6 +71,8 @@ type Service struct {
 	checks        atomic.Uint64
 	batches       atomic.Uint64
 	batchFormulas atomic.Uint64
+	evals         atomic.Uint64
+	evalNanos     atomic.Uint64
 }
 
 // New builds a Service with the config (zero value for defaults).
@@ -180,7 +184,10 @@ func (s *Service) check(ctx context.Context, req CheckRequest) (Verdict, error) 
 	ch := make(chan result, 1)
 	go func() {
 		w := pool.get()
+		start := time.Now()
 		v, err := s.evaluate(w, sess, canonical, key.assign)
+		s.evals.Add(1)
+		s.evalNanos.Add(uint64(time.Since(start).Nanoseconds()))
 		pool.put(w)
 		if err == nil {
 			s.cache.put(key, v)
@@ -304,12 +311,24 @@ func orPost(assign string) string {
 	return assign
 }
 
+// EvalStats aggregates wall-clock time spent inside evaluator calls (cache
+// misses only — cache hits never reach an evaluator).
+type EvalStats struct {
+	// Evals counts completed evaluator calls.
+	Evals uint64 `json:"evals"`
+	// TotalNanos is the summed wall-clock time of those calls.
+	TotalNanos uint64 `json:"totalNanos"`
+	// AvgNanos is TotalNanos / Evals (0 when no evaluations have run).
+	AvgNanos uint64 `json:"avgNanos"`
+}
+
 // Stats is a point-in-time snapshot of the service's counters.
 type Stats struct {
 	Systems       int         `json:"systems"`
 	Checks        uint64      `json:"checks"`
 	Batches       uint64      `json:"batches"`
 	BatchFormulas uint64      `json:"batchFormulas"`
+	Eval          EvalStats   `json:"eval"`
 	Cache         CacheStats  `json:"cache"`
 	Pools         []PoolStats `json:"pools"`
 }
@@ -320,7 +339,14 @@ func (s *Service) Stats() Stats {
 		Checks:        s.checks.Load(),
 		Batches:       s.batches.Load(),
 		BatchFormulas: s.batchFormulas.Load(),
-		Cache:         s.cache.stats(),
+		Eval: EvalStats{
+			Evals:      s.evals.Load(),
+			TotalNanos: s.evalNanos.Load(),
+		},
+		Cache: s.cache.stats(),
+	}
+	if st.Eval.Evals > 0 {
+		st.Eval.AvgNanos = st.Eval.TotalNanos / st.Eval.Evals
 	}
 	sessions := s.store.sessions()
 	st.Systems = len(sessions)

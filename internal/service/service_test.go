@@ -270,6 +270,25 @@ func TestMemoCapResetsWorker(t *testing.T) {
 	}
 }
 
+func TestEvalStats(t *testing.T) {
+	svc := New(Config{})
+	ctx := context.Background()
+	if _, err := svc.Check(ctx, CheckRequest{System: "introcoin", Formula: "K1 heads"}); err != nil {
+		t.Fatal(err)
+	}
+	// A cache hit must not count as an evaluation.
+	if _, err := svc.Check(ctx, CheckRequest{System: "introcoin", Formula: "K1 heads"}); err != nil {
+		t.Fatal(err)
+	}
+	ev := svc.Stats().Eval
+	if ev.Evals != 1 {
+		t.Fatalf("evals = %d, want 1 (cache hits must not evaluate)", ev.Evals)
+	}
+	if ev.AvgNanos != ev.TotalNanos {
+		t.Fatalf("avg %d != total %d with one eval", ev.AvgNanos, ev.TotalNanos)
+	}
+}
+
 func TestCacheEviction(t *testing.T) {
 	svc := New(Config{CacheSize: 2})
 	ctx := context.Background()

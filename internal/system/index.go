@@ -1,0 +1,158 @@
+package system
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Index is a dense numbering of a system's points: every point is assigned
+// an integer ID in [0, NumPoints), ordered by tree (in the system's tree
+// order), then run, then time. Because the ordering nests runs inside trees
+// and times inside runs, the points of one run occupy a contiguous ID range,
+// so temporal operators can step along a run with ID arithmetic.
+//
+// An Index is immutable once built and safe for concurrent readers; it is
+// the backing universe for DenseSet. Obtain a system's index with
+// (*System).Index(), which builds it lazily exactly once.
+type Index struct {
+	sys    *System
+	points []Point       // dense ID → point
+	words  int           // len of the []uint64 backing a DenseSet
+	pos    map[*Tree]int // tree → position in sys.trees
+
+	// runStart[treePos][run] is the dense ID of (run, 0); the run's points
+	// are the IDs runStart .. runStart+RunLen-1.
+	runStart [][]int
+
+	mu    sync.Mutex
+	cells []*CellPartition // per agent, built lazily under mu
+}
+
+// Index returns the system's point index, building it on first use. The
+// build is synchronized, so concurrent callers all observe the same
+// fully-constructed index.
+func (s *System) Index() *Index {
+	s.indexOnce.Do(func() {
+		idx := &Index{
+			sys: s,
+			pos: make(map[*Tree]int, len(s.trees)),
+		}
+		total := 0
+		for _, t := range s.trees {
+			for r := 0; r < t.NumRuns(); r++ {
+				total += t.RunLen(r)
+			}
+		}
+		idx.points = make([]Point, 0, total)
+		idx.runStart = make([][]int, len(s.trees))
+		for ti, t := range s.trees {
+			idx.pos[t] = ti
+			starts := make([]int, t.NumRuns())
+			for r := 0; r < t.NumRuns(); r++ {
+				starts[r] = len(idx.points)
+				for k := 0; k < t.RunLen(r); k++ {
+					idx.points = append(idx.points, Point{Tree: t, Run: r, Time: k})
+				}
+			}
+			idx.runStart[ti] = starts
+		}
+		idx.words = (len(idx.points) + 63) / 64
+		idx.cells = make([]*CellPartition, s.numAgents)
+		s.index = idx
+	})
+	return s.index
+}
+
+// System returns the system the index numbers.
+func (x *Index) System() *System { return x.sys }
+
+// NumPoints returns the number of points (the size of the dense universe).
+func (x *Index) NumPoints() int { return len(x.points) }
+
+// Words returns the number of uint64 words backing a DenseSet over this
+// index; pools use it to account for memoized extensions.
+func (x *Index) Words() int { return x.words }
+
+// PointAt returns the point with dense ID id.
+func (x *Index) PointAt(id int) Point { return x.points[id] }
+
+// ID returns the dense ID of p and whether p is a point of the indexed
+// system. The lookup is pure arithmetic — no hashing — so it is cheap
+// enough for inner loops.
+func (x *Index) ID(p Point) (int, bool) {
+	ti, ok := x.pos[p.Tree]
+	if !ok || p.Run < 0 || p.Run >= len(x.runStart[ti]) {
+		return 0, false
+	}
+	if p.Time < 0 || p.Time >= p.Tree.RunLen(p.Run) {
+		return 0, false
+	}
+	return x.runStart[ti][p.Run] + p.Time, true
+}
+
+// MustID is ID but panics on a foreign point; for callers that already
+// validated membership.
+func (x *Index) MustID(p Point) int {
+	id, ok := x.ID(p)
+	if !ok {
+		panic(fmt.Sprintf("system: point %v is not in the indexed system", p))
+	}
+	return id
+}
+
+// EachRun visits every run of the system in dense-ID order, passing the
+// run's tree, run number, first dense ID, and length. The IDs
+// start..start+n-1 are exactly the run's points at times 0..n-1.
+func (x *Index) EachRun(visit func(t *Tree, run, start, n int)) {
+	for ti, t := range x.sys.trees {
+		for r := 0; r < t.NumRuns(); r++ {
+			visit(t, r, x.runStart[ti][r], t.RunLen(r))
+		}
+	}
+}
+
+// CellPartition is the partition of a system's points into one agent's
+// information cells (the equivalence classes of ∼_i): Masks holds one
+// DenseSet per cell, and CellOf maps each dense point ID to its cell.
+// Knowledge of agent i is constant on each cell, which is what lets
+// K_i-extension computation run cell-by-cell instead of point-by-point.
+type CellPartition struct {
+	masks  []*DenseSet
+	cellOf []int32
+}
+
+// NumCells returns the number of information cells.
+func (c *CellPartition) NumCells() int { return len(c.masks) }
+
+// Mask returns cell k as a DenseSet. The returned set is shared and must
+// not be modified.
+func (c *CellPartition) Mask(k int) *DenseSet { return c.masks[k] }
+
+// CellOf returns the cell index of the point with dense ID id.
+func (c *CellPartition) CellOf(id int) int { return int(c.cellOf[id]) }
+
+// Cells returns agent i's information-cell partition, building and caching
+// it on first use. Safe for concurrent use; the returned partition is
+// immutable.
+func (x *Index) Cells(i AgentID) *CellPartition {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if c := x.cells[i]; c != nil {
+		return c
+	}
+	byLocal := make(map[LocalState]int32)
+	c := &CellPartition{cellOf: make([]int32, len(x.points))}
+	for id, p := range x.points {
+		l := p.Local(i)
+		k, ok := byLocal[l]
+		if !ok {
+			k = int32(len(c.masks))
+			byLocal[l] = k
+			c.masks = append(c.masks, x.NewDense())
+		}
+		c.masks[k].Add(id)
+		c.cellOf[id] = k
+	}
+	x.cells[i] = c
+	return c
+}

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"sync"
 )
 
 // System is a probabilistic system in the sense of Section 3: a collection
@@ -20,6 +21,9 @@ type System struct {
 	nodePoints map[*Tree]map[NodeID][]Point // tree → node → points on it
 	synchOnce  bool
 	synchVal   bool
+
+	indexOnce sync.Once
+	index     *Index // dense point index, built lazily by Index()
 }
 
 // New assembles a system from computation trees. It validates that every

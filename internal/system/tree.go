@@ -172,11 +172,9 @@ func (t *Tree) RunsThroughNode(id NodeID) RunSet {
 // Over a finite tree every run set is measurable.
 func (t *Tree) Prob(rs RunSet) rat.Rat {
 	acc := rat.Zero
-	for r := 0; r < len(t.runs); r++ {
-		if rs.Contains(r) {
-			acc = acc.Add(t.runProbs[r])
-		}
-	}
+	rs.Iterate(func(r int) {
+		acc = acc.Add(t.runProbs[r])
+	})
 	return acc
 }
 

@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench.sh — run the dense-engine benchmark trajectory and record it as
+# BENCH_PR3.json (op name → ns/op, B/op, allocs/op). The Dense*/Naive*
+# pairs in internal/logic measure the optimized bitset evaluator against
+# the retained map-based reference on the same generated ≥1000-point
+# system; the script prints the resulting speedups and fails if the
+# headline C_G^α fixpoint speedup drops below 3×.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_PR3.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench '.' -benchmem -benchtime "$BENCHTIME" ./internal/logic ./internal/system | tee "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op")      bop[name] = $i
+        if ($(i+1) == "allocs/op") aop[name] = $i
+    }
+    order[n++] = name
+}
+END {
+    printf "{\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, ns[name], (name in bop ? bop[name] : "null"), \
+            (name in aop ? aop[name] : "null"), (i < n-1 ? "," : "")
+    }
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
+
+# Report dense-vs-naive speedups and enforce the C_G^α floor.
+awk '
+/^Benchmark(Dense|Naive)/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+}
+END {
+    pairs["CommonFixpoint"]; pairs["CommonPrFixpoint"]; pairs["Knowledge"]
+    status = 0
+    for (p in pairs) {
+        d = ns["BenchmarkDense" p]; v = ns["BenchmarkNaive" p]
+        if (d > 0 && v > 0) {
+            printf "%-20s dense %12.0f ns/op   naive %12.0f ns/op   speedup %.2fx\n", p, d, v, v/d
+            if (p == "CommonPrFixpoint" && v/d < 3) {
+                printf "FAIL: CommonPrFixpoint speedup %.2fx below the 3x floor\n", v/d
+                status = 1
+            }
+        }
+    }
+    exit status
+}' "$RAW"

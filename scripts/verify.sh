@@ -13,3 +13,6 @@ go vet ./...
 go run ./cmd/kpavet ./...
 go build ./...
 go test -race ./...
+# Smoke the benchmark trajectory: one iteration each, so a broken or
+# bit-rotted benchmark fails verification without paying for a full run.
+go test -run '^$' -bench . -benchtime 1x ./...
