@@ -1,6 +1,6 @@
 # Development entry points; CI should run `make verify`.
 
-.PHONY: build test lint verify bench
+.PHONY: build test lint lint-fix-check verify bench
 
 build:
 	go build ./...
@@ -10,10 +10,20 @@ test:
 
 # go vet plus kpavet, the repo-invariant contract checks (exact rationals
 # behind internal/rat, no floats in probability code, immutable big.Rat
-# receivers, pool get/put pairing). See docs/LINTING.md.
+# receivers, pool get/put pairing, dense-set ownership, guarded-field
+# locking, deterministic map-derived output). See docs/LINTING.md.
 lint:
 	go vet ./...
 	go run ./cmd/kpavet ./...
+
+# Guard against an analyzer silently dropping out of the default roster:
+# -list must name all seven contracts.
+lint-fix-check:
+	@out="$$(go run ./cmd/kpavet -list)"; \
+	for a in bigimport denseown floatprob lockguard maprange poolpair ratmut; do \
+		echo "$$out" | grep -q "^$$a:" || { echo "kpavet -list is missing $$a"; exit 1; }; \
+	done; \
+	echo "kpavet -list names all seven analyzers"
 
 # vet + full test suite under the race detector (validates the concurrent
 # query service's pooling contract).

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	kpavet [-root dir] [-list] [./...]
+//	kpavet [-root dir] [-list] [-json] [./...]
 //
 // kpavet always analyzes the whole module containing -root (default: the
 // enclosing module of the working directory); the ./... argument is
@@ -13,13 +13,16 @@
 //
 //	file:line: [analyzer] message
 //
-// and exits 1 if there were any, 2 if the module failed to load, 0 when
-// clean. Suppress a diagnostic with a justified directive:
+// or, with -json, one JSON object per line with the fields file, line,
+// col, analyzer and message, and exits 1 if there were any violations,
+// 2 if the module failed to load, 0 when clean. Suppress a diagnostic
+// with a justified directive:
 //
 //	//kpavet:ignore <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,8 +31,11 @@ import (
 
 	"kpa/internal/analysis"
 	"kpa/internal/analysis/bigimport"
+	"kpa/internal/analysis/denseown"
 	"kpa/internal/analysis/driver"
 	"kpa/internal/analysis/floatprob"
+	"kpa/internal/analysis/lockguard"
+	"kpa/internal/analysis/maprange"
 	"kpa/internal/analysis/poolpair"
 	"kpa/internal/analysis/ratmut"
 )
@@ -37,7 +43,10 @@ import (
 func defaultAnalyzers() []analysis.Analyzer {
 	return []analysis.Analyzer{
 		bigimport.New(),
+		denseown.New(),
 		floatprob.New(),
+		lockguard.New(),
+		maprange.New(),
 		poolpair.New(),
 		ratmut.New(),
 	}
@@ -52,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "module root to analyze (default: the module containing the working directory)")
 	list := fs.Bool("list", false, "list the analyzers and the contracts they enforce, then exit")
+	asJSON := fs.Bool("json", false, "emit one JSON object per diagnostic instead of file:line lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,8 +91,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "kpavet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", d.File, d.Line, d.Analyzer, d.Message)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		for _, d := range diags {
+			if err := enc.Encode(d); err != nil {
+				fmt.Fprintf(stderr, "kpavet: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", d.File, d.Line, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "kpavet: %d contract violation(s)\n", len(diags))

@@ -46,7 +46,7 @@ func run() error {
 	}
 	phi := coordattack.Coordinated()
 	post := kpa.NewProbAssignment(sys, kpa.Post(sys))
-	for p := range sys.Points() {
+	for _, p := range sys.Points().Sorted() {
 		l := string(p.Local(coordattack.GeneralA))
 		if p.Time == 2 && strings.Contains(l, "heads") && strings.Contains(l, "heard:uninformed") {
 			sp := post.MustSpace(coordattack.GeneralA, p)

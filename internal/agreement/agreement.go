@@ -15,6 +15,7 @@ package agreement
 
 import (
 	"fmt"
+	"sort"
 
 	"kpa/internal/measure"
 	"kpa/internal/rat"
@@ -333,8 +334,15 @@ func (m *Model) Dialogue(p system.Point, event system.PointSet, maxRounds int) (
 				if len(parts) > 1 {
 					changed = true
 				}
-				for _, sub := range parts {
-					refined[i] = append(refined[i], sub)
+				// Emit sub-cells in sorted profile order so the refined
+				// partition's layout is deterministic run to run.
+				keys := make([]string, 0, len(parts))
+				for k := range parts {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					refined[i] = append(refined[i], parts[k])
 				}
 			}
 		}

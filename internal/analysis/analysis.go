@@ -4,25 +4,42 @@
 // The contracts this reproduction rests on are invisible to the Go type
 // system: every probability is an exact rational (DESIGN.md trades real
 // numbers for big.Rat), rat.Rat values are immutable and freely shareable,
-// and the evaluator pools in internal/service lend out non-thread-safe
-// workers that must come back. An Analyzer turns one such contract into a
+// in-place DenseSet operations are legal only on exclusively owned sets,
+// lazily-built index state is valid only under its mutex, and the
+// evaluator pools in internal/service lend out non-thread-safe workers
+// that must come back. An Analyzer turns one such contract into a
 // machine-checked invariant: it inspects the type-checked syntax of one
 // package and reports diagnostics wherever the contract is violated.
 //
-// Analyzers are deliberately dependency-free (go/ast + go/types only) so
-// the suite runs with the toolchain alone; the loading and scheduling live
-// in the sibling driver package, fixtures-based testing in analysistest.
+// Beyond single-package syntax, a Pass offers two dataflow services. CFG
+// returns the cached control-flow graph of a function body (see the
+// sibling cfg package), the substrate for flow-sensitive checks. Object
+// facts let an analyzer publish typed conclusions about named objects —
+// "this function returns a caller-owned fresh set", "this method mutates
+// its receiver" — that the driver carries to later passes of the same
+// analyzer on importing packages; the driver schedules packages in import-
+// dependency order, so an imported object's facts are always complete
+// before the importer is analyzed.
+//
+// Analyzers are deliberately dependency-light (go/ast + go/types + the
+// local cfg package) so the suite runs with the toolchain alone; the
+// loading and scheduling live in the sibling driver package, fixtures-
+// based testing in analysistest.
 package analysis
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"kpa/internal/analysis/cfg"
 )
 
 // Analyzer checks one invariant over one type-checked package at a time.
 // Implementations must be safe for concurrent Run calls on distinct passes:
-// the driver fans packages out across goroutines.
+// the driver fans independent packages out across goroutines (passes of one
+// analyzer over mutually dependent packages are serialized, in dependency
+// order, so facts flow).
 type Analyzer interface {
 	// Name is the short identifier that appears in diagnostics as
 	// "[name]" and in //kpavet:ignore directives.
@@ -33,6 +50,15 @@ type Analyzer interface {
 	// A non-nil error aborts the whole kpavet run (it means the analyzer
 	// itself failed, not that the code has violations).
 	Run(pass *Pass) error
+}
+
+// Fact is a typed conclusion about a named object, exported by an
+// analyzer's pass on the defining package and imported by the same
+// analyzer's passes on importing packages. Implementations must be
+// pointer types; the marker method keeps arbitrary values out of the
+// fact store.
+type Fact interface {
+	AFact()
 }
 
 // Pass carries everything an Analyzer may inspect about one package.
@@ -54,15 +80,28 @@ type Pass struct {
 	// Report records a diagnostic at pos. The driver attaches the
 	// analyzer name, resolves the position and applies ignore directives.
 	Report func(pos token.Pos, msg string)
+	// CFG returns the control-flow graph of a function body, built on
+	// first use and cached for the whole run (graphs are shared between
+	// analyzers, so treat them as read-only).
+	CFG func(body *ast.BlockStmt) *cfg.Graph
+	// ExportObjectFact publishes a fact about obj, visible to this
+	// analyzer's later passes on packages that import this one. The fact
+	// must not be mutated after export.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportObjectFact copies the fact of fact's type previously exported
+	// for obj into fact, reporting whether one exists. Facts exported by
+	// other analyzers are invisible.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
 }
 
 // Diagnostic is one reported contract violation, already resolved to a
 // file position. The driver returns them sorted by (File, Line, Col,
-// Analyzer, Message) so output is deterministic run to run.
+// Analyzer, Message) so output is deterministic run to run. The JSON tags
+// define the kpavet -json line format.
 type Diagnostic struct {
-	File     string // path relative to the module root
-	Line     int
-	Col      int
-	Analyzer string
-	Message  string
+	File     string `json:"file"` // path relative to the module root
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }

@@ -11,9 +11,14 @@
 //
 // where each quoted text (backquotes or double quotes) is a regular
 // expression matched against one "[analyzer] message" diagnostic
-// reported for that line. Every want must be matched by a diagnostic and
-// every diagnostic must be matched by a want; files with no
-// want-comments therefore double as clean-pass fixtures.
+// reported for that line. A line may carry several want comments —
+//
+//	a, b := f() // want `first` // want `second`
+//
+// and each mark's patterns are parsed independently, so text between
+// the marks is never mistaken for a pattern. Every want must be matched
+// by a diagnostic and every diagnostic must be matched by a want; files
+// with no want-comments therefore double as clean-pass fixtures.
 package analysistest
 
 import (
@@ -29,9 +34,20 @@ import (
 )
 
 var (
-	wantRE    = regexp.MustCompile(`//[ \t]*want[ \t]+(.+)$`)
-	patternRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+	wantMarkRE = regexp.MustCompile(`//[ \t]*want[ \t]+`)
+	patternRE  = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 )
+
+// TB is the subset of testing.T the harness reports through; taking the
+// interface lets the harness's own tests observe its failure messages.
+type TB interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
+
+var _ TB = (*testing.T)(nil)
 
 type expectation struct {
 	file    string
@@ -42,7 +58,7 @@ type expectation struct {
 
 // Run loads the fixture module at dir, runs the analyzers and compares
 // diagnostics against the fixture's want-comments.
-func Run(t *testing.T, dir string, analyzers ...analysis.Analyzer) {
+func Run(t TB, dir string, analyzers ...analysis.Analyzer) {
 	t.Helper()
 	diags, err := driver.Run(driver.Config{Root: dir, Analyzers: analyzers})
 	if err != nil {
@@ -97,20 +113,27 @@ func collectWants(dir string) ([]*expectation, error) {
 			return err
 		}
 		for i, lineText := range strings.Split(string(data), "\n") {
-			m := wantRE.FindStringSubmatch(lineText)
-			if m == nil {
-				continue
-			}
-			for _, q := range patternRE.FindAllStringSubmatch(m[1], -1) {
-				raw := q[1]
-				if raw == "" {
-					raw = q[2]
+			// A line may carry several want marks; parse each mark's
+			// patterns from its own segment (up to the next mark), so
+			// quoted prose between marks is never read as a pattern.
+			marks := wantMarkRE.FindAllStringIndex(lineText, -1)
+			for mi, mark := range marks {
+				end := len(lineText)
+				if mi+1 < len(marks) {
+					end = marks[mi+1][0]
 				}
-				pat, err := regexp.Compile(raw)
-				if err != nil {
-					return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, i+1, raw, err)
+				segment := lineText[mark[1]:end]
+				for _, q := range patternRE.FindAllStringSubmatch(segment, -1) {
+					raw := q[1]
+					if raw == "" {
+						raw = q[2]
+					}
+					pat, err := regexp.Compile(raw)
+					if err != nil {
+						return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, i+1, raw, err)
+					}
+					wants = append(wants, &expectation{file: filepath.ToSlash(rel), line: i + 1, pattern: pat})
 				}
-				wants = append(wants, &expectation{file: filepath.ToSlash(rel), line: i + 1, pattern: pat})
 			}
 		}
 		return nil

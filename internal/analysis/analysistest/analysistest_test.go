@@ -1,0 +1,106 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/analysistest"
+)
+
+// badVars is a stub analyzer: it flags every package-level var named
+// Bad*, which lets one declaration line draw several diagnostics.
+type badVars struct{}
+
+func (badVars) Name() string { return "badvars" }
+func (badVars) Doc() string  { return "test stub: flags Bad* vars" }
+
+func (badVars) Run(pass *analysis.Pass) error {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if strings.HasPrefix(name, "Bad") {
+			pass.Report(scope.Lookup(name).Pos(), "bad var "+name)
+		}
+	}
+	return nil
+}
+
+// recorder captures the harness's failure reports instead of failing the
+// real test, so the harness's own behavior can be asserted.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatal(args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprint(args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestMultipleWantsPerLine: one declaration line draws two diagnostics
+// and carries two want comments; each mark's pattern must pair with one
+// diagnostic, so the harness reports nothing.
+func TestMultipleWantsPerLine(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module kpa\n\ngo 1.22\n",
+		"fix/fix.go": "package fix\n\n" +
+			"var BadOne, BadTwo = 1, 2 // want `bad var BadOne` // want `bad var BadTwo`\n",
+	})
+	rec := &recorder{}
+	analysistest.Run(rec, root, badVars{})
+	if len(rec.fatals) != 0 {
+		t.Fatalf("harness failed fatally: %v", rec.fatals)
+	}
+	if len(rec.errors) != 0 {
+		t.Errorf("harness reported failures for a fully-matched fixture:\n%s", strings.Join(rec.errors, "\n"))
+	}
+}
+
+// TestUnmatchedWantNamesFile: a want with no matching diagnostic must
+// fail with the fixture file and line in the message, so the broken
+// expectation can be found without grepping every fixture.
+func TestUnmatchedWantNamesFile(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module kpa\n\ngo 1.22\n",
+		"fix/fix.go": "package fix\n\n" +
+			"var Good = 3 // want `never emitted`\n",
+	})
+	rec := &recorder{}
+	analysistest.Run(rec, root, badVars{})
+	if len(rec.fatals) != 0 {
+		t.Fatalf("harness failed fatally: %v", rec.fatals)
+	}
+	if len(rec.errors) != 1 {
+		t.Fatalf("harness errors = %v, want exactly one unmatched-want failure", rec.errors)
+	}
+	msg := rec.errors[0]
+	for _, needle := range []string{"fix/fix.go:3", "never emitted", "got none"} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("unmatched-want failure %q does not mention %q", msg, needle)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package cfg builds intra-function control-flow graphs from go/ast and
+// provides a generic forward dataflow solver over them.
+//
+// The graph is deliberately simple: a Block holds the function's simple
+// statements and control expressions in evaluation order, and Succs edges
+// say where control may go next. Compound statements never appear as
+// nodes — an if contributes its condition expression, a for its init,
+// condition and post, a switch its tag and case expressions, a range only
+// its ranged operand — so walking every reachable block's Nodes with
+// ast.Inspect visits each piece of reachable code exactly once. Function
+// literals are opaque expressions: their bodies are not part of the
+// enclosing graph (build a separate graph per literal).
+//
+// Termination is modelled structurally: return statements, calls to the
+// panic builtin, and branch statements end their block with no fallthrough
+// successor, so code after them lands in a block unreachable from Entry.
+// Deferred calls stay in their block as ordinary DeferStmt nodes; analyses
+// that care about function exit (e.g. a deferred Unlock) inspect them
+// directly.
+//
+// The builder is purely syntactic (no go/types), which is what lets the
+// kpavet driver construct and cache one graph per function body and share
+// it across analyzers.
+package cfg
+
+import "go/ast"
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Blocks lists every block in creation order, including blocks that
+	// turned out unreachable (code after return/panic). Use Reachable or
+	// ReversePostorder for the live subgraph.
+	Blocks []*Block
+}
+
+// Block is a straight-line run of simple statements and control
+// expressions. Control flows from the last node to one of Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind is a short debugging label ("entry", "if.then", "for.head", ...).
+	Kind string
+	// Nodes holds simple statements (assignments, calls, declarations,
+	// sends, defers, go statements, returns, ...) and control expressions
+	// (if/for conditions, switch tags and case expressions, range
+	// operands) in evaluation order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Preds are the predecessor blocks (computed when the graph is built).
+	Preds []*Block
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*Block),
+		gotos:  make(map[string][]*Block),
+	}
+	b.cur = b.newBlock("entry")
+	b.g.Entry = b.cur
+	b.stmtList(body.List)
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+// Reachable returns the blocks reachable from Entry in depth-first
+// preorder; a deterministic traversal order for analyses and tests.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var order []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		order = append(order, b)
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return order
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder, the
+// iteration order under which forward dataflow fixpoints converge fastest.
+func (g *Graph) ReversePostorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// builder threads the "current block" through the statement walk.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// targets is the stack of enclosing breakable/continuable constructs.
+	targets []target
+	// labels maps a label name to the block its labeled statement starts.
+	labels map[string]*Block
+	// gotos holds blocks ending in a goto to a not-yet-seen label.
+	gotos map[string][]*Block
+	// pendingLabel is the label of the labeled statement being built, to
+	// attach to the next loop/switch/select for labeled break/continue.
+	pendingLabel string
+}
+
+// target is one enclosing construct a break or continue may refer to.
+type target struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins blk with an edge from the current block and makes it
+// current.
+func (b *builder) startBlock(blk *Block) {
+	edge(b.cur, blk)
+	b.cur = blk
+}
+
+// terminate ends the current block with no successor; subsequent
+// statements land in a fresh unreachable block.
+func (b *builder) terminate(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushTarget(label string, breakTo, continueTo *Block) {
+	b.targets = append(b.targets, target{label, breakTo, continueTo})
+}
+
+func (b *builder) popTarget() {
+	b.targets = b.targets[:len(b.targets)-1]
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.takeLabel()
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate("return.after")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate("panic.after")
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assignments, declarations, sends, inc/dec, defer, go: simple
+		// statements with no control flow of their own.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+	var elseEnd *Block
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	join := b.newBlock("if.done")
+	edge(thenEnd, join)
+	if elseEnd != nil {
+		edge(elseEnd, join)
+	} else {
+		edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	join := b.newBlock("for.done")
+	if s.Cond != nil {
+		edge(head, join)
+	}
+	var post *Block
+	continueTo := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		continueTo = post
+	}
+	body := b.newBlock("for.body")
+	edge(head, body)
+	b.cur = body
+	b.pushTarget(label, join, continueTo)
+	b.stmtList(s.Body.List)
+	b.popTarget()
+	if post != nil {
+		edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		edge(b.cur, head)
+	} else {
+		edge(b.cur, head)
+	}
+	b.cur = join
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The ranged operand is evaluated once, before the loop. The per-
+	// iteration key/value bindings are intentionally not modelled: they
+	// are not fresh values from any analysis's point of view, and keeping
+	// compound nodes out of Nodes preserves the visit-once property.
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.startBlock(head)
+	join := b.newBlock("range.done")
+	edge(head, join)
+	body := b.newBlock("range.body")
+	edge(head, body)
+	b.cur = body
+	b.pushTarget(label, join, head)
+	b.stmtList(s.Body.List)
+	b.popTarget()
+	edge(b.cur, head)
+	b.cur = join
+}
+
+// switchStmt handles both expression switches (tag != nil, assign == nil)
+// and type switches (assign != nil).
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	join := b.newBlock("switch.done")
+	b.pushTarget(label, join, nil)
+	hasDefault := false
+	var fallsInto *Block // previous clause's end, when it fell through
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock("case")
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		edge(head, blk)
+		if fallsInto != nil {
+			edge(fallsInto, blk)
+			fallsInto = nil
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		if endsInFallthrough(cc.Body) {
+			fallsInto = b.cur
+		} else {
+			edge(b.cur, join)
+		}
+	}
+	b.popTarget()
+	if !hasDefault {
+		edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	join := b.newBlock("select.done")
+	b.pushTarget(label, join, nil)
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("comm")
+		edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		edge(b.cur, join)
+	}
+	b.popTarget()
+	// A select with no cases blocks forever; otherwise control continues
+	// only through a clause, so head gets no direct edge to join.
+	b.cur = join
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	head := b.newBlock("label." + s.Label.Name)
+	b.startBlock(head)
+	b.labels[s.Label.Name] = head
+	for _, from := range b.gotos[s.Label.Name] {
+		edge(from, head)
+	}
+	delete(b.gotos, s.Label.Name)
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if s.Label != nil && t.label != s.Label.Name {
+				continue
+			}
+			edge(b.cur, t.breakTo)
+			break
+		}
+		b.terminate("break.after")
+	case "continue":
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueTo == nil || (s.Label != nil && t.label != s.Label.Name) {
+				continue
+			}
+			edge(b.cur, t.continueTo)
+			break
+		}
+		b.terminate("continue.after")
+	case "goto":
+		if s.Label != nil {
+			if blk, ok := b.labels[s.Label.Name]; ok {
+				edge(b.cur, blk)
+			} else {
+				b.gotos[s.Label.Name] = append(b.gotos[s.Label.Name], b.cur)
+			}
+		}
+		b.terminate("goto.after")
+	default: // fallthrough: wired by switchStmt
+	}
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// isPanicCall reports whether e is a call of the predeclared panic. The
+// test is syntactic: the driver type-checks before analyzers run, and
+// shadowing panic is vanishingly rare in practice.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,310 @@
+package cfg_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"kpa/internal/analysis/cfg"
+)
+
+// parseBody parses src as the body of a function and returns its graph.
+func parseBody(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fd.Body)
+}
+
+// calls returns the names of the functions called within the given blocks,
+// with multiplicity.
+func calls(blocks []*cfg.Block) map[string]int {
+	out := make(map[string]int)
+	for _, b := range blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok {
+						out[id.Name]++
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// TestVisitOnce builds a graph over every statement shape and checks that
+// walking the blocks' nodes visits each marker call exactly once — the
+// property that lets analyzers traverse a function via its CFG without
+// double-counting nested statements.
+func TestVisitOnce(t *testing.T) {
+	body := `
+	m1()
+	if m2() {
+		m3()
+	} else if m4() {
+		m5()
+	}
+	for i := m6(); m7(); i = m8(i) {
+		m9()
+		if m10() {
+			continue
+		}
+		m11()
+	}
+	for _, x := range m12() {
+		m13(x)
+	}
+	switch m14() {
+	case m15():
+		m16()
+		fallthrough
+	case m17():
+		m18()
+	default:
+		m19()
+	}
+	select {
+	case <-m20():
+		m21()
+	default:
+		m22()
+	}
+L:
+	for {
+		m23()
+		break L
+	}
+	m24()
+	`
+	g := parseBody(t, body)
+	got := calls(g.Blocks)
+	for i := 1; i <= 24; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if got[name] != 1 {
+			t.Errorf("marker %s appears %d times across blocks, want exactly 1", name, got[name])
+		}
+	}
+}
+
+// TestUnreachable checks that code after return and panic lands outside
+// the reachable subgraph while code before stays inside it.
+func TestUnreachable(t *testing.T) {
+	g := parseBody(t, `
+	before()
+	if cond() {
+		panic("boom")
+		deadAfterPanic()
+	}
+	mid()
+	return
+	deadAfterReturn()
+	`)
+	reach := calls(g.Reachable())
+	for _, want := range []string{"before", "cond", "mid", "panic"} {
+		if reach[want] != 1 {
+			t.Errorf("%s: reachable count %d, want 1", want, reach[want])
+		}
+	}
+	for _, dead := range []string{"deadAfterPanic", "deadAfterReturn"} {
+		if reach[dead] != 0 {
+			t.Errorf("%s should be unreachable, found %d occurrences", dead, reach[dead])
+		}
+	}
+	// The dead code still exists in the full block list.
+	all := calls(g.Blocks)
+	if all["deadAfterPanic"] != 1 || all["deadAfterReturn"] != 1 {
+		t.Errorf("dead markers missing from Blocks: %v", all)
+	}
+}
+
+// TestLoopBackEdge checks that a for loop produces a cycle in the graph.
+func TestLoopBackEdge(t *testing.T) {
+	g := parseBody(t, `
+	for i := 0; i < 10; i++ {
+		work()
+	}
+	after()
+	`)
+	back := false
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("for loop produced no back edge")
+	}
+}
+
+// TestReversePostorderStartsAtEntry pins the solver's iteration order.
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := parseBody(t, `
+	if a() {
+		b()
+	}
+	c()
+	`)
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatal("reverse postorder must start at the entry block")
+	}
+	if len(rpo) != len(g.Reachable()) {
+		t.Fatalf("rpo has %d blocks, reachable has %d", len(rpo), len(g.Reachable()))
+	}
+}
+
+// lockState is the toy lattice for TestForwardMustAnalysis: is the lock
+// certainly held here?
+func isCallTo(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// TestForwardMustAnalysis runs a must-hold lock analysis: merge is AND, so
+// a lock taken on only one branch is not held after the join, while a lock
+// taken before the branch is held on both arms and through loops.
+func TestForwardMustAnalysis(t *testing.T) {
+	g := parseBody(t, `
+	if cond() {
+		lock()
+	}
+	probeMaybe()
+	lock()
+	for i := 0; i < 3; i++ {
+		probeHeld()
+	}
+	unlock()
+	probeReleased()
+	`)
+	in := cfg.Forward(g, false,
+		func(a, b bool) bool { return a && b },
+		func(a, b bool) bool { return a == b },
+		func(blk *cfg.Block, held bool) bool {
+			for _, n := range blk.Nodes {
+				if isCallTo(n, "lock") {
+					held = true
+				}
+				if isCallTo(n, "unlock") {
+					held = false
+				}
+			}
+			return held
+		})
+	// Recover the state at each probe by replaying its block's nodes.
+	probes := map[string]bool{}
+	for blk, held := range in {
+		for _, n := range blk.Nodes {
+			if isCallTo(n, "lock") {
+				held = true
+			}
+			if isCallTo(n, "unlock") {
+				held = false
+			}
+			for _, p := range []string{"probeMaybe", "probeHeld", "probeReleased"} {
+				if isCallTo(n, p) {
+					probes[p] = held
+				}
+			}
+		}
+	}
+	if got, ok := probes["probeMaybe"]; !ok || got {
+		t.Errorf("probeMaybe: lock held = %v (present %v), want false (one-branch lock must not survive the join)", got, ok)
+	}
+	if got, ok := probes["probeHeld"]; !ok || !got {
+		t.Errorf("probeHeld: lock held = %v (present %v), want true (held through the loop)", got, ok)
+	}
+	if got, ok := probes["probeReleased"]; !ok || got {
+		t.Errorf("probeReleased: lock held = %v (present %v), want false after unlock", got, ok)
+	}
+}
+
+// TestGoto checks both backward and forward gotos produce edges.
+func TestGoto(t *testing.T) {
+	g := parseBody(t, `
+top:
+	a()
+	if cond() {
+		goto done
+	}
+	goto top
+done:
+	b()
+	`)
+	reach := calls(g.Reachable())
+	if reach["a"] != 1 || reach["b"] != 1 {
+		t.Fatalf("goto graph lost statements: %v", reach)
+	}
+	// goto top creates a cycle.
+	cycle := false
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				cycle = true
+			}
+		}
+	}
+	if !cycle {
+		t.Fatal("backward goto produced no cycle")
+	}
+}
+
+// TestDeferStaysInBlock checks defer statements remain visible as nodes.
+func TestDeferStaysInBlock(t *testing.T) {
+	g := parseBody(t, `
+	lock()
+	defer unlock()
+	work()
+	`)
+	found := false
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("defer statement not present as a block node")
+	}
+}
+
+// TestKindLabels sanity-checks a few debugging labels so graph dumps stay
+// readable.
+func TestKindLabels(t *testing.T) {
+	g := parseBody(t, `
+	for cond() {
+		work()
+	}
+	`)
+	var kinds []string
+	for _, b := range g.Blocks {
+		kinds = append(kinds, b.Kind)
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"entry", "for.head", "for.body", "for.done"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing block kind %q in %q", want, joined)
+		}
+	}
+}

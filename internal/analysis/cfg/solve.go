@@ -1,0 +1,55 @@
+package cfg
+
+// Forward computes a forward dataflow fixpoint over the graph and returns
+// the state at entry to each reachable block.
+//
+// boundary is the state at function entry. merge combines the out-states
+// of a block's predecessors (set union for may-analyses, intersection for
+// must-analyses); predecessors that have not produced an out-state yet —
+// unreachable ones never do — are skipped, which gives the optimistic
+// fixpoint a must-analysis needs without a special top element. transfer
+// maps a block's in-state to its out-state; it must treat its input as
+// read-only and return a fresh (or unchanged) value, because in-states are
+// shared between blocks. equal decides convergence.
+//
+// Iteration runs over the reachable blocks in reverse postorder until no
+// out-state changes, so loops converge in a handful of sweeps.
+func Forward[S any](g *Graph, boundary S, merge func(S, S) S, equal func(S, S) bool, transfer func(*Block, S) S) map[*Block]S {
+	order := g.ReversePostorder()
+	in := make(map[*Block]S, len(order))
+	out := make(map[*Block]S, len(order))
+	hasOut := make(map[*Block]bool, len(order))
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range order {
+			var s S
+			have := false
+			if blk == g.Entry {
+				s = boundary
+				have = true
+			}
+			for _, p := range blk.Preds {
+				if !hasOut[p] {
+					continue
+				}
+				if !have {
+					s = out[p]
+					have = true
+				} else {
+					s = merge(s, out[p])
+				}
+			}
+			if !have {
+				continue
+			}
+			in[blk] = s
+			next := transfer(blk, s)
+			if !hasOut[blk] || !equal(out[blk], next) {
+				out[blk] = next
+				hasOut[blk] = true
+				changed = true
+			}
+		}
+	}
+	return in
+}

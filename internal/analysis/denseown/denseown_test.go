@@ -1,0 +1,12 @@
+package denseown_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/denseown"
+)
+
+func TestDenseOwn(t *testing.T) {
+	analysistest.Run(t, "testdata", denseown.New())
+}

@@ -1,0 +1,143 @@
+// Package logic is the fixture consumer of the dense engine: each
+// function is one ownership pattern, violating or clean.
+package logic
+
+import (
+	"kpa/internal/setops"
+	"kpa/internal/system"
+)
+
+// Eval memoizes extensions by key, exactly like the real evaluator; sets
+// read back out of memo are shared by every caller.
+type Eval struct {
+	idx    *system.Index
+	memo   map[string]*system.DenseSet
+	cached *system.DenseSet
+}
+
+// --- violating patterns ---
+
+// MutateMemo mutates a set read from the memo table.
+func (e *Eval) MutateMemo(k string, t *system.DenseSet) {
+	s := e.memo[k]
+	s.UnionWith(t) // want `\[denseown\] \(\*DenseSet\)\.UnionWith mutates a set this function does not exclusively own`
+}
+
+// MutateParam mutates a set the caller still owns.
+func MutateParam(s *system.DenseSet) {
+	s.Add(1) // want `\[denseown\] \(\*DenseSet\)\.Add mutates a set this function does not exclusively own`
+}
+
+// PublishThenMutate stores a fresh set into the memo and keeps mutating:
+// by then other lookups may hold the same pointer.
+func (e *Eval) PublishThenMutate(k string) {
+	out := e.idx.NewDense()
+	e.memo[k] = out
+	out.Add(3) // want `\[denseown\] \(\*DenseSet\)\.Add mutates a set this function does not exclusively own`
+}
+
+// MutateField mutates a set held in a struct field.
+func (e *Eval) MutateField(t *system.DenseSet) {
+	e.cached.UnionWith(t) // want `\[denseown\] \(\*DenseSet\)\.UnionWith mutates a set this function does not exclusively own`
+}
+
+// HalfFresh is fresh on only one path, so after the join the set must be
+// treated as shared.
+func (e *Eval) HalfFresh(k string, big bool) {
+	var s *system.DenseSet
+	if big {
+		s = e.idx.FullDense()
+	} else {
+		s = e.memo[k]
+	}
+	s.Remove(2) // want `\[denseown\] \(\*DenseSet\)\.Remove mutates a set this function does not exclusively own`
+}
+
+// RacyMutate launches a goroutine that mutates a memoized set: the
+// literal escapes, so its captures are shared no matter what the
+// enclosing function owned.
+func (e *Eval) RacyMutate(k string, t *system.DenseSet) {
+	s := e.memo[k]
+	go func() {
+		s.UnionWith(t) // want `\[denseown\] \(\*DenseSet\)\.UnionWith mutates a set this function does not exclusively own`
+	}()
+}
+
+// AliasedResult mutates the result of a pass-through helper, which still
+// aliases the argument.
+func AliasedResult(u *system.DenseSet) {
+	t := setops.Same(u)
+	t.Add(5) // want `\[denseown\] \(\*DenseSet\)\.Add mutates a set this function does not exclusively own`
+}
+
+// --- clean look-alikes ---
+
+// CloneThenMutate copies the memoized set first; the clone is owned.
+func (e *Eval) CloneThenMutate(k string, t *system.DenseSet) {
+	c := e.memo[k].Clone()
+	c.UnionWith(t)
+	e.memo[k+"+"] = c
+}
+
+// BuildThenPublish finishes all mutation before the set escapes.
+func (e *Eval) BuildThenPublish(k string) {
+	out := e.idx.NewDense()
+	out.Add(1)
+	out.Add(2)
+	e.memo[k] = out
+}
+
+// ReadShared only reads the shared set: reads need no ownership.
+func (e *Eval) ReadShared(k string) int {
+	s := e.memo[k]
+	n := 0
+	s.Iterate(func(id int) {
+		if s.Contains(id) {
+			n++
+		}
+	})
+	return n + s.Len()
+}
+
+// AccumulateEachRun fills a fresh set inside an inline system callback —
+// the callback runs before EachRun returns, so ownership survives it.
+func (e *Eval) AccumulateEachRun() *system.DenseSet {
+	out := e.idx.NewDense()
+	e.idx.EachRun(func(id int) {
+		if id%2 == 0 {
+			out.Add(id)
+		}
+	})
+	return out
+}
+
+// RacyClone is the clean twin of RacyMutate: the goroutine clones before
+// mutating, so the shared set is never written.
+func (e *Eval) RacyClone(k string, t *system.DenseSet) {
+	s := e.memo[k]
+	go func() {
+		c := s.Clone()
+		c.UnionWith(t)
+	}()
+}
+
+// FreshAcross mutates the result of a cross-package fresh helper: the
+// FreshSetResult fact carried by the driver proves ownership.
+func FreshAcross(x *system.Index) *system.DenseSet {
+	s := setops.Singleton(x, 2)
+	s.Add(4)
+	return s
+}
+
+// BothBranchesFresh allocates on every path, so the join keeps
+// ownership.
+func (e *Eval) BothBranchesFresh(big bool) *system.DenseSet {
+	var s *system.DenseSet
+	if big {
+		s = e.idx.FullDense()
+	} else {
+		s = e.idx.NewDense()
+	}
+	s.Add(0)
+	return s
+}

@@ -1,0 +1,18 @@
+// Package setops provides helpers the logic fixture calls across a
+// package boundary, so the driver must carry FreshSetResult facts for
+// the call sites over there to be classified correctly.
+package setops
+
+import "kpa/internal/system"
+
+// Singleton returns a fresh set holding only id: its callers own the
+// result and may mutate it (the analyzer exports FreshSetResult).
+func Singleton(x *system.Index, id int) *system.DenseSet {
+	out := x.NewDense()
+	out.Add(id)
+	return out
+}
+
+// Same passes its argument through unchanged, so the result aliases the
+// caller's set and is NOT fresh.
+func Same(s *system.DenseSet) *system.DenseSet { return s }

@@ -10,6 +10,14 @@
 // the compiler's export data with a source-importer fallback, so the
 // driver works wherever the go toolchain itself does.
 //
+// Analyzer passes are scheduled as a DAG: for each analyzer, the pass over
+// a package waits for the same analyzer's passes over the package's local
+// imports, so object facts (analysis.Fact) exported by a dependency are
+// complete before its importers run — facts flow from internal/system up
+// through internal/logic and internal/service. Tasks with no ordering
+// between them still fan out across a bounded pool of goroutines, and
+// every pass shares one control-flow-graph cache (analysis.Pass.CFG).
+//
 // Suppression: a comment of the form
 //
 //	//kpavet:ignore <analyzer> <reason>
@@ -29,13 +37,16 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"kpa/internal/analysis"
+	"kpa/internal/analysis/cfg"
 )
 
 // Config describes one driver run.
@@ -60,8 +71,8 @@ const driverName = "kpavet"
 // every analyzer, returning the surviving diagnostics sorted by position.
 // A non-nil error means the module could not be loaded or an analyzer
 // failed — not that diagnostics were found.
-func Run(cfg Config) ([]analysis.Diagnostic, error) {
-	root, err := filepath.Abs(cfg.Root)
+func Run(conf Config) ([]analysis.Diagnostic, error) {
+	root, err := filepath.Abs(conf.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -89,47 +100,10 @@ func Run(cfg Config) ([]analysis.Diagnostic, error) {
 
 	ig, diags := collectDirectives(fset, root, order)
 
-	// Fan the type-checked packages out to the analyzers. Each (package,
-	// analyzer) pair is independent; bound the goroutines to the CPU count
-	// so a large module doesn't explode into thousands of runners.
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
-	)
-	for _, p := range order {
-		for _, a := range cfg.Analyzers {
-			wg.Add(1)
-			go func(p *pkg, a analysis.Analyzer) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				pass := &analysis.Pass{
-					Fset:    fset,
-					Module:  module,
-					PkgPath: p.path,
-					Pkg:     p.types,
-					Files:   p.files,
-					Info:    p.info,
-				}
-				var local []analysis.Diagnostic
-				pass.Report = func(pos token.Pos, msg string) {
-					local = append(local, diag(fset, root, pos, a.Name(), msg))
-				}
-				err := a.Run(pass)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("analyzer %s on %s: %w", a.Name(), p.path, err)
-				}
-				diags = append(diags, local...)
-			}(p, a)
-		}
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	more, err := schedule(fset, root, module, order, conf.Analyzers)
+	diags = append(diags, more...)
+	if err != nil {
+		return nil, err
 	}
 
 	diags = ig.filter(diags)
@@ -150,6 +124,193 @@ func Run(cfg Config) ([]analysis.Diagnostic, error) {
 		return a.Message < b.Message
 	})
 	return dedupe(diags), nil
+}
+
+// task is one (package, analyzer) pass in the scheduler's DAG: it becomes
+// runnable when the same analyzer's passes over every locally imported
+// package have completed, so exported facts are always complete before an
+// importer reads them. Independent tasks run concurrently.
+type task struct {
+	p          *pkg
+	a          analysis.Analyzer
+	deps       int32 // remaining unfinished dependencies
+	dependents []*task
+}
+
+// schedule runs every analyzer over every package, ordering each
+// analyzer's passes by import dependency while fanning independent
+// (package, analyzer) pairs out across a bounded pool of goroutines.
+func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers []analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	facts := newFactStore()
+	graphs := newCFGCache()
+
+	byPath := make(map[string]*pkg, len(order))
+	for _, p := range order {
+		byPath[p.path] = p
+	}
+	tasks := make([]*task, 0, len(order)*len(analyzers))
+	index := make(map[string]*task, len(order)) // path → task, per analyzer round
+	for _, a := range analyzers {
+		for path := range index {
+			delete(index, path)
+		}
+		for _, p := range order {
+			t := &task{p: p, a: a}
+			index[p.path] = t
+			tasks = append(tasks, t)
+		}
+		for _, p := range order {
+			t := index[p.path]
+			seen := make(map[string]bool, len(p.imports))
+			for _, dep := range p.imports {
+				if seen[dep] || dep == p.path {
+					continue
+				}
+				seen[dep] = true
+				if dt, ok := index[dep]; ok {
+					dt.dependents = append(dt.dependents, t)
+					t.deps++
+				}
+			}
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		diags    []analysis.Diagnostic
+		firstErr error
+	)
+	ready := make(chan *task, len(tasks))
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	// Seed the queue before any worker exists: once a worker runs it
+	// decrements dependents' counters concurrently, so reading deps here
+	// would race (and a task reaching zero mid-loop could be sent twice).
+	for _, t := range tasks {
+		if t.deps == 0 {
+			ready <- t
+		}
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range ready {
+				local, err := runPass(fset, root, module, t, facts, graphs)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("analyzer %s on %s: %w", t.a.Name(), t.p.path, err)
+				}
+				diags = append(diags, local...)
+				mu.Unlock()
+				for _, d := range t.dependents {
+					if atomic.AddInt32(&d.deps, -1) == 0 {
+						ready <- d
+					}
+				}
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ready)
+	if firstErr != nil {
+		return diags, firstErr
+	}
+	return diags, nil
+}
+
+// runPass runs one analyzer over one package and returns its diagnostics.
+func runPass(fset *token.FileSet, root, module string, t *task, facts *factStore, graphs *cfgCache) ([]analysis.Diagnostic, error) {
+	name := t.a.Name()
+	pass := &analysis.Pass{
+		Fset:    fset,
+		Module:  module,
+		PkgPath: t.p.path,
+		Pkg:     t.p.types,
+		Files:   t.p.files,
+		Info:    t.p.info,
+		CFG:     graphs.get,
+	}
+	var local []analysis.Diagnostic
+	pass.Report = func(pos token.Pos, msg string) {
+		local = append(local, diag(fset, root, pos, name, msg))
+	}
+	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+		facts.export(name, obj, fact)
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact analysis.Fact) bool {
+		return facts.lookup(name, obj, fact)
+	}
+	return local, t.a.Run(pass)
+}
+
+// factStore holds exported object facts for the whole run, namespaced by
+// analyzer name so two analyzers can use the same fact type without
+// interference. Object identity works across packages because the whole
+// module is type-checked once with shared *types.Package objects.
+type factStore struct {
+	mu sync.Mutex
+	m  map[factKey]analysis.Fact
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+	typ      reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey]analysis.Fact)}
+}
+
+func (fs *factStore) export(analyzer string, obj types.Object, fact analysis.Fact) {
+	t := reflect.TypeOf(fact)
+	if obj == nil || t == nil || t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("driver: ExportObjectFact(%v, %T): facts must be non-nil pointers about non-nil objects", obj, fact))
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.m[factKey{analyzer, obj, t}] = fact
+}
+
+func (fs *factStore) lookup(analyzer string, obj types.Object, fact analysis.Fact) bool {
+	t := reflect.TypeOf(fact)
+	if obj == nil || t == nil || t.Kind() != reflect.Ptr {
+		return false
+	}
+	fs.mu.Lock()
+	stored, ok := fs.m[factKey{analyzer, obj, t}]
+	fs.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// cfgCache builds each function body's control-flow graph once and shares
+// it across every analyzer's passes.
+type cfgCache struct {
+	mu sync.Mutex
+	m  map[*ast.BlockStmt]*cfg.Graph
+}
+
+func newCFGCache() *cfgCache {
+	return &cfgCache{m: make(map[*ast.BlockStmt]*cfg.Graph)}
+}
+
+func (c *cfgCache) get(body *ast.BlockStmt) *cfg.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.m[body]; ok {
+		return g
+	}
+	g := cfg.New(body)
+	c.m[body] = g
+	return g
 }
 
 // pkg is one package during loading: parsed first, type-checked later.

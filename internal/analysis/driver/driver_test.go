@@ -1,10 +1,13 @@
 package driver_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
+	"sync"
 	"testing"
 
 	"kpa/internal/analysis"
@@ -150,6 +153,100 @@ var Q = 0.25
 	// literals still fire.
 	if len(rest) != 2 {
 		t.Errorf("float diagnostics = %+v, want both literals unsuppressed", rest)
+	}
+}
+
+// markFact is the probe's payload: it travels from the defining package
+// to every importer through the driver's fact store.
+type markFact struct{ Tag string }
+
+func (*markFact) AFact() {}
+
+// factProbe is a stub analyzer: in every package it exports a markFact
+// for each package-level function named Fresh*, then records which tag
+// (if any) it can import for the base package's FreshBase through the
+// import graph, along with the order packages were analyzed in.
+type factProbe struct {
+	mu    sync.Mutex
+	order []string
+	found map[string]string // importer path → imported fact tag
+}
+
+func (p *factProbe) Name() string { return "factprobe" }
+func (p *factProbe) Doc() string  { return "test stub: exports and imports marker facts" }
+
+func (p *factProbe) Run(pass *analysis.Pass) error {
+	p.mu.Lock()
+	p.order = append(p.order, pass.PkgPath)
+	p.mu.Unlock()
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if strings.HasPrefix(name, "Fresh") {
+			pass.ExportObjectFact(scope.Lookup(name), &markFact{Tag: pass.PkgPath + "." + name})
+		}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		obj := imp.Scope().Lookup("FreshBase")
+		if obj == nil {
+			continue
+		}
+		var f markFact
+		if pass.ImportObjectFact(obj, &f) {
+			p.mu.Lock()
+			p.found[pass.PkgPath] = f.Tag
+			p.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// TestFactsCrossPackages builds a diamond-shaped module — base, several
+// leaves importing base, and a top importing every leaf — and checks two
+// scheduler guarantees at once: a fact exported in base is visible (with
+// its payload intact) in every importer, and even with passes fanned out
+// across goroutines no importer runs before its imports.
+func TestFactsCrossPackages(t *testing.T) {
+	const leaves = 6
+	files := map[string]string{
+		"go.mod":       "module demo\n\ngo 1.22\n",
+		"base/base.go": "package base\n\n// FreshBase is the fact-carrying function.\nfunc FreshBase() int { return 1 }\n",
+	}
+	var topImports, topCalls []string
+	for i := 0; i < leaves; i++ {
+		name := fmt.Sprintf("leaf%d", i)
+		files[name+"/"+name+".go"] = fmt.Sprintf(
+			"package %s\n\nimport \"demo/base\"\n\n// Use keeps the import live.\nfunc Use() int { return base.FreshBase() }\n", name)
+		topImports = append(topImports, fmt.Sprintf("\t\"demo/%s\"", name))
+		topCalls = append(topCalls, fmt.Sprintf("%s.Use()", name))
+	}
+	files["top/top.go"] = fmt.Sprintf(
+		"package top\n\nimport (\n\t\"demo/base\"\n%s\n)\n\n// All exercises every leaf.\nfunc All() int { return base.FreshBase() + %s }\n",
+		strings.Join(topImports, "\n"), strings.Join(topCalls, " + "))
+	root := writeModule(t, files)
+
+	probe := &factProbe{found: make(map[string]string)}
+	if diags := run(t, root, probe); len(diags) != 0 {
+		t.Fatalf("stub analyzer reported diagnostics: %+v", diags)
+	}
+
+	index := make(map[string]int, len(probe.order))
+	for i, path := range probe.order {
+		index[path] = i
+	}
+	for i := 0; i < leaves; i++ {
+		leaf := fmt.Sprintf("demo/leaf%d", i)
+		if probe.found[leaf] != "demo/base.FreshBase" {
+			t.Errorf("fact in %s = %q, want the tag exported by demo/base", leaf, probe.found[leaf])
+		}
+		if index["demo/base"] > index[leaf] {
+			t.Errorf("demo/base analyzed after its importer %s: %v", leaf, probe.order)
+		}
+		if index[leaf] > index["demo/top"] {
+			t.Errorf("%s analyzed after its importer demo/top: %v", leaf, probe.order)
+		}
+	}
+	if probe.found["demo/top"] != "demo/base.FreshBase" {
+		t.Errorf("fact in demo/top = %q, want the tag exported by demo/base", probe.found["demo/top"])
 	}
 }
 

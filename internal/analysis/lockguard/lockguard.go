@@ -1,0 +1,499 @@
+// Package lockguard implements the kpavet analyzer for documented
+// mutex-guarded fields.
+//
+// A struct field annotated
+//
+//	// guarded by mu
+//
+// (in its doc comment or trailing line comment, where mu names a sibling
+// sync.Mutex or sync.RWMutex field) may only be read or written while
+// that mutex is held. The check is a must-held forward dataflow over the
+// cfg package's graph: Lock/RLock on the guarding mutex adds it to the
+// held set, Unlock/RUnlock removes it, and control-flow joins keep only
+// locks held on every incoming path — so a lock taken on one branch, or
+// released before the access, does not count. A deferred Unlock keeps
+// the lock held through the rest of the function, matching the idiom.
+//
+// Two deliberate simplifications: RLock counts as holding the guard
+// (the annotation guards against data races, and read-locked readers
+// are safe), and lock identity is tracked syntactically as a rooted
+// field path (s.mu, e.store.mu), so aliased mutexes are not unified.
+//
+// Escapes are conservative: a function literal launched with go or
+// defer, stored, or returned starts with no locks held — a goroutine
+// touching a guarded field must lock for itself. Literals passed
+// directly as call arguments (sort.Slice comparators, once.Do bodies)
+// run before the call returns and inherit the caller's held set. Writes
+// through a local variable that only ever holds a freshly constructed
+// value (the build-then-publish constructor idiom) are exempt: nothing
+// else can see that value yet.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/cfg"
+)
+
+// Analyzer enforces "guarded by" field annotations.
+type Analyzer struct{}
+
+// New returns the lockguard analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+func (*Analyzer) Name() string { return "lockguard" }
+
+func (*Analyzer) Doc() string {
+	return `fields annotated "// guarded by <mutex>" may only be accessed while that sibling sync.Mutex/RWMutex is held on every path (deferred Unlock keeps it held; goroutines must lock for themselves)`
+}
+
+var guardRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func (*Analyzer) Run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, guards: make(map[*types.Var]string)}
+	c.collectAnnotations()
+	if len(c.guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := &lgFunc{
+				c:      c,
+				fresh:  c.freshLocals(fd.Body),
+				inline: make(map[*ast.FuncLit]bool),
+			}
+			fn.solve(fd.Body, nil)
+			for len(fn.lits) > 0 {
+				lits := fn.lits
+				fn.lits = nil
+				for _, lit := range lits {
+					sub := &lgFunc{c: c, fresh: fn.fresh, inline: make(map[*ast.FuncLit]bool)}
+					sub.solve(lit.Body, nil)
+					fn.lits = append(fn.lits, sub.lits...)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// guards maps an annotated field to the name of its guarding sibling
+	// mutex field.
+	guards map[*types.Var]string
+}
+
+// collectAnnotations finds "guarded by" comments on struct fields and
+// validates that the named guard is a sibling mutex field.
+func (c *checker) collectAnnotations() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !c.hasMutexSibling(st, mu) {
+					c.pass.Report(field.Pos(), fmt.Sprintf(
+						"guarded-by annotation names %q, but the struct has no sibling sync.Mutex or sync.RWMutex field of that name", mu))
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := c.pass.Info.Defs[name].(*types.Var); ok {
+						c.guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func (c *checker) hasMutexSibling(st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			if tv, ok := c.pass.Info.Types[field.Type]; ok && isSyncMutex(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockKey names one mutex as a field path rooted at a variable:
+// s.mu is {root: s, path: "mu"}, e.store.mu is {root: e, path: "store.mu"}.
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// held is the must-held lock set; merge is intersection.
+type held map[lockKey]bool
+
+func heldClone(h held) held {
+	out := make(held, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func heldMerge(a, b held) held {
+	out := make(held)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func heldEqual(a, b held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lgFunc analyzes one function body (or escaped literal).
+type lgFunc struct {
+	c *checker
+	// fresh holds local variables only ever assigned freshly constructed
+	// values; accesses through them are exempt.
+	fresh map[types.Object]bool
+	// inline marks literals passed directly to a call: they run before
+	// the call returns and inherit the held set.
+	inline map[*ast.FuncLit]bool
+	// lits collects escaping literals for separate analysis.
+	lits []*ast.FuncLit
+	// report enables diagnostics (the fixpoint sweeps run silent).
+	report bool
+}
+
+func (fn *lgFunc) solve(body *ast.BlockStmt, boundary held) {
+	if boundary == nil {
+		boundary = make(held)
+	}
+	g := fn.c.pass.CFG(body)
+	in := cfg.Forward(g, boundary, heldMerge, heldEqual,
+		func(blk *cfg.Block, h held) held {
+			e := heldClone(h)
+			for _, n := range blk.Nodes {
+				fn.walkNode(n, e)
+			}
+			return e
+		})
+	fn.report = true
+	for _, blk := range g.ReversePostorder() {
+		s, ok := in[blk]
+		if !ok {
+			continue
+		}
+		e := heldClone(s)
+		for _, n := range blk.Nodes {
+			fn.walkNode(n, e)
+		}
+	}
+	fn.report = false
+}
+
+func (fn *lgFunc) walkNode(n ast.Node, h held) {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to every exit; any other
+		// deferred call has its arguments evaluated here but runs later.
+		if _, _, ok := fn.lockOp(n.Call); ok {
+			return
+		}
+		fn.walkEscaping(n.Call, h)
+		return
+	case *ast.GoStmt:
+		fn.walkEscaping(n.Call, h)
+		return
+	}
+	fn.inspect(n, h, false)
+}
+
+// walkEscaping checks a go/defer call: argument expressions evaluate at
+// the statement, but function literals run later with no locks assumed.
+func (fn *lgFunc) walkEscaping(call *ast.CallExpr, h held) {
+	fn.inspect(call, h, true)
+}
+
+func (fn *lgFunc) inspect(n ast.Node, h held, escaping bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			if !escaping && fn.inline[m] {
+				return true // runs inline: keep walking with h
+			}
+			if fn.report {
+				fn.lits = append(fn.lits, m)
+			}
+			return false
+		case *ast.CallExpr:
+			for _, a := range m.Args {
+				if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok && !escaping {
+					fn.inline[lit] = true
+				}
+			}
+			if key, acquire, ok := fn.lockOp(m); ok && !escaping {
+				if acquire {
+					h[key] = true
+				} else {
+					delete(h, key)
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			fn.checkAccess(m, h)
+			return true
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes
+// and returns the mutex's key and whether the call acquires.
+func (fn *lgFunc) lockOp(call *ast.CallExpr) (lockKey, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return lockKey{}, false, false
+	}
+	tv, ok := fn.c.pass.Info.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return lockKey{}, false, false
+	}
+	key, ok := fn.keyOf(sel.X)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	return key, acquire, true
+}
+
+// keyOf resolves an expression like s.store.mu to its lock key.
+func (fn *lgFunc) keyOf(e ast.Expr) (lockKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := fn.c.pass.Info.Uses[e]
+		if obj == nil {
+			obj = fn.c.pass.Info.Defs[e]
+		}
+		if obj == nil {
+			return lockKey{}, false
+		}
+		return lockKey{root: obj}, true
+	case *ast.SelectorExpr:
+		base, ok := fn.keyOf(e.X)
+		if !ok {
+			return lockKey{}, false
+		}
+		return base.append(e.Sel.Name), true
+	case *ast.StarExpr:
+		return fn.keyOf(e.X)
+	case *ast.IndexExpr:
+		base, ok := fn.keyOf(e.X)
+		if !ok {
+			return lockKey{}, false
+		}
+		return base.append("[]"), true
+	}
+	return lockKey{}, false
+}
+
+func (k lockKey) append(name string) lockKey {
+	if k.path == "" {
+		return lockKey{root: k.root, path: name}
+	}
+	return lockKey{root: k.root, path: k.path + "." + name}
+}
+
+// checkAccess reports a selector that reads or writes a guarded field
+// without its mutex in the held set.
+func (fn *lgFunc) checkAccess(sel *ast.SelectorExpr, h held) {
+	obj := fn.fieldOf(sel)
+	if obj == nil {
+		return
+	}
+	mu, ok := fn.c.guards[obj]
+	if !ok {
+		return
+	}
+	// Build-then-publish: a value no one else can reach yet needs no lock.
+	if root := fn.rootObj(sel.X); root != nil && fn.fresh[root] {
+		return
+	}
+	base, ok := fn.keyOf(sel.X)
+	if ok && h[base.append(mu)] {
+		return
+	}
+	if fn.report {
+		fn.c.pass.Report(sel.Sel.Pos(), fmt.Sprintf(
+			"field %s is guarded by %s, but not every path to this access holds the lock", sel.Sel.Name, mu))
+	}
+}
+
+func (fn *lgFunc) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := fn.c.pass.Info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	if v, ok := fn.c.pass.Info.Uses[sel.Sel].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (fn *lgFunc) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return fn.c.pass.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// freshLocals collects the variables of body (including nested literals)
+// that are only ever bound to freshly constructed values — composite
+// literals, their addresses, or new(T).
+func (c *checker) freshLocals(body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	poisoned := make(map[types.Object]bool)
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := c.pass.Info.Defs[id]
+		if obj == nil {
+			obj = c.pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if rhs != nil && isConstruction(rhs) {
+			fresh[obj] = true
+		} else {
+			poisoned[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if i < len(n.Rhs) && len(n.Rhs) == len(n.Lhs) {
+					note(id, n.Rhs[i])
+				} else {
+					note(id, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) {
+					note(id, n.Values[i])
+				} else if len(n.Values) == 0 {
+					// var x T: zero value, nothing shared — but also no
+					// construction; leave it unexempt.
+					poisoned[c.pass.Info.Defs[id]] = true
+				} else {
+					note(id, nil)
+				}
+			}
+		case *ast.UnaryExpr:
+			// &x escapes x: stop treating it as private.
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if obj := c.pass.Info.Uses[id]; obj != nil {
+					poisoned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj := range poisoned {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+func isConstruction(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new"
+		}
+	}
+	return false
+}

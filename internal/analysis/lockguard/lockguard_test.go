@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.New())
+}

@@ -1,0 +1,135 @@
+// Package reg is the lockguard fixture: a registry with documented
+// guarded fields, exercised by locked and unlocked accesses.
+package reg
+
+import "sync"
+
+// Registry mimics the service registry: lookup tables behind a mutex.
+type Registry struct {
+	mu sync.Mutex
+	// guarded by mu
+	byName map[string]int
+
+	rw sync.RWMutex
+	// guarded by rw
+	stats []int
+
+	// guarded by ghost
+	bogus int // want `\[lockguard\] guarded-by annotation names "ghost", but the struct has no sibling sync\.Mutex or sync\.RWMutex field of that name`
+}
+
+// Wrap embeds a registry one selector deeper, so lock keys are rooted
+// paths, not bare identifiers.
+type Wrap struct {
+	reg Registry
+}
+
+// --- violating patterns ---
+
+// NoLock reads a guarded field without any lock.
+func (r *Registry) NoLock() int {
+	return len(r.byName) // want `\[lockguard\] field byName is guarded by mu, but not every path to this access holds the lock`
+}
+
+// AfterUnlock touches the field again once the lock is gone.
+func (r *Registry) AfterUnlock(k string) int {
+	r.mu.Lock()
+	n := r.byName[k]
+	r.mu.Unlock()
+	return n + r.byName[k] // want `\[lockguard\] field byName is guarded by mu, but not every path to this access holds the lock`
+}
+
+// OneBranch locks on only one path, so the join is unprotected.
+func (r *Registry) OneBranch(k string, safe bool) {
+	if safe {
+		r.mu.Lock()
+	}
+	r.byName[k] = 1 // want `\[lockguard\] field byName is guarded by mu, but not every path to this access holds the lock`
+	if safe {
+		r.mu.Unlock()
+	}
+}
+
+// GoUnlocked holds the lock in the parent, but the goroutine runs after
+// Unlock may already have happened: it must lock for itself.
+func (r *Registry) GoUnlocked(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.byName[k] = 2 // want `\[lockguard\] field byName is guarded by mu, but not every path to this access holds the lock`
+	}()
+}
+
+// WrongMutex holds the RWMutex while touching a field guarded by mu.
+func (r *Registry) WrongMutex(k string) {
+	r.rw.Lock()
+	defer r.rw.Unlock()
+	r.byName[k] = 3 // want `\[lockguard\] field byName is guarded by mu, but not every path to this access holds the lock`
+}
+
+// --- clean look-alikes ---
+
+// LockDefer is the idiomatic form: defer keeps the lock to every exit.
+func (r *Registry) LockDefer(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[k]
+}
+
+// Straddle locks and unlocks around the access explicitly.
+func (r *Registry) Straddle(k string, v int) {
+	r.mu.Lock()
+	r.byName[k] = v
+	r.mu.Unlock()
+}
+
+// BothBranches acquires on every path before the access.
+func (r *Registry) BothBranches(k string, fast bool) {
+	if fast {
+		r.mu.Lock()
+	} else {
+		r.mu.Lock()
+	}
+	r.byName[k] = 4
+	r.mu.Unlock()
+}
+
+// ReadLocked readers are safe under RLock.
+func (r *Registry) ReadLocked() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	n := 0
+	for _, s := range r.stats {
+		n += s
+	}
+	return n
+}
+
+// NewRegistry builds a private value: nothing else can see it yet, so
+// no lock is needed while filling the guarded fields.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.byName = make(map[string]int)
+	r.stats = append(r.stats, 0)
+	return r
+}
+
+// with runs f before returning, like sort.Slice or once.Do.
+func with(f func()) { f() }
+
+// InlineCallback accesses the field inside a literal that runs while
+// the caller still holds the lock.
+func (r *Registry) InlineCallback(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	with(func() {
+		r.byName[k] = 5
+	})
+}
+
+// Deep locks the nested registry's own mutex.
+func (w *Wrap) Deep() int {
+	w.reg.mu.Lock()
+	defer w.reg.mu.Unlock()
+	return len(w.reg.byName)
+}

@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.New())
+}

@@ -13,11 +13,17 @@
 // possibly shared, and flags every mutating call whose receiver is not
 // provably fresh.
 //
-// The analysis is intraprocedural with one package-level fixpoint: a
-// function declared in internal/rat counts as a fresh source when every
-// big-pointer value it returns is itself fresh, which is how chains like
-// base := x.Big(); base.Mul(base, base) are accepted while
-// x.big().Add(...) is flagged.
+// The freshness classification runs in every package as a
+// promote-until-stable fixpoint: a function counts as a fresh source
+// when every big-pointer value it returns is itself fresh, which is how
+// chains like base := x.Big(); base.Mul(base, base) are accepted while
+// x.big().Add(...) is flagged. Fresh sources are exported as
+// FreshBigResult facts, so a helper declared in another package is
+// recognized at its internal/rat call sites — the driver analyzes
+// packages in import-dependency order and carries the facts across.
+// Mutating calls are then checked (still only inside internal/rat, the
+// one package allowed to touch math/big) by walking the reachable
+// blocks of each function's control-flow graph.
 package ratmut
 
 import (
@@ -27,6 +33,14 @@ import (
 
 	"kpa/internal/analysis"
 )
+
+// FreshBigResult marks a function whose returned *big.Rat / *big.Int
+// values are always freshly allocated, so its call sites count as fresh
+// sources in importing packages.
+type FreshBigResult struct{}
+
+// AFact marks FreshBigResult as a driver-transportable fact.
+func (*FreshBigResult) AFact() {}
 
 // Analyzer flags mutating big.Rat/big.Int calls on possibly shared receivers.
 type Analyzer struct{}
@@ -58,11 +72,17 @@ func isMutatingName(name string) bool {
 }
 
 func (*Analyzer) Run(pass *analysis.Pass) error {
+	a := &checker{pass: pass, freshFuncs: make(map[*types.Func]bool)}
+	// Classify fresh sources everywhere, so helper packages export facts
+	// for internal/rat's call sites; the mutation check itself stays
+	// scoped to the one package allowed to touch math/big.
+	a.fixpointFreshFuncs()
+	for fn := range a.freshFuncs {
+		pass.ExportObjectFact(fn, &FreshBigResult{})
+	}
 	if pass.PkgPath != pass.Module+"/internal/rat" {
 		return nil
 	}
-	a := &checker{pass: pass, freshFuncs: make(map[*types.Func]bool)}
-	a.fixpointFreshFuncs()
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -294,9 +314,14 @@ func (a *checker) isFreshCall(call *ast.CallExpr, e env) bool {
 			}
 			return false
 		}
-		// A function declared in this package whose big-pointer results
-		// are all fresh (e.g. Rat.Big) is a fresh source.
-		return a.freshFuncs[fun]
+		// A function whose big-pointer results are all fresh (e.g.
+		// Rat.Big) is a fresh source: declared here, consult the local
+		// fixpoint; declared in an imported package, consult its
+		// exported fact.
+		if fun.Pkg() == a.pass.Pkg {
+			return a.freshFuncs[fun]
+		}
+		return a.pass.ImportObjectFact(fun, &FreshBigResult{})
 	}
 	return false
 }
@@ -389,22 +414,30 @@ func (a *checker) returnsOnlyFreshBigs(fd *ast.FuncDecl) bool {
 	return fresh
 }
 
-// checkCalls reports every mutating big call whose receiver is not fresh.
+// checkCalls reports every mutating big call whose receiver is not
+// fresh. It enumerates the reachable blocks of the body's control-flow
+// graph — each reachable statement appears in exactly one block, and
+// function literals stay embedded in their blocks' nodes, so closures
+// are covered while code after a return or panic is not.
 func (a *checker) checkCalls(body *ast.BlockStmt, e env) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	for _, blk := range a.pass.CFG(body).Reachable() {
+		for _, node := range blk.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, typeName, method, ok := a.mutatingBigCall(call)
+				if !ok {
+					return true
+				}
+				if !a.isFresh(recv, e) {
+					a.pass.Report(call.Pos(), fmt.Sprintf(
+						"(*big.%s).%s on a receiver that may alias an operand; mutate only fresh values (new(big.%s) or a copy)",
+						typeName, method, typeName))
+				}
+				return true
+			})
 		}
-		recv, typeName, method, ok := a.mutatingBigCall(call)
-		if !ok {
-			return true
-		}
-		if !a.isFresh(recv, e) {
-			a.pass.Report(call.Pos(), fmt.Sprintf(
-				"(*big.%s).%s on a receiver that may alias an operand; mutate only fresh values (new(big.%s) or a copy)",
-				typeName, method, typeName))
-		}
-		return true
-	})
+	}
 }

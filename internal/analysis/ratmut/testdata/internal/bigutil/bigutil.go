@@ -1,0 +1,23 @@
+// Package bigutil holds big.Rat helpers declared outside internal/rat.
+// ratmut never reports here (the mutation check is scoped to internal/rat)
+// but it classifies these functions and exports FreshBigResult facts, so
+// their call sites inside internal/rat know which results are fresh.
+package bigutil
+
+import "math/big"
+
+// FreshProduct returns a freshly allocated product of a and b; every
+// returned big pointer is fresh, so the driver carries a FreshBigResult
+// fact for it into importing packages.
+func FreshProduct(a, b *big.Rat) *big.Rat {
+	out := new(big.Rat)
+	out.Mul(a, b)
+	return out
+}
+
+// First returns one of its operands unchanged: callers share storage
+// with the argument, so no fact is exported.
+func First(a, b *big.Rat) *big.Rat {
+	_ = b
+	return a
+}

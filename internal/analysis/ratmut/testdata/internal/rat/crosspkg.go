@@ -1,0 +1,34 @@
+package rat
+
+import (
+	"math/big"
+
+	"kpa/internal/bigutil"
+)
+
+// CrossFresh mutates the result of a helper declared in another package.
+// bigutil.FreshProduct always returns a fresh allocation, and the driver
+// carries that FreshBigResult fact here, so the mutation is accepted.
+func CrossFresh(a, b *big.Rat) *big.Rat {
+	p := bigutil.FreshProduct(a, b)
+	p.Add(p, p)
+	return p
+}
+
+// CrossShared mutates a cross-package pass-through result that still
+// aliases the operand a; no fact exists for bigutil.First, so the
+// receiver is treated as shared.
+func CrossShared(a, b *big.Rat) *big.Rat {
+	p := bigutil.First(a, b)
+	p.Add(p, b) // want `\[ratmut\] \(\*big\.Rat\)\.Add on a receiver that may alias an operand`
+	return p
+}
+
+// DeadUnreachable exercises the CFG-based check walk: the mutating call
+// after the return is unreachable, so it draws no diagnostic.
+func DeadUnreachable(a, b *big.Rat) *big.Rat {
+	return new(big.Rat).Add(a, b)
+	p := bigutil.First(a, b)
+	p.Add(p, b)
+	return p
+}

@@ -110,7 +110,7 @@ func DeterminesSafeBets(
 	for _, sys := range labellings {
 		P := core.NewProbAssignment(sys, mkAssignment(sys))
 		opp := core.NewProbAssignment(sys, core.Opponent(sys, j))
-		for c := range sys.Points() {
+		for _, c := range sys.Points().Sorted() {
 			for _, i := range sys.Agents() {
 				for _, phi := range facts {
 					for _, alpha := range alphas {

@@ -276,20 +276,16 @@ func (e *ReferenceEvaluator) computeUntil(phi, psi Formula) (system.PointSet, er
 // into information cells on every call.
 func (e *ReferenceEvaluator) knowExtension(i system.AgentID, ext system.PointSet) system.PointSet {
 	out := make(system.PointSet)
-	cells := make(map[system.LocalState][]system.Point)
+	cells := make(map[system.LocalState]system.PointSet)
 	for p := range e.sys.Points() {
-		cells[p.Local(i)] = append(cells[p.Local(i)], p)
+		if cells[p.Local(i)] == nil {
+			cells[p.Local(i)] = make(system.PointSet)
+		}
+		cells[p.Local(i)].Add(p)
 	}
 	for _, cell := range cells {
-		all := true
-		for _, p := range cell {
-			if !ext.Contains(p) {
-				all = false
-				break
-			}
-		}
-		if all {
-			for _, p := range cell {
+		if cell.SubsetOf(ext) {
+			for p := range cell {
 				out.Add(p)
 			}
 		}

@@ -19,12 +19,12 @@ type cacheKey struct {
 type verdictCache struct {
 	mu      sync.Mutex
 	cap     int
-	ll      *list.List // front = most recently used
-	entries map[cacheKey]*list.Element
+	ll      *list.List                 // guarded by mu; front = most recently used
+	entries map[cacheKey]*list.Element // guarded by mu
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits      uint64 // guarded by mu
+	misses    uint64 // guarded by mu
+	evictions uint64 // guarded by mu
 }
 
 type cacheEntry struct {

@@ -47,10 +47,10 @@ type evalPool struct {
 	maxIdle int
 
 	mu      sync.Mutex
-	idle    []*worker
-	created uint64 // cold checkouts: a new worker was built
-	reused  uint64 // warm checkouts: an idle worker was handed out
-	resets  uint64 // workers whose memo was dropped on return
+	idle    []*worker // guarded by mu
+	created uint64    // guarded by mu; cold checkouts: a new worker was built
+	reused  uint64    // guarded by mu; warm checkouts: an idle worker was handed out
+	resets  uint64    // guarded by mu; workers whose memo was dropped on return
 }
 
 func newEvalPool(sys *system.System, sample core.SampleAssignment, props map[string]system.Fact, memoCap, maxIdle int) *evalPool {

@@ -23,7 +23,7 @@ type session struct {
 	props  map[string]system.Fact
 
 	mu    sync.Mutex
-	pools map[string]*evalPool
+	pools map[string]*evalPool // guarded by mu
 }
 
 // pool returns the session's evaluator pool for the assignment name,
@@ -50,9 +50,14 @@ func (s *session) pool(assignName string, cfg Config) (*evalPool, error) {
 func (s *session) poolStats() []PoolStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]PoolStats, 0, len(s.pools))
-	for _, p := range s.pools {
-		ps := p.stats()
+	keys := make([]string, 0, len(s.pools))
+	for k := range s.pools {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]PoolStats, 0, len(keys))
+	for _, k := range keys {
+		ps := s.pools[k].stats()
 		ps.System = s.name
 		out = append(out, ps)
 	}
@@ -66,8 +71,8 @@ func (s *session) poolStats() []PoolStats {
 // set of warm evaluator pools and one slice of the verdict cache.
 type store struct {
 	mu     sync.Mutex
-	byName map[string]*session
-	byHash map[string]*session
+	byName map[string]*session // guarded by mu
+	byHash map[string]*session // guarded by mu
 }
 
 func newStore() *store {
@@ -211,9 +216,14 @@ func (st *store) list() []SystemInfo {
 func (st *store) sessions() []*session {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	out := make([]*session, 0, len(st.byHash))
-	for _, s := range st.byHash {
-		out = append(out, s)
+	hashes := make([]string, 0, len(st.byHash))
+	for h := range st.byHash {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	out := make([]*session, 0, len(hashes))
+	for _, h := range hashes {
+		out = append(out, st.byHash[h])
 	}
 	return out
 }

@@ -25,7 +25,7 @@ type Index struct {
 	runStart [][]int
 
 	mu    sync.Mutex
-	cells []*CellPartition // per agent, built lazily under mu
+	cells []*CellPartition // guarded by mu; per agent, built lazily
 }
 
 // Index returns the system's point index, building it on first use. The
@@ -150,6 +150,7 @@ func (x *Index) Cells(i AgentID) *CellPartition {
 			byLocal[l] = k
 			c.masks = append(c.masks, x.NewDense())
 		}
+		//kpavet:ignore denseown the partition is still private to this loop; c escapes only via x.cells[i] below, after construction
 		c.masks[k].Add(id)
 		c.cellOf[id] = k
 	}

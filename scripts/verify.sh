@@ -10,6 +10,7 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+make lint-fix-check
 go run ./cmd/kpavet ./...
 go build ./...
 go test -race ./...
