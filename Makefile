@@ -1,6 +1,6 @@
 # Development entry points; CI should run `make verify`.
 
-.PHONY: build test lint lint-fix-check verify bench
+.PHONY: build test lint lint-fix-check verify bench chaos
 
 build:
 	go build ./...
@@ -29,6 +29,12 @@ lint-fix-check:
 # query service's pooling contract).
 verify:
 	./scripts/verify.sh
+
+# The fault-injection chaos suite under the race detector: seeded faults
+# (latency, errors, panics) against the serving stack, asserting the
+# containment invariants of docs/RESILIENCE.md.
+chaos:
+	go test -race -run Chaos ./internal/service/... ./cmd/kpad/...
 
 # The dense-engine benchmark trajectory: runs the Dense*/Naive* pairs,
 # records BENCH_PR3.json, prints the speedups and enforces the 3x floor on

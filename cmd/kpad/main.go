@@ -12,11 +12,18 @@
 //	POST /v1/batch    {"system":"die","formulas":["K2 even","Pr2(even) >= 1/2"]}
 //	GET  /v1/systems  list the loaded systems
 //	POST /v1/systems  {"name":"mycoin","doc":{...encode document...}}
-//	GET  /v1/stats    cache, pool and request counters
+//	GET  /v1/stats    cache, pool, request and resilience counters
+//	GET  /healthz     liveness: 200 while the process serves
+//	GET  /readyz      readiness: 200 after preload, 503 while draining
 //
-// Every response is JSON; errors are {"error":"..."} with a 4xx/5xx status.
-// Request bodies are size-limited and each request runs under a timeout.
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// Every response is JSON; errors are {"error":"...","kind":"..."} with the
+// status mandated by the service's error taxonomy (docs/RESILIENCE.md):
+// 404 unknown system, 409 upload conflict, 503 + Retry-After when
+// admission control sheds, 504 on deadline, 500 on a contained evaluator
+// panic, 400 for client mistakes. Request bodies are size-limited, must be
+// a single JSON object with no unknown fields and no trailing data, and
+// each request runs under a timeout. SIGINT/SIGTERM flip /readyz to 503,
+// then drain in-flight requests before exiting.
 package main
 
 import (
@@ -25,11 +32,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -46,17 +56,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("kpad", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8123", "listen address")
-		preload = fs.String("preload", "", "comma-separated registry systems to load at startup")
-		timeout = fs.Duration("timeout", 30*time.Second, "per-request evaluation timeout")
-		maxBody = fs.Int64("max-body", 1<<20, "maximum request body in bytes")
-		cache   = fs.Int("cache", 0, "verdict cache entries (0 = default)")
+		addr      = fs.String("addr", ":8123", "listen address")
+		preload   = fs.String("preload", "", "comma-separated registry systems to load at startup")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request evaluation timeout")
+		maxBody   = fs.Int64("max-body", 1<<20, "maximum request body in bytes")
+		cache     = fs.Int("cache", 0, "verdict cache entries (0 = default)")
+		inflight  = fs.Int("max-inflight", 0, "concurrent evaluation slots (0 = default)")
+		queueWait = fs.Duration("queue-wait", 0, "how long a request may queue for a slot before 503 (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{CacheSize: *cache})
+	svc := service.New(service.Config{CacheSize: *cache, MaxInFlight: *inflight, QueueWait: *queueWait})
 	for _, name := range strings.Split(*preload, ",") {
 		if name = strings.TrimSpace(name); name == "" {
 			continue
@@ -68,9 +80,10 @@ func run(args []string) error {
 		log.Printf("loaded %s (%d points, hash %.12s)", info.Name, info.Points, info.Hash)
 	}
 
+	d := newDaemon(svc, *timeout, *maxBody)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(svc, *timeout, *maxBody),
+		Handler:           d.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -85,6 +98,9 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Flip readiness first so load balancers stop routing here, then
+		// drain in-flight requests.
+		d.ready.Store(false)
 		log.Printf("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -92,10 +108,44 @@ func run(args []string) error {
 	}
 }
 
+// daemon carries the HTTP layer's state: the service plus readiness, so
+// /readyz can advertise draining before Shutdown stops accepting.
+type daemon struct {
+	svc     *service.Service
+	timeout time.Duration
+	maxBody int64
+	ready   atomic.Bool
+	start   time.Time
+}
+
+func newDaemon(svc *service.Service, timeout time.Duration, maxBody int64) *daemon {
+	d := &daemon{svc: svc, timeout: timeout, maxBody: maxBody, start: time.Now()}
+	d.ready.Store(true)
+	return d
+}
+
 // newHandler builds the kpad HTTP mux over the service. Factored out of run
 // so tests can drive it through httptest.
 func newHandler(svc *service.Service, timeout time.Duration, maxBody int64) http.Handler {
+	return newDaemon(svc, timeout, maxBody).handler()
+}
+
+func (d *daemon) handler() http.Handler {
+	svc, timeout, maxBody := d.svc, d.timeout, d.maxBody
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ok",
+			"uptimeSeconds": int64(time.Since(d.start) / time.Second),
+		})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !d.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "systems": len(svc.Systems())})
+	})
 	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
 		var req service.CheckRequest
 		if !readJSON(w, r, maxBody, &req) {
@@ -148,11 +198,15 @@ func newHandler(svc *service.Service, timeout time.Duration, maxBody int64) http
 	return mux
 }
 
-// readJSON decodes a size-limited JSON body, writing the error response
-// itself when decoding fails.
+// readJSON decodes a size-limited JSON body strictly — unknown fields are
+// rejected (they are always a client bug: a typoed key silently ignored is
+// a formula checked against the wrong system) and so is trailing data
+// after the first JSON value. It writes the error response itself when
+// decoding fails.
 func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -163,22 +217,45 @@ func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) bo
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
 		return false
 	}
+	if _, err := dec.Token(); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": "bad JSON: trailing data after the request object"})
+		return false
+	}
 	return true
 }
 
+// writeError maps the service's typed error taxonomy onto HTTP statuses.
+// Unclassified errors are 500: a fault the service did not anticipate is
+// the server's, never silently the client's.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		status = 499 // client closed request
-	case strings.Contains(err.Error(), "unknown system"):
+	kind := service.KindOf(err)
+	var status int
+	switch kind {
+	case service.KindBadRequest:
+		status = http.StatusBadRequest
+	case service.KindNotFound:
 		status = http.StatusNotFound
-	case strings.Contains(err.Error(), "already names a different system"):
+	case service.KindConflict:
 		status = http.StatusConflict
+	case service.KindOverloaded:
+		status = http.StatusServiceUnavailable
+		retry := service.RetryAfterOf(err)
+		if retry <= 0 {
+			retry = time.Second
+		}
+		secs := int64((retry + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	case service.KindTimeout:
+		status = http.StatusGatewayTimeout
+	case service.KindCanceled:
+		status = 499 // client closed request
+	case service.KindPanic, service.KindInternal:
+		status = http.StatusInternalServerError
+	default:
+		status = http.StatusInternalServerError
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]string{"error": err.Error(), "kind": kind.String()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,177 @@
+// Package faultinject is a deterministic, seeded fault injector for
+// resilience tests: the paper evaluates knowledge against an adversary
+// that picks the worst nondeterministic choices, and this package plays
+// that adversary against the serving stack itself.
+//
+// An Injector holds named sites. Each site has a Plan — an activation
+// schedule (every kth call, one call in n chosen by the seeded generator,
+// a one-shot at the nth call) and an effect (added latency, a returned
+// error, a panic). Test seams (service.Seams in internal/service) call
+// Hit at well-known points; the injector decides, deterministically given
+// the seed and the call sequence, whether the fault fires.
+//
+// Determinism contract: with a fixed seed, a fixed plan set, and a fixed
+// per-site call count, the number of fired faults per site is fixed —
+// concurrent callers may interleave differently, but totals (what chaos
+// tests assert against service counters) do not move.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Plan is one site's fault: a schedule plus exactly one effect. The zero
+// schedule never fires; a Plan with several effects set applies latency
+// first, then panics, then returns the error.
+type Plan struct {
+	// Every fires the fault on every kth call (1 = every call). Mutually
+	// exclusive with OneIn and At; the first non-zero schedule field wins
+	// in the order Every, OneIn, At.
+	Every int
+	// OneIn fires the fault on one call in n, chosen by the injector's
+	// seeded generator.
+	OneIn int
+	// At fires the fault exactly once, on the At-th call (1-based).
+	At int
+
+	// Latency is added to the call when the fault fires.
+	Latency time.Duration
+	// PanicMsg, when non-empty, panics with this message when the fault
+	// fires (after any Latency).
+	PanicMsg string
+	// Err is returned when the fault fires (after any Latency, if no
+	// panic).
+	Err error
+}
+
+// site is one named injection point's plan and counters.
+type site struct {
+	plan  Plan
+	calls uint64 // total Hit calls
+	fired uint64 // calls on which the fault fired
+}
+
+// Injector drives named fault sites deterministically from one seed. All
+// methods are safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand       // guarded by mu
+	sites map[string]*site // guarded by mu
+	sleep func(time.Duration)
+}
+
+// New builds an injector whose probabilistic schedules draw from a
+// generator seeded with seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		sites: make(map[string]*site),
+		sleep: time.Sleep,
+	}
+}
+
+// Set installs (or replaces) the plan for a named site, resetting its
+// counters.
+func (in *Injector) Set(name string, p Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites[name] = &site{plan: p}
+}
+
+// Hit records one call at the named site and applies its fault if the
+// schedule says this is the call: it sleeps the plan's latency, panics
+// with the plan's message, or returns the plan's error. Unknown sites and
+// non-firing calls return nil. The panic fires after the latency, so a
+// site can model a slow crash.
+func (in *Injector) Hit(name string) error {
+	in.mu.Lock()
+	s, ok := in.sites[name]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	s.calls++
+	fire := false
+	switch p := s.plan; {
+	case p.Every > 0:
+		fire = s.calls%uint64(p.Every) == 0
+	case p.OneIn > 0:
+		fire = in.rng.Intn(p.OneIn) == 0
+	case p.At > 0:
+		fire = s.calls == uint64(p.At)
+	}
+	if fire {
+		s.fired++
+	}
+	plan := s.plan
+	in.mu.Unlock()
+
+	if !fire {
+		return nil
+	}
+	if plan.Latency > 0 {
+		in.sleep(plan.Latency)
+	}
+	if plan.PanicMsg != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", name, plan.PanicMsg))
+	}
+	if plan.Err != nil {
+		return fmt.Errorf("faultinject: %s: %w", name, plan.Err)
+	}
+	return nil
+}
+
+// Func returns Hit bound to one site, in the shape the service seams
+// expect.
+func (in *Injector) Func(name string) func() error {
+	return func() error { return in.Hit(name) }
+}
+
+// Calls reports how many times the site was hit.
+func (in *Injector) Calls(name string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s, ok := in.sites[name]; ok {
+		return s.calls
+	}
+	return 0
+}
+
+// Fired reports how many of the site's calls fired the fault.
+func (in *Injector) Fired(name string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s, ok := in.sites[name]; ok {
+		return s.fired
+	}
+	return 0
+}
+
+// SiteStats is one site's counters in a Snapshot.
+type SiteStats struct {
+	Name  string
+	Calls uint64
+	Fired uint64
+}
+
+// Snapshot returns every site's counters, sorted by name for
+// deterministic reporting.
+func (in *Injector) Snapshot() []SiteStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.sites))
+	for n := range in.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SiteStats, 0, len(names))
+	for _, n := range names {
+		s := in.sites[n]
+		out = append(out, SiteStats{Name: n, Calls: s.calls, Fired: s.fired})
+	}
+	return out
+}

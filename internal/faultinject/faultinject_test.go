@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errInjected = errors.New("boom")
+
+func TestEveryKth(t *testing.T) {
+	in := New(1)
+	in.Set("s", Plan{Every: 3, Err: errInjected})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if err := in.Hit("s"); err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("every-3rd over 10 calls fired %d times, want 3", fired)
+	}
+	if in.Calls("s") != 10 || in.Fired("s") != 3 {
+		t.Fatalf("counters calls=%d fired=%d, want 10/3", in.Calls("s"), in.Fired("s"))
+	}
+}
+
+func TestAtFiresOnce(t *testing.T) {
+	in := New(1)
+	in.Set("s", Plan{At: 4, Err: errInjected})
+	for i := 1; i <= 10; i++ {
+		err := in.Hit("s")
+		if (i == 4) != (err != nil) {
+			t.Fatalf("call %d: err=%v, want fault exactly at call 4", i, err)
+		}
+	}
+}
+
+func TestOneInDeterministicAcrossSeeds(t *testing.T) {
+	run := func(seed int64) uint64 {
+		in := New(seed)
+		in.Set("s", Plan{OneIn: 4, Err: errInjected})
+		for i := 0; i < 1000; i++ {
+			_ = in.Hit("s") //nolint — counting via Fired
+		}
+		return in.Fired("s")
+	}
+	if a, b := run(42), run(42); a != b {
+		t.Fatalf("same seed fired %d vs %d", a, b)
+	}
+	if f := run(42); f == 0 || f == 1000 {
+		t.Fatalf("one-in-4 fired %d of 1000, want something in between", f)
+	}
+}
+
+func TestPanicEffect(t *testing.T) {
+	in := New(1)
+	in.Set("s", Plan{Every: 1, PanicMsg: "injected crash"})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "injected crash") {
+			t.Fatalf("recover() = %v", r)
+		}
+	}()
+	_ = in.Hit("s")
+	t.Fatal("Hit did not panic")
+}
+
+func TestLatencyEffect(t *testing.T) {
+	in := New(1)
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept += d }
+	in.Set("s", Plan{Every: 2, Latency: 7 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		if err := in.Hit("s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slept != 14*time.Millisecond {
+		t.Fatalf("slept %v, want 14ms (2 firings)", slept)
+	}
+}
+
+func TestUnknownSiteIsInert(t *testing.T) {
+	in := New(1)
+	if err := in.Hit("nothing"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Calls("nothing") != 0 {
+		t.Fatal("unknown site grew counters")
+	}
+}
+
+func TestConcurrentTotalsDeterministic(t *testing.T) {
+	in := New(7)
+	in.Set("s", Plan{Every: 5, Err: errInjected})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				_ = in.Hit("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Calls("s") != 2000 || in.Fired("s") != 400 {
+		t.Fatalf("calls=%d fired=%d, want 2000/400 regardless of interleaving", in.Calls("s"), in.Fired("s"))
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	in := New(1)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		in.Set(n, Plan{Every: 1, Err: errInjected})
+	}
+	_ = in.Hit("mid")
+	snap := in.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "alpha" || snap[1].Name != "mid" || snap[2].Name != "zeta" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if snap[1].Calls != 1 || snap[1].Fired != 1 {
+		t.Fatalf("mid counters: %+v", snap[1])
+	}
+}

@@ -71,7 +71,16 @@ type Evaluator struct {
 	// entries depend only on the immutable system and assignment, so the
 	// cache survives Reset and DefineProp.
 	prVerdicts map[prVerdictKey]bool
+
+	// cancel is the optional cooperative-cancellation hook installed by
+	// SetCancel; nil means evaluation runs to completion.
+	cancel func() error
 }
+
+// cancelStride is how many points a linear scan (proposition extension,
+// probability table sweep) may visit between cancellation checks. Power of
+// two so the hot loops can test id&(cancelStride-1) == 0.
+const cancelStride = 4096
 
 // prVerdictKey identifies one probability-threshold verdict: does the run
 // set with this bit pattern, conditioned on this space, have probability ≥
@@ -122,6 +131,29 @@ func (e *Evaluator) DefineProp(name string, fact system.Fact) {
 func (e *Evaluator) Reset() {
 	e.memo = make(map[Formula]*system.DenseSet)
 	e.extMemo = make(map[Formula]system.PointSet)
+}
+
+// SetCancel installs a cooperative-cancellation hook. The evaluator calls
+// the hook at every subformula boundary, on every fixpoint round of the
+// common-knowledge operators, and every cancelStride points of the linear
+// scans (proposition extensions, probability-table sweeps); the first
+// non-nil return aborts the evaluation with exactly that error. The hook
+// must be cheap (it runs on hot paths) and must not touch the evaluator.
+//
+// Aborting is safe: the memo only ever holds completed, correct
+// extensions, so a canceled evaluator can be pooled and reused without a
+// Reset. SetCancel(nil) removes the hook; pools install a fresh hook per
+// checkout (see internal/service) so a stale hook never outlives its
+// request. ReferenceEvaluator deliberately has no cancellation — it stays
+// the straight-line executable specification.
+func (e *Evaluator) SetCancel(cancel func() error) { e.cancel = cancel }
+
+// checkCancel consults the cancellation hook, if any.
+func (e *Evaluator) checkCancel() error {
+	if e.cancel == nil {
+		return nil
+	}
+	return e.cancel()
 }
 
 // MemoLen reports the number of memoized subformula extensions.
@@ -224,6 +256,12 @@ func checkGroupIn(sys *system.System, g []system.AgentID) error {
 }
 
 func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
+	// Every subformula computation is a cancellation point, so even a
+	// deeply-nested formula whose individual operators are cheap aborts
+	// between levels.
+	if err := e.checkCancel(); err != nil {
+		return nil, err
+	}
 	idx := e.idx
 	switch f := f.(type) {
 	case *PropFormula:
@@ -233,6 +271,11 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		}
 		out := idx.NewDense()
 		for id, n := 0, idx.NumPoints(); id < n; id++ {
+			if id&(cancelStride-1) == 0 && id > 0 {
+				if err := e.checkCancel(); err != nil {
+					return nil, err
+				}
+			}
 			if fact.Holds(idx.PointAt(id)) {
 				out.Add(id)
 			}
@@ -368,6 +411,9 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		// Greatest fixed point of X = E_G(φ ∧ X), from X = all points.
 		x := idx.FullDense()
 		for {
+			if err := e.checkCancel(); err != nil {
+				return nil, err
+			}
 			next := e.everyoneExtension(f.Group, sub.Intersect(x))
 			if next.Equal(x) {
 				return x, nil
@@ -396,6 +442,9 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		// Greatest fixed point of X = E_G^α(φ ∧ X).
 		x := idx.FullDense()
 		for {
+			if err := e.checkCancel(); err != nil {
+				return nil, err
+			}
 			next, err := e.everyonePrExtension(f.Group, sub.Intersect(x), f.Alpha)
 			if err != nil {
 				return nil, err
@@ -471,6 +520,11 @@ func (e *Evaluator) spaceTable(i system.AgentID) ([]*measure.Space, error) {
 	}
 	tab := make([]*measure.Space, e.idx.NumPoints())
 	for id := range tab {
+		if id&(cancelStride-1) == 0 && id > 0 {
+			if err := e.checkCancel(); err != nil {
+				return nil, err
+			}
+		}
 		c := e.idx.PointAt(id)
 		sp, err := e.prob.Space(i, c)
 		if err != nil {
@@ -499,6 +553,11 @@ func (e *Evaluator) prExtension(i system.AgentID, ext *system.DenseSet, bound ra
 	out := e.idx.NewDense()
 	verdicts := make(map[*measure.Space]bool)
 	for id, sp := range tab {
+		if id&(cancelStride-1) == 0 && id > 0 {
+			if err := e.checkCancel(); err != nil {
+				return nil, err
+			}
+		}
 		v, ok := verdicts[sp]
 		if !ok {
 			// Reduce the query to a run pattern (cheap bit scanning), then

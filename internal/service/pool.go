@@ -16,6 +16,13 @@ import (
 type worker struct {
 	eval   *logic.Evaluator
 	parsed map[string]logic.Formula
+
+	// poisoned is set when an evaluation on this worker panicked: the
+	// evaluator's internal state (memo maps mid-insert, half-built space
+	// tables) can no longer be trusted, so put discards the worker instead
+	// of lending it to the next request. Only the goroutine holding the
+	// checkout touches the flag.
+	poisoned bool
 }
 
 // formula returns the worker's node for the canonical formula text, parsing
@@ -46,11 +53,12 @@ type evalPool struct {
 	memoCap int
 	maxIdle int
 
-	mu      sync.Mutex
-	idle    []*worker // guarded by mu
-	created uint64    // guarded by mu; cold checkouts: a new worker was built
-	reused  uint64    // guarded by mu; warm checkouts: an idle worker was handed out
-	resets  uint64    // guarded by mu; workers whose memo was dropped on return
+	mu        sync.Mutex
+	idle      []*worker // guarded by mu
+	created   uint64    // guarded by mu; cold checkouts: a new worker was built
+	reused    uint64    // guarded by mu; warm checkouts: an idle worker was handed out
+	resets    uint64    // guarded by mu; workers whose memo was dropped on return
+	discarded uint64    // guarded by mu; poisoned workers dropped instead of repooled
 }
 
 func newEvalPool(sys *system.System, sample core.SampleAssignment, props map[string]system.Fact, memoCap, maxIdle int) *evalPool {
@@ -89,7 +97,18 @@ func (p *evalPool) get() *worker {
 // is measured in bitset words (MemoWords), so the budget tracks the real
 // retained footprint: memos over big systems cost proportionally more than
 // memos over small ones.
+//
+// A poisoned worker — one whose evaluation panicked — is never repooled:
+// its half-mutated memo and tables cannot be trusted, so it is counted and
+// dropped for the garbage collector, and the next checkout builds a clean
+// replacement.
 func (p *evalPool) put(w *worker) {
+	if w.poisoned {
+		p.mu.Lock()
+		p.discarded++
+		p.mu.Unlock()
+		return
+	}
 	if w.eval.MemoWords() > p.memoCap {
 		w.eval.Reset()
 		w.parsed = make(map[string]logic.Formula)
@@ -112,6 +131,7 @@ type PoolStats struct {
 	Created    uint64 `json:"created"`
 	Reused     uint64 `json:"reused"`
 	Resets     uint64 `json:"resets"`
+	Discarded  uint64 `json:"discarded"`
 }
 
 func (p *evalPool) stats() PoolStats {
@@ -123,5 +143,6 @@ func (p *evalPool) stats() PoolStats {
 		Created:    p.created,
 		Reused:     p.reused,
 		Resets:     p.resets,
+		Discarded:  p.discarded,
 	}
 }

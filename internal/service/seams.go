@@ -1,0 +1,46 @@
+package service
+
+// Seams are narrow fault-injection points for resilience testing: each
+// hook runs at one well-defined place in the serving path and may return
+// an injected error, sleep, or panic (the evaluation seams run inside the
+// panic-containment region, so an injected panic exercises the same
+// recovery as a real one). The zero value is inert and production configs
+// leave Seams nil; see internal/faultinject for a deterministic, seeded
+// way to drive these hooks in chaos tests.
+type Seams struct {
+	// BeforeStoreGet runs at the top of every session lookup with the
+	// requested system name. An error fails the lookup.
+	BeforeStoreGet func(name string) error
+	// BeforePoolGet runs on the evaluation goroutine just before a worker
+	// is checked out, inside panic containment.
+	BeforePoolGet func() error
+	// BeforeEval runs on the evaluation goroutine after checkout, just
+	// before the evaluator is invoked — inside panic containment, so
+	// panics here are contained and poison the worker like a real
+	// evaluator panic would.
+	BeforeEval func(formula string) error
+}
+
+// storeGet consults the BeforeStoreGet seam.
+func (s *Seams) storeGet(name string) error {
+	if s == nil || s.BeforeStoreGet == nil {
+		return nil
+	}
+	return s.BeforeStoreGet(name)
+}
+
+// poolGet consults the BeforePoolGet seam.
+func (s *Seams) poolGet() error {
+	if s == nil || s.BeforePoolGet == nil {
+		return nil
+	}
+	return s.BeforePoolGet()
+}
+
+// eval consults the BeforeEval seam.
+func (s *Seams) eval(formula string) error {
+	if s == nil || s.BeforeEval == nil {
+		return nil
+	}
+	return s.BeforeEval(formula)
+}

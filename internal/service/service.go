@@ -9,6 +9,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,20 @@ type Config struct {
 	// BatchParallelism bounds the evaluator goroutines one Batch call fans
 	// out to. Default 8.
 	BatchParallelism int
+	// MaxInFlight bounds the evaluations running concurrently across the
+	// whole service (admission control); cache hits bypass the bound.
+	// Default 16.
+	MaxInFlight int
+	// QueueWait bounds how long a cache-missing request may wait for an
+	// evaluation slot before it is shed with a KindOverloaded error.
+	// Default 250ms.
+	QueueWait time.Duration
+	// RetryAfter is the retry hint attached to shed requests (kpad turns
+	// it into a Retry-After header). Default 1s.
+	RetryAfter time.Duration
+	// Seams are optional fault-injection hooks for resilience tests; nil
+	// in production. See Seams and internal/faultinject.
+	Seams *Seams
 }
 
 func (c Config) withDefaults() Config {
@@ -58,27 +73,63 @@ func (c Config) withDefaults() Config {
 	if c.BatchParallelism <= 0 {
 		c.BatchParallelism = 8
 	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 250 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
 	return c
 }
 
 // Service answers model-checking queries concurrently. All methods are safe
 // for concurrent use.
+//
+// The serving path is defended against its own adversaries the way the
+// paper's adversary picks worst-case nondeterminism: a bounded admission
+// semaphore sheds floods (KindOverloaded) instead of queueing them
+// unboundedly, a singleflight group collapses stampedes of identical cache
+// misses onto one evaluation, evaluations whose waiters have all gone are
+// cooperatively canceled (logic.Evaluator.SetCancel) instead of burning
+// CPU to completion, and evaluator panics are contained to the request,
+// poisoning only the one worker. docs/RESILIENCE.md states the contract.
 type Service struct {
-	cfg   Config
-	store *store
-	cache *verdictCache
+	cfg    Config
+	store  *store
+	cache  *verdictCache
+	flight *flightGroup
+
+	// sem is the global evaluation semaphore: one slot per concurrently
+	// running evaluation. Cache hits never touch it.
+	sem chan struct{}
 
 	checks        atomic.Uint64
 	batches       atomic.Uint64
 	batchFormulas atomic.Uint64
 	evals         atomic.Uint64
 	evalNanos     atomic.Uint64
+
+	inflight atomic.Int64  // evaluations currently holding a slot
+	queued   atomic.Int64  // evaluations currently waiting for a slot
+	sheds    atomic.Uint64 // requests rejected by admission control
+	panics   atomic.Uint64 // evaluator panics contained
+	cancels  atomic.Uint64 // evaluations halted by cooperative cancellation
+	dedups   atomic.Uint64 // cache misses collapsed onto an in-flight call
 }
 
 // New builds a Service with the config (zero value for defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{cfg: cfg, store: newStore(), cache: newVerdictCache(cfg.CacheSize)}
+	return &Service{
+		cfg:    cfg,
+		store:  newStore(cfg.Seams),
+		cache:  newVerdictCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+	}
 }
 
 // CheckRequest asks whether a formula is valid (holds at every point) in a
@@ -142,8 +193,12 @@ func (s *Service) Upload(name string, doc []byte) (SystemInfo, error) {
 func (s *Service) Systems() []SystemInfo { return s.store.list() }
 
 // Check evaluates one formula, consulting the verdict cache first. The
-// context bounds the wait: on expiry Check returns ctx.Err() while the
-// evaluation finishes in the background and still warms the cache and pool.
+// context bounds the wait: on expiry Check returns a KindTimeout error and
+// — once every other waiter on the same evaluation has also gone — the
+// evaluation itself is cooperatively canceled instead of running to
+// completion in the background. Concurrent identical cache misses share
+// one evaluation, and admission control sheds work (KindOverloaded) when
+// every evaluation slot stays busy for the whole queue wait.
 func (s *Service) Check(ctx context.Context, req CheckRequest) (Verdict, error) {
 	s.checks.Add(1)
 	return s.check(ctx, req)
@@ -156,7 +211,7 @@ func (s *Service) check(ctx context.Context, req CheckRequest) (Verdict, error) 
 	}
 	f, err := logic.Parse(req.Formula)
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{}, badRequest(err)
 	}
 	canonical := f.String()
 	assign := req.Assign
@@ -168,6 +223,8 @@ func (s *Service) check(ctx context.Context, req CheckRequest) (Verdict, error) 
 		return Verdict{}, err
 	}
 	key := cacheKey{sysHash: sess.hash, assign: pool.sample.Name(), formula: canonical}
+	// Fast path: verdict-cache hits bypass admission control and
+	// singleflight entirely.
 	if v, ok := s.cache.get(key); ok {
 		v.System = req.System
 		v.Cached = true
@@ -175,35 +232,144 @@ func (s *Service) check(ctx context.Context, req CheckRequest) (Verdict, error) 
 	}
 
 	if err := ctx.Err(); err != nil {
+		return Verdict{}, ctxError(err)
+	}
+	c, leader := s.flight.join(key)
+	defer s.flight.leave(key, c)
+	if leader {
+		go s.runEval(c, key, pool, sess, canonical)
+	} else {
+		s.dedups.Add(1)
+	}
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return Verdict{}, c.err
+		}
+		v := c.v
+		v.System = req.System
+		v.Cached = !leader // followers were served someone else's evaluation
+		return v, nil
+	case <-ctx.Done():
+		return Verdict{}, ctxError(ctx.Err())
+	}
+}
+
+// runEval is the evaluation goroutine behind one flight call: it queues
+// for an admission slot, checks a worker out, evaluates, caches a
+// successful verdict, and publishes the result to every waiter. It is
+// detached from any single request — it stops early only when all waiters
+// abandon the call (admission select, evaluator cancellation hook).
+func (s *Service) runEval(c *flightCall, key cacheKey, pool *evalPool, sess *session, canonical string) {
+	v, err := s.leaderEval(c, pool, sess, canonical, key.assign)
+	if err == nil && !c.canceled() {
+		s.cache.put(key, v)
+	}
+	s.flight.finish(key, c, v, err)
+}
+
+// leaderEval runs one admission-controlled, panic-contained evaluation.
+func (s *Service) leaderEval(c *flightCall, pool *evalPool, sess *session, canonical, assignName string) (v Verdict, err error) {
+	// Containment for faults outside the worker region (an injected
+	// pool-seam panic, an admission bug): no panic on this goroutine may
+	// kill the daemon.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			err = &Error{Kind: KindPanic, Msg: fmt.Sprintf("evaluation panicked: %v", r)}
+		}
+	}()
+	if err := s.admitEval(c); err != nil {
 		return Verdict{}, err
 	}
-	type result struct {
-		v   Verdict
-		err error
+	defer func() { <-s.sem }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	if err := s.cfg.Seams.poolGet(); err != nil {
+		return Verdict{}, err
 	}
-	ch := make(chan result, 1)
-	go func() {
-		w := pool.get()
-		start := time.Now()
-		v, err := s.evaluate(w, sess, canonical, key.assign)
-		s.evals.Add(1)
-		s.evalNanos.Add(uint64(time.Since(start).Nanoseconds()))
-		pool.put(w)
-		if err == nil {
-			s.cache.put(key, v)
+	w := pool.get()
+	defer pool.put(w)
+	// The inner recovery runs before the deferred put, so a panicking
+	// evaluation poisons the worker and put discards it instead of handing
+	// it to the next request.
+	defer func() {
+		if r := recover(); r != nil {
+			w.poisoned = true
+			s.panics.Add(1)
+			err = &Error{Kind: KindPanic, Msg: fmt.Sprintf("evaluator panicked checking %q: %v", canonical, r)}
 		}
-		ch <- result{v, err}
 	}()
-	select {
-	case r := <-ch:
-		if r.err != nil {
-			return Verdict{}, r.err
+	w.eval.SetCancel(func() error {
+		if c.canceled() {
+			return context.Canceled
 		}
-		r.v.System = req.System
-		return r.v, nil
-	case <-ctx.Done():
-		return Verdict{}, ctx.Err()
+		return nil
+	})
+	defer w.eval.SetCancel(nil)
+	if err := s.cfg.Seams.eval(canonical); err != nil {
+		return Verdict{}, err
 	}
+	start := time.Now()
+	v, err = s.evaluate(w, sess, canonical, assignName)
+	s.evals.Add(1)
+	s.evalNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		return Verdict{}, s.classifyEvalErr(err)
+	}
+	return v, nil
+}
+
+// admitEval acquires an evaluation slot: immediately when one is free,
+// otherwise by queueing for at most QueueWait. The queue is deadline-aware
+// through the flight call — when every waiter's context has expired the
+// wait stops with KindCanceled instead of holding the queue position for
+// work nobody wants.
+func (s *Service) admitEval(c *flightCall) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-c.abandoned:
+		s.cancels.Add(1)
+		return &Error{Kind: KindCanceled, Msg: "service: evaluation abandoned while queued"}
+	case <-t.C:
+		s.sheds.Add(1)
+		return &Error{
+			Kind:       KindOverloaded,
+			Msg:        fmt.Sprintf("service: all %d evaluation slots busy for %v", s.cfg.MaxInFlight, s.cfg.QueueWait),
+			RetryAfter: s.cfg.RetryAfter,
+		}
+	}
+}
+
+// classifyEvalErr types an evaluator failure: formula-level mistakes are
+// the client's (KindBadRequest), cooperative cancellation keeps its
+// context kind, anything else stays internal.
+func (s *Service) classifyEvalErr(err error) error {
+	switch {
+	case errors.Is(err, logic.ErrUnknownProp),
+		errors.Is(err, logic.ErrBadAgent),
+		errors.Is(err, logic.ErrNoProbability):
+		return badRequest(err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.cancels.Add(1)
+		return ctxError(err)
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return err
+	}
+	return &Error{Kind: KindInternal, Err: err}
 }
 
 // evaluate runs one formula on a checked-out worker. The verdict it returns
@@ -265,10 +431,11 @@ func (s *Service) Batch(ctx context.Context, req BatchRequest) ([]BatchItem, err
 	s.batches.Add(1)
 	s.batchFormulas.Add(uint64(len(req.Formulas)))
 	if len(req.Formulas) == 0 {
-		return nil, fmt.Errorf("service: batch has no formulas")
+		return nil, &Error{Kind: KindBadRequest, Msg: "service: batch has no formulas"}
 	}
 	if len(req.Formulas) > s.cfg.MaxBatch {
-		return nil, fmt.Errorf("service: batch of %d formulas exceeds limit %d", len(req.Formulas), s.cfg.MaxBatch)
+		return nil, &Error{Kind: KindBadRequest,
+			Msg: fmt.Sprintf("service: batch of %d formulas exceeds limit %d", len(req.Formulas), s.cfg.MaxBatch)}
 	}
 	// Resolve the system and assignment once so a bad request fails whole.
 	sess, err := s.store.get(req.System)
@@ -286,9 +453,17 @@ func (s *Service) Batch(ctx context.Context, req BatchRequest) ([]BatchItem, err
 		wg.Add(1)
 		go func(i int, formula string) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			items[i].Formula = formula
+			// Acquire the fan-out slot or give up with the context: a
+			// timed-out batch must stop launching work, not queue every
+			// remaining formula behind a dead deadline.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				items[i].Error = ctxError(ctx.Err()).Error()
+				return
+			}
+			defer func() { <-sem }()
 			v, err := s.check(ctx, CheckRequest{System: req.System, Assign: req.Assign, Formula: formula})
 			if err != nil {
 				items[i].Error = err.Error()
@@ -299,7 +474,7 @@ func (s *Service) Batch(ctx context.Context, req BatchRequest) ([]BatchItem, err
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, ctxError(err)
 	}
 	return items, nil
 }
@@ -322,15 +497,37 @@ type EvalStats struct {
 	AvgNanos uint64 `json:"avgNanos"`
 }
 
+// ResilienceStats snapshots the serving layer's degraded-mode counters:
+// how much work is in flight or queued, and how often the service shed,
+// contained, canceled or collapsed work instead of doing it.
+type ResilienceStats struct {
+	// InFlight is the number of evaluations currently holding a slot.
+	InFlight int64 `json:"inFlight"`
+	// Queued is the number of evaluations currently waiting for a slot.
+	Queued int64 `json:"queued"`
+	// Sheds counts requests rejected by admission control (KindOverloaded).
+	Sheds uint64 `json:"sheds"`
+	// Panics counts evaluator panics contained into KindPanic errors.
+	Panics uint64 `json:"panics"`
+	// Cancels counts evaluations halted early by cooperative cancellation.
+	Cancels uint64 `json:"cancels"`
+	// Dedups counts cache misses collapsed onto an in-flight identical
+	// evaluation by singleflight.
+	Dedups uint64 `json:"dedups"`
+	// Discards counts poisoned workers dropped instead of repooled.
+	Discards uint64 `json:"discards"`
+}
+
 // Stats is a point-in-time snapshot of the service's counters.
 type Stats struct {
-	Systems       int         `json:"systems"`
-	Checks        uint64      `json:"checks"`
-	Batches       uint64      `json:"batches"`
-	BatchFormulas uint64      `json:"batchFormulas"`
-	Eval          EvalStats   `json:"eval"`
-	Cache         CacheStats  `json:"cache"`
-	Pools         []PoolStats `json:"pools"`
+	Systems       int             `json:"systems"`
+	Checks        uint64          `json:"checks"`
+	Batches       uint64          `json:"batches"`
+	BatchFormulas uint64          `json:"batchFormulas"`
+	Eval          EvalStats       `json:"eval"`
+	Cache         CacheStats      `json:"cache"`
+	Resilience    ResilienceStats `json:"resilience"`
+	Pools         []PoolStats     `json:"pools"`
 }
 
 // Stats snapshots the cache, pool and request counters.
@@ -344,6 +541,14 @@ func (s *Service) Stats() Stats {
 			TotalNanos: s.evalNanos.Load(),
 		},
 		Cache: s.cache.stats(),
+		Resilience: ResilienceStats{
+			InFlight: s.inflight.Load(),
+			Queued:   s.queued.Load(),
+			Sheds:    s.sheds.Load(),
+			Panics:   s.panics.Load(),
+			Cancels:  s.cancels.Load(),
+			Dedups:   s.dedups.Load(),
+		},
 	}
 	if st.Eval.Evals > 0 {
 		st.Eval.AvgNanos = st.Eval.TotalNanos / st.Eval.Evals
@@ -351,7 +556,11 @@ func (s *Service) Stats() Stats {
 	sessions := s.store.sessions()
 	st.Systems = len(sessions)
 	for _, sess := range sessions {
-		st.Pools = append(st.Pools, sess.poolStats()...)
+		ps := sess.poolStats()
+		for _, p := range ps {
+			st.Resilience.Discards += p.Discarded
+		}
+		st.Pools = append(st.Pools, ps...)
 	}
 	return st
 }

@@ -22,7 +22,7 @@ type session struct {
 	sys    *system.System
 	props  map[string]system.Fact
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	pools map[string]*evalPool // guarded by mu
 }
 
@@ -34,15 +34,21 @@ type session struct {
 func (s *session) pool(assignName string, cfg Config) (*evalPool, error) {
 	sa, err := registry.Assignment(s.sys, assignName)
 	if err != nil {
-		return nil, err
+		return nil, badRequest(err)
+	}
+	key := sa.Name()
+	s.mu.RLock()
+	p, ok := s.pools[key]
+	s.mu.RUnlock()
+	if ok {
+		return p, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	key := sa.Name()
 	if p, ok := s.pools[key]; ok {
 		return p, nil
 	}
-	p := newEvalPool(s.sys, sa, s.props, cfg.MemoCap, cfg.MaxIdle)
+	p = newEvalPool(s.sys, sa, s.props, cfg.MemoCap, cfg.MaxIdle)
 	s.pools[key] = p
 	return p, nil
 }
@@ -70,35 +76,41 @@ func (s *session) poolStats() []PoolStats {
 // uploaded twice under different names — share one session and hence one
 // set of warm evaluator pools and one slice of the verdict cache.
 type store struct {
-	mu     sync.Mutex
+	seams  *Seams
+	mu     sync.RWMutex
 	byName map[string]*session // guarded by mu
 	byHash map[string]*session // guarded by mu
 }
 
-func newStore() *store {
+func newStore(seams *Seams) *store {
 	return &store{
+		seams:  seams,
 		byName: make(map[string]*session),
 		byHash: make(map[string]*session),
 	}
 }
 
 // get returns the session for a name, loading it from the registry on first
-// use. Unknown names fail with the registry's error (which lists the valid
-// names).
+// use. Unknown names fail with a KindNotFound error wrapping the registry's
+// (which lists the valid names). Loaded names take only a read lock, so the
+// cache-hit fast path never serializes behind uploads.
 func (st *store) get(name string) (*session, error) {
-	st.mu.Lock()
-	if s, ok := st.byName[name]; ok {
-		st.mu.Unlock()
+	if err := st.seams.storeGet(name); err != nil {
+		return nil, err
+	}
+	st.mu.RLock()
+	s, ok := st.byName[name]
+	st.mu.RUnlock()
+	if ok {
 		return s, nil
 	}
-	st.mu.Unlock()
 
 	// Build outside the lock: registry systems can be large (async:12).
 	entry, err := registry.Lookup(name)
 	if err != nil {
-		return nil, err
+		return nil, &Error{Kind: KindNotFound, Err: err}
 	}
-	s := &session{
+	s = &session{
 		name:   name,
 		desc:   entry.Description,
 		source: "registry",
@@ -115,14 +127,14 @@ func (st *store) get(name string) (*session, error) {
 // the existing session instead of keeping a second copy.
 func (st *store) upload(name string, doc []byte) (*session, error) {
 	if name == "" {
-		return nil, fmt.Errorf("service: upload needs a name")
+		return nil, &Error{Kind: KindBadRequest, Msg: "service: upload needs a name"}
 	}
 	if _, err := registry.Lookup(name); err == nil {
-		return nil, fmt.Errorf("service: name %q is reserved by the registry", name)
+		return nil, &Error{Kind: KindBadRequest, Msg: fmt.Sprintf("service: name %q is reserved by the registry", name)}
 	}
 	sys, props, err := encode.Decode(doc)
 	if err != nil {
-		return nil, err
+		return nil, badRequest(err)
 	}
 	s := &session{
 		name:   name,
@@ -138,7 +150,7 @@ func (st *store) upload(name string, doc []byte) (*session, error) {
 		// The name was already taken — possibly by a concurrent upload —
 		// and its content differs. (Re-uploading identical content is
 		// idempotent: intern resolved it to the existing session.)
-		return nil, fmt.Errorf("service: name %q already names a different system", name)
+		return nil, &Error{Kind: KindConflict, Msg: fmt.Sprintf("service: name %q already names a different system", name)}
 	}
 	return got, nil
 }

@@ -13,6 +13,10 @@ go vet ./...
 make lint-fix-check
 go run ./cmd/kpavet ./...
 go build ./...
+# The chaos suite first, as its own named gate: fault injection against
+# the serving stack must hold its containment invariants before the full
+# suite runs (docs/RESILIENCE.md).
+make chaos
 go test -race ./...
 # Smoke the benchmark trajectory: one iteration each, so a broken or
 # bit-rotted benchmark fails verification without paying for a full run.
