@@ -1,6 +1,6 @@
 # Development entry points; CI should run `make verify`.
 
-.PHONY: build test lint lint-fix-check verify bench chaos
+.PHONY: build test lint lint-fix-check verify bench chaos search-bench
 
 build:
 	go build ./...
@@ -32,12 +32,19 @@ verify:
 
 # The fault-injection chaos suite under the race detector: seeded faults
 # (latency, errors, panics) against the serving stack, asserting the
-# containment invariants of docs/RESILIENCE.md.
+# containment invariants of docs/RESILIENCE.md; plus the search-engine
+# kill-and-resume scenarios of docs/SEARCH.md.
 chaos:
-	go test -race -run Chaos ./internal/service/... ./cmd/kpad/...
+	go test -race -run Chaos ./internal/search/... ./internal/service/... ./cmd/kpad/...
 
 # The dense-engine benchmark trajectory: runs the Dense*/Naive* pairs,
 # records BENCH_PR3.json, prints the speedups and enforces the 3x floor on
 # the C_G^alpha fixpoint. See docs/PERFORMANCE.md.
 bench:
 	./scripts/bench.sh
+
+# The strategy-search benchmark: solves a 2^32-strategy coupled fixture by
+# branch and bound and records BENCH_SEARCH.json (nodes/sec, pruned
+# permille — all integers, no floats). See docs/SEARCH.md.
+search-bench:
+	./scripts/search_bench.sh

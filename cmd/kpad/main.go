@@ -8,13 +8,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/check    {"system":"introcoin","assign":"post","formula":"K1^1/2 heads"}
-//	POST /v1/batch    {"system":"die","formulas":["K2 even","Pr2(even) >= 1/2"]}
-//	GET  /v1/systems  list the loaded systems
-//	POST /v1/systems  {"name":"mycoin","doc":{...encode document...}}
-//	GET  /v1/stats    cache, pool, request and resilience counters
-//	GET  /healthz     liveness: 200 while the process serves
-//	GET  /readyz      readiness: 200 after preload, 503 while draining
+//	POST /v1/check        {"system":"introcoin","assign":"post","formula":"K1^1/2 heads"}
+//	POST /v1/batch        {"system":"die","formulas":["K2 even","Pr2(even) >= 1/2"]}
+//	GET  /v1/systems      list the loaded systems
+//	POST /v1/systems      {"name":"mycoin","doc":{...encode document...}}
+//	POST /v1/search       create a strategy-search job (docs/SEARCH.md)
+//	GET  /v1/search       list search jobs
+//	GET  /v1/search/{id}  job progress: nodes expanded/pruned, incumbent
+//	DELETE /v1/search/{id} cancel a job (resumable via resumeFrom)
+//	GET  /v1/stats        cache, pool, request, resilience and search counters
+//	GET  /healthz         liveness: 200 while the process serves
+//	GET  /readyz          readiness: 200 after preload, 503 while draining
 //
 // Every response is JSON; errors are {"error":"...","kind":"..."} with the
 // status mandated by the service's error taxonomy (docs/RESILIENCE.md):
@@ -63,12 +67,23 @@ func run(args []string) error {
 		cache     = fs.Int("cache", 0, "verdict cache entries (0 = default)")
 		inflight  = fs.Int("max-inflight", 0, "concurrent evaluation slots (0 = default)")
 		queueWait = fs.Duration("queue-wait", 0, "how long a request may queue for a slot before 503 (0 = default)")
+
+		searchWorkers = fs.Int("search-workers", 0, "branch-and-bound workers per search job (0 = default)")
+		maxSearchJobs = fs.Int("max-search-jobs", 0, "concurrently running search jobs (0 = default)")
+		searchDir     = fs.String("search-dir", "", "directory for resumable search checkpoints (empty = no persistence)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{CacheSize: *cache, MaxInFlight: *inflight, QueueWait: *queueWait})
+	svc := service.New(service.Config{
+		CacheSize:           *cache,
+		MaxInFlight:         *inflight,
+		QueueWait:           *queueWait,
+		SearchWorkers:       *searchWorkers,
+		MaxSearchJobs:       *maxSearchJobs,
+		SearchCheckpointDir: *searchDir,
+	})
 	for _, name := range strings.Split(*preload, ",") {
 		if name = strings.TrimSpace(name); name == "" {
 			continue
@@ -98,10 +113,13 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		// Flip readiness first so load balancers stop routing here, then
-		// drain in-flight requests.
+		// Flip readiness first so load balancers stop routing here; cancel
+		// running searches so their final checkpoints are written (they
+		// resume from -search-dir on restart); then drain in-flight
+		// requests.
 		d.ready.Store(false)
 		log.Printf("shutting down")
+		svc.DrainSearches()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutCtx)
@@ -194,6 +212,37 @@ func (d *daemon) handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var req service.SearchRequest
+		if !readJSON(w, r, maxBody, &req) {
+			return
+		}
+		st, err := svc.StartSearch(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"searches": svc.Searches()})
+	})
+	mux.HandleFunc("GET /v1/search/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.SearchStatusOf(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/search/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.CancelSearch(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	return mux
 }

@@ -68,17 +68,10 @@ func (r Rule) Winnings(f Strategy, j system.AgentID, d system.Point) rat.Rat {
 // (e.g. Tree_ic in Proposition 6) the law of total expectation applies and
 // each cell must be measurable — an error is returned otherwise.
 func ExpectedWinnings(sp *measure.Space, r Rule, f Strategy, j system.AgentID) (rat.Rat, error) {
-	cells := make(map[system.LocalState]system.PointSet)
-	for p := range sp.Sample() {
-		l := p.Local(j)
-		if cells[l] == nil {
-			cells[l] = make(system.PointSet)
-		}
-		cells[l].Add(p)
-	}
+	cells := CellsOf(j, sp.Sample())
 	if len(cells) == 1 {
 		for l := range cells {
-			return cellExpectation(sp, r, f.OfferAt(l), sp.Sample()), nil
+			return CellExpectation(sp, r, f.OfferAt(l), sp.Sample()), nil
 		}
 	}
 	total := rat.Zero
@@ -95,14 +88,31 @@ func ExpectedWinnings(sp *measure.Space, r Rule, f Strategy, j system.AgentID) (
 		if err != nil {
 			return rat.Rat{}, err
 		}
-		total = total.Add(pCell.Mul(cellExpectation(sub, r, f.OfferAt(l), sub.Sample())))
+		total = total.Add(pCell.Mul(CellExpectation(sub, r, f.OfferAt(l), sub.Sample())))
 	}
 	return total, nil
 }
 
-// cellExpectation computes the (inner) expected winnings over a space in
+// CellsOf partitions a sample set into p_j's constant-offer cells: the
+// blocks on which p_j's local state — and hence any strategy's offer — is
+// constant. ExpectedWinnings sums cell contributions over this partition,
+// and internal/search's branch-and-bound bounds are per-cell expectations
+// over exactly these blocks.
+func CellsOf(j system.AgentID, sample system.PointSet) map[system.LocalState]system.PointSet {
+	cells := make(map[system.LocalState]system.PointSet)
+	for p := range sample {
+		l := p.Local(j)
+		if cells[l] == nil {
+			cells[l] = make(system.PointSet)
+		}
+		cells[l].Add(p)
+	}
+	return cells
+}
+
+// CellExpectation computes the (inner) expected winnings over a space in
 // which the offer is constant.
-func cellExpectation(sp *measure.Space, r Rule, offer Offer, sample system.PointSet) rat.Rat {
+func CellExpectation(sp *measure.Space, r Rule, offer Offer, sample system.PointSet) rat.Rat {
 	if !r.Accepts(offer) {
 		return rat.Zero
 	}
@@ -123,6 +133,9 @@ func cellExpectation(sp *measure.Space, r Rule, offer Offer, sample system.Point
 // in the payoff, so the worst accepted offer is the threshold 1/α:
 //
 //	inf_f E[W_f] = min(0, μ_*(φ)/α − 1).
+//
+// MinExpectedWinningsRef in reference.go is the brute-force executable spec
+// of this reduction, enumerating the lattice instead of using it.
 //
 // The second return value is the minimizing strategy (the paper's witness:
 // offer exactly 1/α at p_j's local state, nothing elsewhere), or Never()

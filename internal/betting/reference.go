@@ -1,0 +1,50 @@
+package betting
+
+import (
+	"fmt"
+
+	"kpa/internal/measure"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// MinExpectedWinningsRef is the brute-force executable spec of
+// MinExpectedWinnings, mirroring the logic package's ReferenceEvaluator
+// pattern: instead of the analytic reduction inf_f E[W_f] = min(0, μ_*(φ)/α − 1)
+// it walks the per-local-state strategy lattice (EachAssignment, the same
+// iterator internal/search branches over) with the only two offers that can
+// attain the infimum — no bet, and the threshold 1/α — and minimizes the
+// exact expectation. TestMinExpectedWinningsRefAgrees pins the two
+// implementations against each other; the analytic version stays the fast
+// path.
+func MinExpectedWinningsRef(sp *measure.Space, r Rule, j system.AgentID) (rat.Rat, Strategy, error) {
+	locals := LocalStatesOf(j, sp.Sample())
+	if len(locals) != 1 {
+		return rat.Rat{}, nil, fmt.Errorf(
+			"betting: MinExpectedWinningsRef needs a constant p_j local state, found %d", len(locals))
+	}
+	offers := []Offer{NoBet, OfferOf(r.Threshold())}
+	best := rat.Rat{}
+	var bestStrategy Strategy
+	var walkErr error
+	EachAssignment(len(locals), len(offers), func(choices []int) bool {
+		f := &MapStrategy{
+			Label:   "ref-" + offers[choices[0]].Payoff.String(),
+			Table:   map[system.LocalState]Offer{locals[0]: offers[choices[0]]},
+			Default: NoBet,
+		}
+		e, err := ExpectedWinnings(sp, r, f, j)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if bestStrategy == nil || e.Less(best) {
+			best, bestStrategy = e, f
+		}
+		return true
+	})
+	if walkErr != nil {
+		return rat.Rat{}, nil, walkErr
+	}
+	return best, bestStrategy, nil
+}

@@ -123,6 +123,41 @@ func LocalStatesOf(j system.AgentID, pts system.PointSet) []system.LocalState {
 	return out
 }
 
+// EachAssignment iterates every total assignment of one of numOffers
+// choices to each of numLocals local states, in mixed-radix order with the
+// first local state as the least-significant digit. The visitor receives the
+// per-local choice indices; it must not retain the slice, which is reused
+// across calls. Iteration stops early when the visitor returns false.
+//
+// This is the single enumeration of the per-local-state strategy lattice:
+// Enumerate materializes strategies from it, and internal/search's
+// brute-force reference solver walks the identical space, so the searcher
+// and the executable spec agree on what "all strategies over these locals
+// and offers" means by construction.
+func EachAssignment(numLocals, numOffers int, visit func(choices []int) bool) {
+	if numOffers <= 0 {
+		return
+	}
+	idx := make([]int, numLocals)
+	for {
+		if !visit(idx) {
+			return
+		}
+		// Increment the mixed-radix counter; done when it wraps to zero.
+		k := 0
+		for ; k < numLocals; k++ {
+			idx[k]++
+			if idx[k] < numOffers {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == numLocals {
+			return
+		}
+	}
+}
+
 // Enumerate generates every strategy for p_j that maps each of the given
 // local states to one of the given offers (and never bets elsewhere). The
 // number of strategies is |offers|^|locals|; intended for exhaustive
@@ -136,8 +171,8 @@ func Enumerate(j system.AgentID, locals []system.LocalState, offers []Offer) []S
 		}
 	}
 	out := make([]Strategy, 0, total)
-	idx := make([]int, len(locals))
-	for n := 0; n < total; n++ {
+	n := 0
+	EachAssignment(len(locals), len(offers), func(idx []int) bool {
 		table := make(map[system.LocalState]Offer, len(locals))
 		for k, l := range locals {
 			table[l] = offers[idx[k]]
@@ -147,14 +182,8 @@ func Enumerate(j system.AgentID, locals []system.LocalState, offers []Offer) []S
 			Table:   table,
 			Default: NoBet,
 		})
-		// Increment the mixed-radix counter.
-		for k := 0; k < len(idx); k++ {
-			idx[k]++
-			if idx[k] < len(offers) {
-				break
-			}
-			idx[k] = 0
-		}
-	}
+		n++
+		return true
+	})
 	return out
 }

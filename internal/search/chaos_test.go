@@ -1,0 +1,144 @@
+package search_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"kpa/internal/search"
+)
+
+// TestChaosKillAndResume simulates a daemon killed mid-search: the engine
+// checkpoints on every expansion, the "process" dies after a varying
+// number of checkpoints, and a fresh engine resumes from the last durable
+// checkpoint. Repeated until the search completes, the final answer must
+// match an uninterrupted run exactly — and no interrupted run may claim
+// optimality.
+func TestChaosKillAndResume(t *testing.T) {
+	p := coupledProblem(t, 7, 4, search.ModeAdversary) // 2^16 strategies
+	full, err := search.New(p, search.Config{Workers: 4}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Optimal {
+		t.Fatal("uninterrupted run not optimal")
+	}
+
+	errKilled := errors.New("chaos: killed")
+	var durable []byte // last checkpoint that "reached disk"
+	var seed *search.Checkpoint
+	attempts := 0
+	for killAfter := uint64(3); ; killAfter += 7 {
+		attempts++
+		if attempts > 500 {
+			t.Fatal("search never completed under chaos")
+		}
+		var writes atomic.Uint64
+		eng := search.New(p, search.Config{
+			Workers:         4,
+			CheckpointEvery: 1,
+			OnCheckpoint: func(c search.Checkpoint) error {
+				n := writes.Add(1)
+				if n > killAfter {
+					// The write that kills the process does not land.
+					return errKilled
+				}
+				data, err := c.Encode()
+				if err != nil {
+					return err
+				}
+				durable = data
+				return nil
+			},
+		})
+		res, err := eng.Run(seed)
+		if err == nil {
+			if !res.Optimal {
+				t.Fatal("completed run not optimal")
+			}
+			if !res.Value.Equal(full.Value) {
+				t.Fatalf("chaos survivor found %s, uninterrupted run found %s", res.Value, full.Value)
+			}
+			if obj, err := p.Objective(res.Choices); err != nil || !obj.Equal(full.Value) {
+				t.Fatalf("chaos survivor witness invalid: %v / %v", obj, err)
+			}
+			t.Logf("completed after %d kills", attempts-1)
+			return
+		}
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("unexpected engine error: %v", err)
+		}
+		if res.Optimal {
+			t.Fatal("killed run claims optimality")
+		}
+		if durable == nil {
+			// Died before any checkpoint landed: restart from scratch.
+			seed = nil
+			continue
+		}
+		ck, err := search.DecodeCheckpoint(durable)
+		if err != nil {
+			t.Fatalf("durable checkpoint corrupt: %v", err)
+		}
+		// A durable checkpoint never carries a half-evaluated incumbent:
+		// whatever it stores must be a real strategy achieving its value.
+		if ck.Incumbent != nil {
+			choices := make([]uint8, len(ck.Incumbent.Choices))
+			copy(choices, ck.Incumbent.Choices)
+			obj, err := p.Objective(choices)
+			if err != nil {
+				t.Fatalf("checkpointed incumbent not evaluable: %v", err)
+			}
+			if obj.Key() != ck.Incumbent.Value {
+				t.Fatalf("checkpointed incumbent value %s does not match its choices (%s)",
+					ck.Incumbent.Value, obj)
+			}
+		}
+		seed = ck
+	}
+}
+
+// TestChaosResumeAcrossWorkerCounts kills once, then resumes with a
+// different worker count — the checkpoint format is engine-configuration
+// independent.
+func TestChaosResumeAcrossWorkerCounts(t *testing.T) {
+	p := coupledProblem(t, 7, 4, search.ModeAdversary)
+	full, err := search.New(p, search.Config{Workers: 1}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errKilled := errors.New("chaos: killed")
+	var durable []byte
+	var writes atomic.Uint64
+	_, err = search.New(p, search.Config{
+		Workers:         8,
+		CheckpointEvery: 1,
+		OnCheckpoint: func(c search.Checkpoint) error {
+			if writes.Add(1) > 2 {
+				return errKilled
+			}
+			data, err := c.Encode()
+			if err != nil {
+				return err
+			}
+			durable = data
+			return nil
+		},
+	}).Run(nil)
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("expected kill, got %v", err)
+	}
+	ck, err := search.DecodeCheckpoint(durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.New(p, search.Config{Workers: 2}).Run(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || !res.Value.Equal(full.Value) {
+		t.Fatalf("resume with different worker count: %s (optimal=%v), want %s",
+			res.Value, res.Optimal, full.Value)
+	}
+}

@@ -1,0 +1,67 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"kpa/internal/rat"
+)
+
+// CheckpointVersion is the current checkpoint wire version. Decoders
+// refuse other versions rather than guessing at compatibility.
+const CheckpointVersion = 1
+
+// Checkpoint is a serializable snapshot of a run: the unexplored frontier
+// (choice prefixes over the problem's ordered locals; partial sums are
+// recomputed on load), the incumbent, and cumulative counters. The
+// fingerprint binds a checkpoint to the compiled problem that produced it
+// — seeding a search over any other problem is rejected at load.
+//
+// An incumbent is always a fully evaluated strategy: partial assignments
+// never become incumbents, so a resumed search can trust the value as a
+// true bound rather than a guess.
+type Checkpoint struct {
+	Version     int        `json:"version"`
+	Fingerprint string     `json:"fingerprint"`
+	Frontier    [][]byte   `json:"frontier"`
+	Incumbent   *Incumbent `json:"incumbent,omitempty"`
+
+	NodesExpanded uint64 `json:"nodesExpanded"`
+	NodesPruned   uint64 `json:"nodesPruned"`
+	LeafEvals     uint64 `json:"leafEvals"`
+}
+
+// Incumbent is the best full strategy found so far: its exact objective
+// value (rational key form) and the witnessing choice vector.
+type Incumbent struct {
+	Value   string `json:"value"`
+	Choices []byte `json:"choices"`
+}
+
+// Encode serializes the checkpoint.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// DecodeCheckpoint parses and validates a checkpoint: version, fingerprint
+// presence, and a well-formed incumbent value. Structural validation
+// against a particular problem (prefix lengths, choice ranges, incumbent
+// re-evaluation) happens in Engine.Run.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("search: malformed checkpoint: %w", err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("search: checkpoint version %d, want %d", c.Version, CheckpointVersion)
+	}
+	if c.Fingerprint == "" {
+		return nil, fmt.Errorf("search: checkpoint has no fingerprint")
+	}
+	if c.Incumbent != nil {
+		if _, err := rat.Parse(c.Incumbent.Value); err != nil {
+			return nil, fmt.Errorf("search: checkpoint incumbent value: %w", err)
+		}
+	}
+	return &c, nil
+}

@@ -1,0 +1,141 @@
+package search_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"kpa/internal/betting"
+	"kpa/internal/core"
+	"kpa/internal/gen"
+	"kpa/internal/rat"
+	"kpa/internal/search"
+	"kpa/internal/system"
+)
+
+// TestDifferentialAgainstBruteForce cross-checks the branch-and-bound
+// engine against exhaustive enumeration on randomly generated systems.
+// Three properties per case:
+//
+//  1. the engine's value equals ReferenceSolve's (brute force over every
+//     strategy vector),
+//  2. the engine's witness choices reproduce that value through
+//     Problem.Objective,
+//  3. the witness, replayed through betting.ExpectedWinnings on every
+//     point of K_i(c) — an independent code path that never saw the
+//     compiled tables — folds to the same bottleneck value.
+//
+// Run with -race: the engine uses 4 workers throughout.
+func TestDifferentialAgainstBruteForce(t *testing.T) {
+	const wantCases = 50
+	// Cap reference work: brute force is NumOffers^Depth objective
+	// evaluations, so skip compiled problems bigger than this.
+	const maxTotal = 1 << 14
+
+	cfg := gen.Config{
+		NumAgents:         2,
+		NumTrees:          2,
+		MaxDepth:          3,
+		MaxBranch:         3,
+		Synchronous:       true,
+		ObservationLevels: true,
+	}
+	half := rat.New(1, 2)
+	payoffMenus := [][]rat.Rat{
+		{rat.FromInt(2)},
+		{rat.New(3, 2), rat.FromInt(3)},
+	}
+
+	cases := 0
+	for seed := int64(1); cases < wantCases && seed <= 4000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := gen.System(rng, cfg)
+		if err != nil {
+			continue
+		}
+		phi := gen.RandomRunFact(rng, sys, "phi")
+		c := gen.RandomPoint(rng, sys)
+		rule, err := betting.NewRule(phi, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := search.ModeAdversary
+		if seed%2 == 0 {
+			mode = search.ModeAlly
+		}
+		i, j := system.AgentID(0), system.AgentID(1)
+		if seed%3 == 0 {
+			i, j = 1, 0
+		}
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		p, err := search.NewProblem(P, i, j, c, rule, payoffMenus[seed%2], mode)
+		if err != nil {
+			// Generated systems routinely yield non-measurable p_j cells
+			// or empty positive-probability supports; those are invalid
+			// search instances, not engine bugs.
+			continue
+		}
+		if total, exact := p.TotalStrategies(); !exact || total > maxTotal {
+			continue
+		}
+		cases++
+
+		refVal, refStrat, err := search.ReferenceSolve(p)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		if refStrat == nil {
+			t.Fatalf("seed %d: reference returned no strategy", seed)
+		}
+		res, err := search.New(p, search.Config{Workers: 4}).Run(nil)
+		if err != nil {
+			t.Fatalf("seed %d: engine: %v", seed, err)
+		}
+		if !res.Optimal {
+			t.Fatalf("seed %d: engine finished non-optimal", seed)
+		}
+		if !res.Value.Equal(refVal) {
+			t.Fatalf("seed %d (%s): engine %s != brute force %s", seed, mode, res.Value, refVal)
+		}
+
+		obj, err := p.Objective(res.Choices)
+		if err != nil {
+			t.Fatalf("seed %d: witness objective: %v", seed, err)
+		}
+		if !obj.Equal(res.Value) {
+			t.Fatalf("seed %d: witness choices give %s, engine claims %s", seed, obj, res.Value)
+		}
+
+		// Independent crosscheck: fold ExpectedWinnings over all of
+		// K_i(c). Duplicate sample spaces cannot move a min or max, so
+		// folding over every point must land on the engine's value.
+		var bottleneck rat.Rat
+		first := true
+		for _, d := range P.System().K(i, c).Sorted() {
+			sp, err := P.Space(i, d)
+			if err != nil {
+				t.Fatalf("seed %d: space at %v: %v", seed, d, err)
+			}
+			e, err := betting.ExpectedWinnings(sp, rule, res.Strategy, j)
+			if err != nil {
+				t.Fatalf("seed %d: expected winnings: %v", seed, err)
+			}
+			if first {
+				bottleneck, first = e, false
+			} else if mode == search.ModeAdversary {
+				bottleneck = rat.Max(bottleneck, e)
+			} else {
+				bottleneck = rat.Min(bottleneck, e)
+			}
+		}
+		if first {
+			t.Fatalf("seed %d: K_i(c) empty after compilation succeeded", seed)
+		}
+		if !bottleneck.Equal(res.Value) {
+			t.Fatalf("seed %d: betting-layer replay gives %s, engine %s", seed, bottleneck, res.Value)
+		}
+	}
+	if cases < wantCases {
+		t.Fatalf("only %d valid differential cases in seed budget, want %d", cases, wantCases)
+	}
+	t.Logf("differential: %d cases verified", cases)
+}

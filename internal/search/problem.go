@@ -1,0 +1,521 @@
+// Package search is a parallel branch-and-bound engine over the betting
+// game's strategy lattice (Section 6, Theorems 7–9). The paper quantifies
+// over all opponent strategies as functions of p_j's local state; the
+// betting package either enumerates them (|offers|^|locals| strategies) or
+// checks the proofs' explicit witnesses, which caps it at toy systems. This
+// package searches the same lattice with exact-rational bounds instead:
+//
+//   - a strategy decomposes per local state, so partial assignments of
+//     offers to a prefix of p_j's local states form the search tree;
+//   - the expectation E_d[W_f] at each point d of K_i(c) is an exact sum of
+//     per-cell contributions (betting.CellsOf/CellExpectation), each
+//     depending on f only through the offer at that one cell's local state,
+//     so a partial strategy has exact optimistic and pessimistic
+//     completions per point — the pruning bounds;
+//   - the coupled objectives are worst-case over K_i(c): ModeAdversary
+//     synthesizes the uniform attack min_f max_d E_d[W_f] (negative optimum
+//     = a single strategy that beats the rule at every point p_i considers
+//     possible), ModeAlly the guarantee max_f min_d E_d[W_f].
+//
+// The engine (engine.go) splits per-local-state subtrees across a bounded
+// worker pool, polls a cancellation hook per node expansion, and emits
+// versioned resumable checkpoints (checkpoint.go). ReferenceSolve
+// (reference.go) is the brute-force executable spec the differential suite
+// pins the engine against. docs/SEARCH.md states the design.
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"kpa/internal/betting"
+	"kpa/internal/core"
+	"kpa/internal/measure"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// Mode selects the coupled objective over the points of K_i(c).
+type Mode int
+
+const (
+	// ModeAdversary minimizes max_d E_d[W_f]: the best uniform attack. An
+	// optimum below zero witnesses that one strategy defeats the rule at
+	// every point of K_i(c) simultaneously — strictly stronger than the
+	// per-point unsafety witnesses of betting.Safe.
+	ModeAdversary Mode = iota
+	// ModeAlly maximizes min_d E_d[W_f]: the offer placement with the best
+	// guaranteed winnings for p_i, whichever point of K_i(c) is actual.
+	ModeAlly
+)
+
+// String names the mode for checkpoints and job JSON.
+func (m Mode) String() string {
+	if m == ModeAlly {
+		return "ally"
+	}
+	return "adversary"
+}
+
+// ParseMode parses "adversary" or "ally" ("" defaults to adversary).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "adversary":
+		return ModeAdversary, nil
+	case "ally":
+		return ModeAlly, nil
+	}
+	return 0, fmt.Errorf("search: unknown mode %q (adversary, ally)", s)
+}
+
+// Problem is a compiled search instance: the strategy lattice over the
+// local states of p_j occurring in the sample spaces of K_i(c), with every
+// per-(local state, offer, point) contribution precomputed as an exact
+// rational. Compilation does all the measure-theoretic work once; the
+// engine's hot loop is pure rational arithmetic over these tables and never
+// touches spaces, so one Problem may be shared by concurrent workers.
+type Problem struct {
+	mode   Mode
+	j      system.AgentID
+	locals []system.LocalState // search order: descending bound spread
+	offers []betting.Offer     // choice menu; offers[0] is NoBet
+	reps   []system.Point      // one representative point per distinct space
+
+	// contrib[k][o][d] is the contribution of assigning offers[o] to
+	// locals[k] toward E_d: P(cell)·Ê_*(W | cell), zero when locals[k] is
+	// not a cell of space d or the offer is rejected.
+	contrib [][][]rat.Rat
+	// minTail[k][d] (maxTail) is the least (greatest) achievable sum of
+	// contributions to E_d over locals[k:], so a depth-k node's E_d range
+	// is [sums[d]+minTail[k][d], sums[d]+maxTail[k][d]].
+	minTail [][]rat.Rat
+	maxTail [][]rat.Rat
+	// childOrder[k] lists offer indices most-promising-first for the mode,
+	// so depth-first descent reaches strong incumbents early.
+	childOrder [][]uint8
+
+	fingerprint string
+}
+
+// NewProblem compiles a search instance: the rule Bet_j(φ, α) for agent i
+// at point c under probability assignment P, with the offer menu
+// {NoBet} ∪ {payoffs}. Every point of K_i(c) contributes one objective
+// coordinate; points whose sample spaces coincide (assignment cache key)
+// are deduplicated. Payoffs must be positive; cells must be measurable in
+// their spaces (the same requirement betting.ExpectedWinnings imposes).
+//
+// NewProblem touches the ProbAssignment's space cache and must not run
+// concurrently with other users of P; the returned Problem is immutable and
+// safe to share.
+func NewProblem(
+	P *core.ProbAssignment,
+	i, j system.AgentID,
+	c system.Point,
+	rule betting.Rule,
+	payoffs []rat.Rat,
+	mode Mode,
+) (*Problem, error) {
+	offers, err := offerMenu(payoffs)
+	if err != nil {
+		return nil, err
+	}
+
+	// One objective coordinate per distinct sample space over K_i(c).
+	// ProbAssignment.Space caches by assignment key, so pointer identity
+	// dedupes points sharing a space (they have identical expectations).
+	type spaceInfo struct {
+		rep   system.Point
+		cells map[system.LocalState][]rat.Rat // local → per-offer contribution
+	}
+	var spaces []*spaceInfo
+	index := make(map[*measure.Space]bool)
+	for _, d := range P.System().K(i, c).Sorted() {
+		sp, err := P.Space(i, d)
+		if err != nil {
+			return nil, err
+		}
+		if index[sp] {
+			continue
+		}
+		index[sp] = true
+		cells, err := cellTable(sp, rule, j, offers)
+		if err != nil {
+			return nil, fmt.Errorf("search: at %v: %w", d, err)
+		}
+		spaces = append(spaces, &spaceInfo{rep: d, cells: cells})
+	}
+	if len(spaces) == 0 {
+		return nil, fmt.Errorf("search: K(%d,%v) is empty", i, c)
+	}
+
+	// The lattice dimension: every local state carrying positive cell
+	// probability in some space, sorted for a deterministic base order.
+	localSet := make(map[system.LocalState]bool)
+	for _, si := range spaces {
+		for l := range si.cells {
+			localSet[l] = true
+		}
+	}
+	locals := make([]system.LocalState, 0, len(localSet))
+	for l := range localSet {
+		locals = append(locals, l)
+	}
+	sort.Slice(locals, func(a, b int) bool { return locals[a] < locals[b] })
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("search: no positive-probability opponent cells in K(%d,%v)", i, c)
+	}
+
+	p := &Problem{mode: mode, j: j, offers: offers}
+	nd := len(spaces)
+	for _, si := range spaces {
+		p.reps = append(p.reps, si.rep)
+	}
+
+	// Order locals by descending bound spread Σ_d (max_o − min_o): the
+	// states whose offer choice moves the bounds most are decided first,
+	// which is what makes the completion bounds bite near the root.
+	type rankedLocal struct {
+		l      system.LocalState
+		spread rat.Rat
+		rows   [][]rat.Rat // [offer][space]
+	}
+	ranked := make([]rankedLocal, 0, len(locals))
+	for _, l := range locals {
+		rows := make([][]rat.Rat, len(offers))
+		for o := range offers {
+			rows[o] = make([]rat.Rat, nd)
+			for d, si := range spaces {
+				if cs, ok := si.cells[l]; ok {
+					rows[o][d] = cs[o]
+				}
+			}
+		}
+		spread := rat.Zero
+		for d := 0; d < nd; d++ {
+			lo, hi := rows[0][d], rows[0][d]
+			for o := 1; o < len(offers); o++ {
+				lo, hi = rat.Min(lo, rows[o][d]), rat.Max(hi, rows[o][d])
+			}
+			spread = spread.Add(hi.Sub(lo))
+		}
+		ranked = append(ranked, rankedLocal{l: l, spread: spread, rows: rows})
+	}
+	sort.SliceStable(ranked, func(a, b int) bool {
+		if cmp := ranked[a].spread.Cmp(ranked[b].spread); cmp != 0 {
+			return cmp > 0
+		}
+		return ranked[a].l < ranked[b].l
+	})
+	for _, rl := range ranked {
+		p.locals = append(p.locals, rl.l)
+		p.contrib = append(p.contrib, rl.rows)
+	}
+
+	p.buildTails(nd)
+	p.buildChildOrder(nd)
+	p.fingerprint = p.computeFingerprint()
+	return p, nil
+}
+
+// offerMenu builds the choice menu [NoBet, payoffs ascending], validating
+// positivity and deduplicating.
+func offerMenu(payoffs []rat.Rat) ([]betting.Offer, error) {
+	sorted := append([]rat.Rat(nil), payoffs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Less(sorted[b]) })
+	offers := []betting.Offer{betting.NoBet}
+	seen := make(map[string]bool)
+	for _, p := range sorted {
+		if p.Sign() <= 0 {
+			return nil, fmt.Errorf("search: payoff %s is not positive", p)
+		}
+		if seen[p.Key()] {
+			continue
+		}
+		seen[p.Key()] = true
+		offers = append(offers, betting.OfferOf(p))
+	}
+	if len(offers) < 2 {
+		return nil, fmt.Errorf("search: need at least one candidate payoff")
+	}
+	return offers, nil
+}
+
+// cellTable decomposes one space into p_j cells and evaluates every
+// candidate offer on each, exactly as betting.ExpectedWinnings would: a
+// single-cell space uses the whole-space inner expectation, a multi-cell
+// space weights conditioned cells by their (measurable) probability and
+// drops zero-probability cells.
+func cellTable(
+	sp *measure.Space,
+	rule betting.Rule,
+	j system.AgentID,
+	offers []betting.Offer,
+) (map[system.LocalState][]rat.Rat, error) {
+	cells := betting.CellsOf(j, sp.Sample())
+	out := make(map[system.LocalState][]rat.Rat, len(cells))
+	if len(cells) == 1 {
+		for l := range cells {
+			cs := make([]rat.Rat, len(offers))
+			for o, offer := range offers {
+				cs[o] = betting.CellExpectation(sp, rule, offer, sp.Sample())
+			}
+			out[l] = cs
+		}
+		return out, nil
+	}
+	// Deterministic iteration over the cell map: sorted local states.
+	locals := make([]system.LocalState, 0, len(cells))
+	for l := range cells {
+		locals = append(locals, l)
+	}
+	sort.Slice(locals, func(a, b int) bool { return locals[a] < locals[b] })
+	for _, l := range locals {
+		cell := cells[l]
+		pCell, err := sp.Prob(cell)
+		if err != nil {
+			return nil, fmt.Errorf("p_j cell %q not measurable in sample space: %w", l, err)
+		}
+		if pCell.IsZero() {
+			continue
+		}
+		sub, err := sp.Condition(cell)
+		if err != nil {
+			return nil, err
+		}
+		cs := make([]rat.Rat, len(offers))
+		for o, offer := range offers {
+			cs[o] = pCell.Mul(betting.CellExpectation(sub, rule, offer, sub.Sample()))
+		}
+		out[l] = cs
+	}
+	return out, nil
+}
+
+// buildTails fills minTail/maxTail by a backward sweep over the locals.
+func (p *Problem) buildTails(nd int) {
+	depth := len(p.locals)
+	p.minTail = make([][]rat.Rat, depth+1)
+	p.maxTail = make([][]rat.Rat, depth+1)
+	p.minTail[depth] = make([]rat.Rat, nd)
+	p.maxTail[depth] = make([]rat.Rat, nd)
+	for k := depth - 1; k >= 0; k-- {
+		p.minTail[k] = make([]rat.Rat, nd)
+		p.maxTail[k] = make([]rat.Rat, nd)
+		for d := 0; d < nd; d++ {
+			lo, hi := p.contrib[k][0][d], p.contrib[k][0][d]
+			for o := 1; o < len(p.offers); o++ {
+				lo, hi = rat.Min(lo, p.contrib[k][o][d]), rat.Max(hi, p.contrib[k][o][d])
+			}
+			p.minTail[k][d] = lo.Add(p.minTail[k+1][d])
+			p.maxTail[k][d] = hi.Add(p.maxTail[k+1][d])
+		}
+	}
+}
+
+// buildChildOrder ranks each local's offers most-promising-first for the
+// mode (ascending total contribution for the adversary, descending for the
+// ally), so depth-first descent finds a strong incumbent on its first dive.
+func (p *Problem) buildChildOrder(nd int) {
+	p.childOrder = make([][]uint8, len(p.locals))
+	for k := range p.locals {
+		totals := make([]rat.Rat, len(p.offers))
+		for o := range p.offers {
+			totals[o] = rat.Sum(p.contrib[k][o]...)
+		}
+		order := make([]uint8, len(p.offers))
+		for o := range order {
+			order[o] = uint8(o)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			cmp := totals[order[a]].Cmp(totals[order[b]])
+			if p.mode == ModeAlly {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+			return order[a] < order[b]
+		})
+		p.childOrder[k] = order
+	}
+}
+
+// computeFingerprint hashes the compiled tables, so a checkpoint taken for
+// one problem can refuse to seed a search over a different one. Two
+// compilations of the same (system, assignment, agents, point, rule, menu,
+// mode) produce identical tables and hence identical fingerprints.
+func (p *Problem) computeFingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|%s|%d|", p.mode, p.j)
+	for _, l := range p.locals {
+		fmt.Fprintf(h, "l%q", string(l))
+	}
+	for _, o := range p.offers {
+		fmt.Fprintf(h, "o%v:%s", o.Bet, o.Payoff.Key())
+	}
+	for _, rows := range p.contrib {
+		for _, row := range rows {
+			for _, v := range row {
+				fmt.Fprintf(h, "c%s;", v.Key())
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Depth returns the height of the search tree: the number of local states.
+func (p *Problem) Depth() int { return len(p.locals) }
+
+// NumOffers returns the per-state branching factor (NoBet included).
+func (p *Problem) NumOffers() int { return len(p.offers) }
+
+// NumSpaces returns the number of distinct objective coordinates (deduped
+// sample spaces over K_i(c)).
+func (p *Problem) NumSpaces() int { return len(p.reps) }
+
+// Mode returns the problem's objective mode.
+func (p *Problem) Mode() Mode { return p.mode }
+
+// Fingerprint identifies the compiled problem for checkpoint safety.
+func (p *Problem) Fingerprint() string { return p.fingerprint }
+
+// Locals returns the local states in search order.
+func (p *Problem) Locals() []system.LocalState {
+	return append([]system.LocalState(nil), p.locals...)
+}
+
+// Points returns one representative point per objective coordinate.
+func (p *Problem) Points() []system.Point {
+	return append([]system.Point(nil), p.reps...)
+}
+
+// TotalStrategies returns |offers|^depth and whether it is exact (false
+// means the count saturated at MaxUint64).
+func (p *Problem) TotalStrategies() (uint64, bool) {
+	total := uint64(1)
+	for range p.locals {
+		if total > math.MaxUint64/uint64(len(p.offers)) {
+			return math.MaxUint64, false
+		}
+		total *= uint64(len(p.offers))
+	}
+	return total, true
+}
+
+// StrategyOf materializes a full choice vector as a betting strategy: the
+// chosen offer at each local state, no bet elsewhere.
+func (p *Problem) StrategyOf(choices []uint8) (*betting.MapStrategy, error) {
+	if len(choices) != len(p.locals) {
+		return nil, fmt.Errorf("search: choice vector has %d entries, want %d", len(choices), len(p.locals))
+	}
+	table := make(map[system.LocalState]betting.Offer, len(p.locals))
+	for k, l := range p.locals {
+		o := int(choices[k])
+		if o >= len(p.offers) {
+			return nil, fmt.Errorf("search: choice %d out of range at %q", o, l)
+		}
+		table[l] = p.offers[o]
+	}
+	return &betting.MapStrategy{
+		Label:   "search-" + p.mode.String(),
+		Table:   table,
+		Default: betting.NoBet,
+	}, nil
+}
+
+// Objective evaluates a full choice vector exactly: max_d E_d in adversary
+// mode, min_d E_d in ally mode.
+func (p *Problem) Objective(choices []uint8) (rat.Rat, error) {
+	if len(choices) != len(p.locals) {
+		return rat.Rat{}, fmt.Errorf("search: choice vector has %d entries, want %d", len(choices), len(p.locals))
+	}
+	sums := p.newSums()
+	for k, ch := range choices {
+		if int(ch) >= len(p.offers) {
+			return rat.Rat{}, fmt.Errorf("search: choice %d out of range at depth %d", ch, k)
+		}
+		for d := range sums {
+			sums[d] = sums[d].Add(p.contrib[k][ch][d])
+		}
+	}
+	return p.fold(sums), nil
+}
+
+// newSums returns a zeroed per-space accumulator.
+func (p *Problem) newSums() []rat.Rat { return make([]rat.Rat, len(p.reps)) }
+
+// fold collapses per-space sums into the objective value: the worst
+// coordinate for the mode.
+func (p *Problem) fold(sums []rat.Rat) rat.Rat {
+	v := sums[0]
+	for _, s := range sums[1:] {
+		if p.mode == ModeAdversary {
+			v = rat.Max(v, s)
+		} else {
+			v = rat.Min(v, s)
+		}
+	}
+	return v
+}
+
+// better reports whether a strictly improves on b under the mode's sense.
+func (p *Problem) better(a, b rat.Rat) bool {
+	if p.mode == ModeAdversary {
+		return a.Less(b)
+	}
+	return a.Greater(b)
+}
+
+// bound returns the mode's optimistic completion bound for a node with the
+// given per-space partial sums at the given depth: the best objective any
+// completion of the node could attain (max_d of per-space minima for the
+// adversary, min_d of per-space maxima for the ally).
+func (p *Problem) bound(depth int, sums []rat.Rat) rat.Rat {
+	var v rat.Rat
+	for d := range sums {
+		var b rat.Rat
+		if p.mode == ModeAdversary {
+			b = sums[d].Add(p.minTail[depth][d])
+			if d == 0 || b.Greater(v) {
+				v = b
+			}
+		} else {
+			b = sums[d].Add(p.maxTail[depth][d])
+			if d == 0 || b.Less(v) {
+				v = b
+			}
+		}
+	}
+	return v
+}
+
+// greedyChoices completes the empty prefix by picking, at each depth, the
+// offer minimizing (adversary) or maximizing (ally) the lookahead bound.
+// The result seeds the incumbent so pruning bites from the first node.
+func (p *Problem) greedyChoices() []uint8 {
+	choices := make([]uint8, len(p.locals))
+	sums := p.newSums()
+	tmp := p.newSums()
+	for k := range p.locals {
+		first := true
+		var bestVal rat.Rat
+		var best uint8
+		for _, o := range p.childOrder[k] {
+			for d := range tmp {
+				tmp[d] = sums[d].Add(p.contrib[k][o][d])
+			}
+			b := p.bound(k+1, tmp)
+			if first || p.better(b, bestVal) {
+				first, bestVal, best = false, b, o
+			}
+		}
+		choices[k] = best
+		for d := range sums {
+			sums[d] = sums[d].Add(p.contrib[k][best][d])
+		}
+	}
+	return choices
+}

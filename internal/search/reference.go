@@ -1,0 +1,47 @@
+package search
+
+import (
+	"kpa/internal/betting"
+	"kpa/internal/rat"
+)
+
+// ReferenceSolve is the brute-force executable spec of Engine.Run: it walks
+// every total strategy over the problem's locals and offers with
+// betting.EachAssignment — the same iterator betting.Enumerate and
+// MinExpectedWinningsRef build on — and evaluates the exact bottleneck
+// objective at each, keeping the best. No bounds, no pruning, no
+// concurrency. The differential suite pins the engine against it on every
+// enumerable seeded system.
+//
+// Cost is |offers|^|locals| objective evaluations; callers must check
+// Problem.TotalStrategies first.
+func ReferenceSolve(p *Problem) (rat.Rat, betting.Strategy, error) {
+	depth := p.Depth()
+	choices := make([]uint8, depth)
+	best := rat.Rat{}
+	var bestChoices []uint8
+	var walkErr error
+	betting.EachAssignment(depth, p.NumOffers(), func(idx []int) bool {
+		for k, o := range idx {
+			choices[k] = uint8(o)
+		}
+		v, err := p.Objective(choices)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if bestChoices == nil || p.better(v, best) {
+			best = v
+			bestChoices = append(bestChoices[:0], choices...)
+		}
+		return true
+	})
+	if walkErr != nil {
+		return rat.Rat{}, nil, walkErr
+	}
+	s, err := p.StrategyOf(bestChoices)
+	if err != nil {
+		return rat.Rat{}, nil, err
+	}
+	return best, s, nil
+}

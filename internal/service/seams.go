@@ -19,6 +19,12 @@ type Seams struct {
 	// panics here are contained and poison the worker like a real
 	// evaluator panic would.
 	BeforeEval func(formula string) error
+	// BeforeCheckpoint runs before every search-checkpoint file operation
+	// with the operation ("write" or "load") and the job id. An error
+	// fails that operation: a failed periodic write stops the search (the
+	// last durable checkpoint stays authoritative), a failed load fails
+	// the resume request.
+	BeforeCheckpoint func(op, jobID string) error
 }
 
 // storeGet consults the BeforeStoreGet seam.
@@ -43,4 +49,12 @@ func (s *Seams) eval(formula string) error {
 		return nil
 	}
 	return s.BeforeEval(formula)
+}
+
+// checkpoint consults the BeforeCheckpoint seam.
+func (s *Seams) checkpoint(op, jobID string) error {
+	if s == nil || s.BeforeCheckpoint == nil {
+		return nil
+	}
+	return s.BeforeCheckpoint(op, jobID)
 }

@@ -1,0 +1,499 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"kpa/internal/encode"
+	"kpa/internal/faultinject"
+	"kpa/internal/rat"
+	"kpa/internal/system"
+)
+
+// coupledSearchDoc encodes a two-tree system whose strategy search is
+// genuinely combinatorial: the trees share p_2's local states (p_2
+// observes only the first obsLen steps of the history, never the tree),
+// the transition probabilities differ (2/5-left vs 1/3-left), and the
+// proposition "phi" — an env marker baked in at build time — is inverted
+// between the trees, so every offer that wins in one tree loses in the
+// other. Agent 1 observes only the time.
+func coupledSearchDoc(t *testing.T, depth, obsLen int) []byte {
+	t.Helper()
+	mark := func(tree, hist string) string {
+		r := uint32(2166136261)
+		for _, ch := range hist {
+			r = (r ^ uint32(ch)) * 16777619
+		}
+		x := r%7 < 3
+		if tree == "T1" {
+			x = !x
+		}
+		if x {
+			return ":X"
+		}
+		return ":O"
+	}
+	mk := func(tree, hist string, d int) system.GlobalState {
+		obs := hist
+		if len(obs) > obsLen {
+			obs = obs[:obsLen]
+		}
+		return system.GlobalState{
+			Env: tree + ":" + hist + mark(tree, hist),
+			Locals: []system.LocalState{
+				system.LocalState("a0:t" + strconv.Itoa(d)),
+				system.LocalState("a1:" + obs),
+			},
+		}
+	}
+	build := func(name string, pLeft rat.Rat) *system.Tree {
+		tb := system.NewTree(name, mk(name, "", 0))
+		type fnode struct {
+			id system.NodeID
+			h  string
+			d  int
+		}
+		frontier := []fnode{{0, "", 0}}
+		for len(frontier) > 0 {
+			var next []fnode
+			for _, f := range frontier {
+				if f.d == depth {
+					continue
+				}
+				l := tb.Child(f.id, pLeft, mk(name, f.h+"a", f.d+1))
+				r := tb.Child(f.id, rat.One.Sub(pLeft), mk(name, f.h+"b", f.d+1))
+				next = append(next, fnode{l, f.h + "a", f.d + 1}, fnode{r, f.h + "b", f.d + 1})
+			}
+			frontier = next
+		}
+		return tb.MustBuild()
+	}
+	sys := system.MustNew(2, build("T0", rat.New(2, 5)), build("T1", rat.New(1, 3)))
+	doc := encode.Encode(sys)
+	doc.Props = map[string]encode.PropDoc{"phi": {EnvHasSuffix: ":X"}}
+	data, err := encode.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// smallSearchReq / bigSearchReq are the two standard requests against the
+// uploaded coupled system: 256 strategies (20-ish node expansions) and
+// 65536 strategies (hundreds of expansions — enough to checkpoint often).
+func smallSearchReq() SearchRequest {
+	return SearchRequest{
+		System: "coupled", Agent: 1, Opponent: 2,
+		At: SearchPoint{Tree: "T0", Run: 0, Time: 4}, Formula: "phi", Alpha: "1/2",
+	}
+}
+
+func bigSearchReq() SearchRequest {
+	return SearchRequest{
+		System: "coupled", Agent: 1, Opponent: 2,
+		At: SearchPoint{Tree: "T0", Run: 0, Time: 6}, Formula: "phi", Alpha: "1/2",
+	}
+}
+
+func uploadCoupled(t *testing.T, svc *Service, depth, obsLen int) {
+	t.Helper()
+	if _, err := svc.Upload("coupled", coupledSearchDoc(t, depth, obsLen)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitSearch polls until the job leaves the running state.
+func waitSearch(t *testing.T, svc *Service, id string) SearchStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := svc.SearchStatusOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != SearchRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("search %s still running after 30s: %+v", id, st.Progress)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ckptGate blocks search-checkpoint writes until released, so tests can
+// hold a job mid-search deterministically.
+type ckptGate struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newCkptGate() *ckptGate {
+	return &ckptGate{entered: make(chan struct{}, 1), release: make(chan struct{})}
+}
+
+func (g *ckptGate) seam(op, jobID string) error {
+	if op != "write" {
+		return nil
+	}
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.release
+	return nil
+}
+
+func TestSearchJobLifecycle(t *testing.T) {
+	svc := New(Config{})
+	uploadCoupled(t, svc, 6, 3)
+
+	st, err := svc.StartSearch(smallSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.System != "coupled" || st.Mode != "adversary" {
+		t.Fatalf("created status: %+v", st)
+	}
+
+	fin := waitSearch(t, svc, st.ID)
+	if fin.State != SearchDone {
+		t.Fatalf("state = %s (err=%q), want done", fin.State, fin.Error)
+	}
+	// Problem shape is published once the async compile finishes.
+	if fin.Depth != 8 || fin.TotalStrategies != 256 || !fin.TotalExact {
+		t.Fatalf("compiled shape: depth=%d total=%d exact=%v, want 8/256/true",
+			fin.Depth, fin.TotalStrategies, fin.TotalExact)
+	}
+	if fin.Result == nil || !fin.Result.Optimal || fin.Result.Value == "" {
+		t.Fatalf("result: %+v", fin.Result)
+	}
+	if len(fin.Result.Strategy) != fin.Depth {
+		t.Fatalf("strategy has %d rows, want one per local (%d)",
+			len(fin.Result.Strategy), fin.Depth)
+	}
+	for k := 1; k < len(fin.Result.Strategy); k++ {
+		if fin.Result.Strategy[k-1].Local >= fin.Result.Strategy[k].Local {
+			t.Fatal("strategy rows not sorted by local state")
+		}
+	}
+	if fin.Progress.NodesExpanded == 0 || fin.Progress.LeafEvals == 0 {
+		t.Fatalf("progress counters empty: %+v", fin.Progress)
+	}
+
+	// The ally job on the same instance must also complete, and the two
+	// optima are generally different objectives.
+	req := smallSearchReq()
+	req.Mode = "ally"
+	st2, err := svc.StartSearch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2 := waitSearch(t, svc, st2.ID)
+	if fin2.State != SearchDone || fin2.Mode != "ally" {
+		t.Fatalf("ally job: state=%s mode=%s", fin2.State, fin2.Mode)
+	}
+
+	// Listing returns both, in creation order.
+	list := svc.Searches()
+	if len(list) != 2 || list[0].ID != st.ID || list[1].ID != st2.ID {
+		t.Fatalf("Searches() = %d entries, want the two jobs in order", len(list))
+	}
+	stats := svc.Stats().Search
+	if stats.JobsDone != 2 || stats.JobsRunning != 0 {
+		t.Fatalf("search stats: %+v, want 2 done", stats)
+	}
+	if stats.NodesExpanded == 0 || stats.LeafEvals == 0 {
+		t.Fatalf("search stats counters empty: %+v", stats)
+	}
+
+	if _, err := svc.SearchStatusOf("s999"); KindOf(err) != KindNotFound {
+		t.Fatalf("unknown job id: %v", err)
+	}
+}
+
+func TestSearchRequestValidation(t *testing.T) {
+	svc := New(Config{})
+	uploadCoupled(t, svc, 6, 3)
+	base := smallSearchReq()
+
+	cases := []struct {
+		name string
+		mut  func(*SearchRequest)
+		kind ErrorKind
+	}{
+		{"unknown system", func(r *SearchRequest) { r.System = "nope" }, KindNotFound},
+		{"agent zero", func(r *SearchRequest) { r.Agent = 0 }, KindBadRequest},
+		{"agent out of range", func(r *SearchRequest) { r.Agent = 9 }, KindBadRequest},
+		{"opponent out of range", func(r *SearchRequest) { r.Opponent = 9 }, KindBadRequest},
+		{"unknown tree", func(r *SearchRequest) { r.At.Tree = "T9" }, KindBadRequest},
+		{"invalid point", func(r *SearchRequest) { r.At.Time = 99 }, KindBadRequest},
+		{"bad formula", func(r *SearchRequest) { r.Formula = "((" }, KindBadRequest},
+		{"bad alpha", func(r *SearchRequest) { r.Alpha = "0" }, KindBadRequest},
+		{"bad payoff", func(r *SearchRequest) { r.Payoffs = []string{"-1"} }, KindBadRequest},
+		{"bad mode", func(r *SearchRequest) { r.Mode = "sideways" }, KindBadRequest},
+		{"resume unknown", func(r *SearchRequest) { r.ResumeFrom = "s777" }, KindNotFound},
+	}
+	for _, tc := range cases {
+		req := base
+		tc.mut(&req)
+		_, err := svc.StartSearch(req)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if KindOf(err) != tc.kind {
+			t.Errorf("%s: kind = %v (%v), want %v", tc.name, KindOf(err), err, tc.kind)
+		}
+	}
+	// Nothing above may have left a job behind.
+	if got := len(svc.Searches()); got != 0 {
+		t.Fatalf("%d jobs registered by invalid requests", got)
+	}
+}
+
+func TestSearchCancelAndResume(t *testing.T) {
+	gate := newCkptGate()
+	dir := t.TempDir()
+	svc := New(Config{
+		SearchCheckpointDir:   dir,
+		SearchCheckpointEvery: 1,
+		Seams:                 &Seams{BeforeCheckpoint: gate.seam},
+	})
+	uploadCoupled(t, svc, 8, 4)
+
+	// Clean value for comparison, from a gate-free service.
+	clean := New(Config{})
+	uploadCoupled(t, clean, 8, 4)
+	cst, err := clean.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitSearch(t, clean, cst.ID)
+	if want.State != SearchDone {
+		t.Fatalf("clean run: %s (%s)", want.State, want.Error)
+	}
+
+	st, err := svc.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered // the job is mid-checkpoint: definitely running
+
+	type cancelRes struct {
+		st  SearchStatus
+		err error
+	}
+	done := make(chan cancelRes, 1)
+	go func() {
+		cs, cerr := svc.CancelSearch(st.ID)
+		done <- cancelRes{cs, cerr}
+	}()
+	// Release the gate only after the cancel flag is set, so the engine
+	// cannot finish the search before it notices the cancellation.
+	svc.searchMu.Lock()
+	job := svc.searches[st.ID]
+	svc.searchMu.Unlock()
+	for !job.canceled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	cr := <-done
+	if cr.err != nil {
+		t.Fatal(cr.err)
+	}
+	if cr.st.State != SearchCanceled {
+		t.Fatalf("state after cancel = %s, want canceled", cr.st.State)
+	}
+	// A canceled job never publishes a (partial) result.
+	if cr.st.Result != nil {
+		t.Fatalf("canceled job has a result: %+v", cr.st.Result)
+	}
+
+	// Resuming from the canceled job completes the search with the same
+	// optimum as the uninterrupted run.
+	res, err := svc.StartSearch(SearchRequest{ResumeFrom: st.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedFrom != st.ID {
+		t.Fatalf("ResumedFrom = %q, want %q", res.ResumedFrom, st.ID)
+	}
+	fin := waitSearch(t, svc, res.ID)
+	if fin.State != SearchDone || fin.Result == nil {
+		t.Fatalf("resumed job: %s (%s)", fin.State, fin.Error)
+	}
+	if fin.Result.Value != want.Result.Value {
+		t.Fatalf("resumed value %s != clean value %s", fin.Result.Value, want.Result.Value)
+	}
+	stats := svc.Stats().Search
+	if stats.JobsCanceled != 1 || stats.JobsDone != 1 {
+		t.Fatalf("search stats: %+v, want 1 canceled + 1 done", stats)
+	}
+}
+
+// TestSearchChaosKillResumeAcrossRestart is the satellite chaos scenario:
+// a seeded injector kills the checkpoint write mid-search (as a crashing
+// daemon would), the job fails without ever publishing a result, and a
+// *fresh* service pointed at the same checkpoint directory — a restarted
+// daemon — resumes from the last durable checkpoint and lands on exactly
+// the answer an undisturbed search finds.
+func TestSearchChaosKillResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	errInjected := errors.New("injected checkpoint fault")
+	inj := faultinject.New(20260808)
+	inj.Set("search.ckpt", faultinject.Plan{At: 5, Err: errInjected})
+
+	svc := New(Config{
+		SearchCheckpointDir:   dir,
+		SearchCheckpointEvery: 1,
+		Seams: &Seams{BeforeCheckpoint: func(op, jobID string) error {
+			if op != "write" {
+				return nil
+			}
+			return inj.Hit("search.ckpt")
+		}},
+	})
+	uploadCoupled(t, svc, 8, 4)
+
+	// The undisturbed answer.
+	clean := New(Config{})
+	uploadCoupled(t, clean, 8, 4)
+	cst, err := clean.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitSearch(t, clean, cst.ID)
+
+	st, err := svc.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitSearch(t, svc, st.ID)
+	if fin.State != SearchFailed {
+		t.Fatalf("state after kill = %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "injected checkpoint fault") {
+		t.Fatalf("job error = %q, want the injected fault", fin.Error)
+	}
+	if fin.Result != nil {
+		t.Fatalf("killed job cached a partial result: %+v", fin.Result)
+	}
+	if inj.Fired("search.ckpt") != 1 {
+		t.Fatalf("injector fired %d times, want 1", inj.Fired("search.ckpt"))
+	}
+	path := filepath.Join(dir, st.ID+".json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no durable checkpoint survived the kill: %v", err)
+	}
+
+	// "Restart": a brand-new service over the same directory knows nothing
+	// about the dead job except its checkpoint file.
+	svc2 := New(Config{SearchCheckpointDir: dir})
+	uploadCoupled(t, svc2, 8, 4)
+	res, err := svc2.StartSearch(SearchRequest{ResumeFrom: st.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedFrom != st.ID {
+		t.Fatalf("ResumedFrom = %q, want %q", res.ResumedFrom, st.ID)
+	}
+	fin2 := waitSearch(t, svc2, res.ID)
+	if fin2.State != SearchDone || fin2.Result == nil {
+		t.Fatalf("resumed job: %s (%s)", fin2.State, fin2.Error)
+	}
+	if fin2.Result.Value != want.Result.Value {
+		t.Fatalf("post-restart value %s != clean value %s", fin2.Result.Value, want.Result.Value)
+	}
+	// The finished job cleans up its checkpoint file.
+	if _, err := os.Stat(filepath.Join(dir, res.ID+".json")); !os.IsNotExist(err) {
+		t.Fatalf("finished job left its checkpoint behind: %v", err)
+	}
+}
+
+func TestSearchResumeConflicts(t *testing.T) {
+	gate := newCkptGate()
+	svc := New(Config{
+		SearchCheckpointDir:   t.TempDir(),
+		SearchCheckpointEvery: 1,
+		Seams:                 &Seams{BeforeCheckpoint: gate.seam},
+	})
+	uploadCoupled(t, svc, 8, 4)
+
+	st, err := svc.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered
+	// Resuming a still-running job is a conflict.
+	if _, err := svc.StartSearch(SearchRequest{ResumeFrom: st.ID}); KindOf(err) != KindConflict {
+		t.Fatalf("resume of running job: %v", err)
+	}
+	close(gate.release)
+	if fin := waitSearch(t, svc, st.ID); fin.State != SearchDone {
+		t.Fatalf("job: %s (%s)", fin.State, fin.Error)
+	}
+	// Resuming a completed job is a conflict too: there is nothing left to
+	// search, and silently re-running would hide a client bug.
+	if _, err := svc.StartSearch(SearchRequest{ResumeFrom: st.ID}); KindOf(err) != KindConflict {
+		t.Fatalf("resume of done job: %v", err)
+	}
+}
+
+func TestSearchOverloadAndDrain(t *testing.T) {
+	gate := newCkptGate()
+	svc := New(Config{
+		MaxSearchJobs:         1,
+		QueueWait:             20 * time.Millisecond,
+		SearchCheckpointDir:   t.TempDir(),
+		SearchCheckpointEvery: 1,
+		Seams:                 &Seams{BeforeCheckpoint: gate.seam},
+	})
+	uploadCoupled(t, svc, 8, 4)
+
+	st, err := svc.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered
+
+	// One job is running and MaxSearchJobs is 1: shed with a retry hint.
+	_, err = svc.StartSearch(smallSearchReq())
+	if KindOf(err) != KindOverloaded {
+		t.Fatalf("second job: %v, want overloaded", err)
+	}
+	if RetryAfterOf(err) <= 0 {
+		t.Fatalf("overload error carries no Retry-After: %v", err)
+	}
+
+	// Drain flags every running job and waits for it, like kpad shutdown.
+	drained := make(chan struct{})
+	go func() {
+		svc.DrainSearches()
+		close(drained)
+	}()
+	svc.searchMu.Lock()
+	job := svc.searches[st.ID]
+	svc.searchMu.Unlock()
+	for !job.canceled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("DrainSearches did not return")
+	}
+	fin, err := svc.SearchStatusOf(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != SearchCanceled || fin.Result != nil {
+		t.Fatalf("drained job: state=%s result=%v", fin.State, fin.Result)
+	}
+}

@@ -49,6 +49,19 @@ type Config struct {
 	// RetryAfter is the retry hint attached to shed requests (kpad turns
 	// it into a Retry-After header). Default 1s.
 	RetryAfter time.Duration
+	// SearchWorkers bounds the branch-and-bound workers per search job
+	// (the job's first worker holds a blocking evaluation slot; the rest
+	// are taken opportunistically). Default 4.
+	SearchWorkers int
+	// MaxSearchJobs bounds concurrently running search jobs. Default 4.
+	MaxSearchJobs int
+	// SearchCheckpointEvery is the default checkpoint cadence in expanded
+	// nodes. Default 4096.
+	SearchCheckpointEvery uint64
+	// SearchCheckpointDir, when set, persists search-job checkpoints as
+	// <dir>/<jobID>.json so a restarted daemon can resume them. Empty
+	// disables persistence (in-memory resume of canceled jobs still works).
+	SearchCheckpointDir string
 	// Seams are optional fault-injection hooks for resilience tests; nil
 	// in production. See Seams and internal/faultinject.
 	Seams *Seams
@@ -81,6 +94,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.SearchWorkers <= 0 {
+		c.SearchWorkers = 4
+	}
+	if c.MaxSearchJobs <= 0 {
+		c.MaxSearchJobs = 4
+	}
+	if c.SearchCheckpointEvery == 0 {
+		c.SearchCheckpointEvery = 4096
 	}
 	return c
 }
@@ -118,17 +140,23 @@ type Service struct {
 	panics   atomic.Uint64 // evaluator panics contained
 	cancels  atomic.Uint64 // evaluations halted by cooperative cancellation
 	dedups   atomic.Uint64 // cache misses collapsed onto an in-flight call
+
+	searchMu    sync.Mutex
+	searches    map[string]*searchJob // guarded by searchMu
+	searchSeq   int                   // guarded by searchMu
+	searchCkpts atomic.Uint64         // checkpoint files durably written
 }
 
 // New builds a Service with the config (zero value for defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:    cfg,
-		store:  newStore(cfg.Seams),
-		cache:  newVerdictCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
+		cfg:      cfg,
+		store:    newStore(cfg.Seams),
+		cache:    newVerdictCache(cfg.CacheSize),
+		flight:   newFlightGroup(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		searches: make(map[string]*searchJob),
 	}
 }
 
@@ -527,6 +555,7 @@ type Stats struct {
 	Eval          EvalStats       `json:"eval"`
 	Cache         CacheStats      `json:"cache"`
 	Resilience    ResilienceStats `json:"resilience"`
+	Search        SearchStats     `json:"search"`
 	Pools         []PoolStats     `json:"pools"`
 }
 
@@ -549,6 +578,7 @@ func (s *Service) Stats() Stats {
 			Cancels:  s.cancels.Load(),
 			Dedups:   s.dedups.Load(),
 		},
+		Search: s.searchStats(),
 	}
 	if st.Eval.Evals > 0 {
 		st.Eval.AvgNanos = st.Eval.TotalNanos / st.Eval.Evals

@@ -1,0 +1,24 @@
+#!/bin/sh
+# search_bench.sh — run the strategy-search benchmark fixture and record
+# BENCH_SEARCH.json. The fixture (internal/search bench_test.go) is a pair
+# of coupled computation trees whose betting-strategy lattice holds 2^32
+# candidates — far beyond enumeration range; the engine must prove the
+# optimum by bounding. TestSearchBenchReport asserts the acceptance floor
+# (≥ 10^6 strategies, pruned fraction > 0.9) and, with
+# KPA_SEARCH_BENCH_OUT set, writes the integer-exact metrics: strategy
+# count, nodes expanded/pruned, leaf evaluations, nodes/sec, pruned
+# permille.
+#
+# Usage: scripts/search_bench.sh [out.json]   (default BENCH_SEARCH.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_SEARCH.json}"
+
+KPA_SEARCH_BENCH_OUT="$(pwd)/$OUT" \
+	go test -run '^TestSearchBenchReport$' -count=1 -v ./internal/search
+
+echo
+echo "=== $OUT ==="
+cat "$OUT"

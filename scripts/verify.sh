@@ -15,8 +15,13 @@ go run ./cmd/kpavet ./...
 go build ./...
 # The chaos suite first, as its own named gate: fault injection against
 # the serving stack must hold its containment invariants before the full
-# suite runs (docs/RESILIENCE.md).
+# suite runs (docs/RESILIENCE.md), and the search engine must survive
+# kill-and-resume with an unchanged answer (docs/SEARCH.md).
 make chaos
+# The strategy-search differential gate: branch and bound must agree with
+# brute-force enumeration — value and witness — on ≥50 generated systems,
+# with ≥4 workers under the race detector (docs/SEARCH.md).
+go test -race -run TestDifferentialAgainstBruteForce -count=1 ./internal/search
 go test -race ./...
 # Smoke the benchmark trajectory: one iteration each, so a broken or
 # bit-rotted benchmark fails verification without paying for a full run.
