@@ -11,19 +11,20 @@ test:
 # go vet plus kpavet, the repo-invariant contract checks (exact rationals
 # behind internal/rat, no floats in probability code, immutable big.Rat
 # receivers, pool get/put pairing, dense-set ownership, guarded-field
-# locking, deterministic map-derived output). See docs/LINTING.md.
+# locking, deterministic map-derived output, context threading, goroutine
+# termination, service error kinds). See docs/LINTING.md.
 lint:
 	go vet ./...
 	go run ./cmd/kpavet ./...
 
 # Guard against an analyzer silently dropping out of the default roster:
-# -list must name all seven contracts.
+# -list must name all ten contracts.
 lint-fix-check:
 	@out="$$(go run ./cmd/kpavet -list)"; \
-	for a in bigimport denseown floatprob lockguard maprange poolpair ratmut; do \
+	for a in bigimport ctxflow denseown errkind floatprob goleak lockguard maprange poolpair ratmut; do \
 		echo "$$out" | grep -q "^$$a:" || { echo "kpavet -list is missing $$a"; exit 1; }; \
 	done; \
-	echo "kpavet -list names all seven analyzers"
+	echo "kpavet -list names all ten analyzers"
 
 # vet + full test suite under the race detector (validates the concurrent
 # query service's pooling contract).
@@ -38,8 +39,9 @@ chaos:
 	go test -race -run Chaos ./internal/search/... ./internal/service/... ./cmd/kpad/...
 
 # The dense-engine benchmark trajectory: runs the Dense*/Naive* pairs,
-# records BENCH_PR3.json, prints the speedups and enforces the 3x floor on
-# the C_G^alpha fixpoint. See docs/PERFORMANCE.md.
+# records BENCH_PR7.json (override with BENCH_OUT), prints the speedups
+# and enforces the 3x floor on the C_G^alpha fixpoint. See
+# docs/PERFORMANCE.md.
 bench:
 	./scripts/bench.sh
 

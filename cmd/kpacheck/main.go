@@ -182,7 +182,6 @@ func run(args []string) error {
 	return nil
 }
 
-
 // runREPL evaluates formulas read line by line. Lines starting with ":"
 // are commands: ":props" lists propositions, ":assign <name>" switches the
 // probability assignment, ":quit" exits.

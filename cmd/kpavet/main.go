@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	kpavet [-root dir] [-list] [-json] [./...]
+//	kpavet [-root dir] [-run analyzer,...] [-list] [-json] [./...]
 //
 // kpavet always analyzes the whole module containing -root (default: the
 // enclosing module of the working directory); the ./... argument is
-// accepted for familiarity. It prints one line per violation,
+// accepted for familiarity. -run restricts the run to a comma-separated
+// subset of the roster (handy while iterating on one analyzer); -list
+// lists the selected analyzers, so `kpavet -run ctxflow -list` shows
+// exactly what would run. It prints one line per violation,
 //
 //	file:line: [analyzer] message
 //
@@ -28,12 +31,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"kpa/internal/analysis"
 	"kpa/internal/analysis/bigimport"
+	"kpa/internal/analysis/ctxflow"
 	"kpa/internal/analysis/denseown"
 	"kpa/internal/analysis/driver"
+	"kpa/internal/analysis/errkind"
 	"kpa/internal/analysis/floatprob"
+	"kpa/internal/analysis/goleak"
 	"kpa/internal/analysis/lockguard"
 	"kpa/internal/analysis/maprange"
 	"kpa/internal/analysis/poolpair"
@@ -43,13 +50,57 @@ import (
 func defaultAnalyzers() []analysis.Analyzer {
 	return []analysis.Analyzer{
 		bigimport.New(),
+		ctxflow.New(),
 		denseown.New(),
+		errkind.New(),
 		floatprob.New(),
+		goleak.New(),
 		lockguard.New(),
 		maprange.New(),
 		poolpair.New(),
 		ratmut.New(),
 	}
+}
+
+// selectAnalyzers filters the roster to the comma-separated names in
+// spec, preserving roster order. An empty spec keeps the whole roster;
+// an unknown name is an error listing the valid roster.
+func selectAnalyzers(roster []analysis.Analyzer, spec string) ([]analysis.Analyzer, error) {
+	if spec == "" {
+		return roster, nil
+	}
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		known := false
+		for _, a := range roster {
+			if a.Name() == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			var names []string
+			for _, a := range roster {
+				names = append(names, a.Name())
+			}
+			return nil, fmt.Errorf("unknown analyzer %q in -run (roster: %s)", name, strings.Join(names, ", "))
+		}
+		wanted[name] = true
+	}
+	if len(wanted) == 0 {
+		return roster, nil
+	}
+	var selected []analysis.Analyzer
+	for _, a := range roster {
+		if wanted[a.Name()] {
+			selected = append(selected, a)
+		}
+	}
+	return selected, nil
 }
 
 func main() {
@@ -62,10 +113,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	root := fs.String("root", "", "module root to analyze (default: the module containing the working directory)")
 	list := fs.Bool("list", false, "list the analyzers and the contracts they enforce, then exit")
 	asJSON := fs.Bool("json", false, "emit one JSON object per diagnostic instead of file:line lines")
+	runSpec := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	analyzers := defaultAnalyzers()
+	analyzers, err := selectAnalyzers(defaultAnalyzers(), *runSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "kpavet: %v\n", err)
+		return 2
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%s: %s\n", a.Name(), a.Doc())

@@ -19,13 +19,26 @@
 // the marks is never mistaken for a pattern. Every want must be matched
 // by a diagnostic and every diagnostic must be matched by a want; files
 // with no want-comments therefore double as clean-pass fixtures.
+//
+// Summary facts (analysis.Fact) are assertable the same way. A comment
+//
+//	func Deliver(ch chan int) { ch <- 1 } // want-fact:"ctxflow:BlockingFunc"
+//
+// demands that the analyzer exported a fact on that line whose rendering
+// "analyzer:FactTypeName" matches the pattern. Fact assertions are
+// opt-in per file: in a file containing at least one want-fact comment,
+// every exported fact must be matched by a want-fact and vice versa;
+// files without any want-fact comment have their facts ignored, so
+// diagnostic-only fixtures keep working unchanged.
 package analysistest
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -35,6 +48,7 @@ import (
 
 var (
 	wantMarkRE = regexp.MustCompile(`//[ \t]*want[ \t]+`)
+	factMarkRE = regexp.MustCompile(`//[ \t]*want-fact:[ \t]*`)
 	patternRE  = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 )
 
@@ -57,14 +71,20 @@ type expectation struct {
 }
 
 // Run loads the fixture module at dir, runs the analyzers and compares
-// diagnostics against the fixture's want-comments.
+// diagnostics against the fixture's want-comments and exported facts
+// against its want-fact comments.
 func Run(t TB, dir string, analyzers ...analysis.Analyzer) {
 	t.Helper()
-	diags, err := driver.Run(driver.Config{Root: dir, Analyzers: analyzers})
+	var facts []driver.ExportedFact
+	diags, err := driver.Run(driver.Config{
+		Root:         dir,
+		Analyzers:    analyzers,
+		FactObserver: func(ef driver.ExportedFact) { facts = append(facts, ef) },
+	})
 	if err != nil {
 		t.Fatalf("driver.Run(%s): %v", dir, err)
 	}
-	wants, err := collectWants(dir)
+	wants, factWants, factFiles, err := collectWants(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,6 +100,34 @@ func Run(t TB, dir string, analyzers ...analysis.Analyzer) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
 		}
 	}
+	for _, ef := range facts {
+		if !factFiles[ef.File] {
+			continue // fact assertions are opt-in per file
+		}
+		text := FactText(ef.Analyzer, ef.Fact)
+		matched := false
+		for _, w := range factWants {
+			if !w.matched && w.file == ef.File && w.line == ef.Line && w.pattern.MatchString(text) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected fact %s:%d: %s", ef.File, ef.Line, text)
+		}
+	}
+	for _, w := range factWants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected fact matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// FactText renders one exported fact the way want-fact patterns see it:
+// "analyzer:FactTypeName".
+func FactText(analyzer string, fact analysis.Fact) string {
+	return analyzer + ":" + reflect.TypeOf(fact).Elem().Name()
 }
 
 func match(wants []*expectation, d analysis.Diagnostic) *expectation {
@@ -92,12 +140,13 @@ func match(wants []*expectation, d analysis.Diagnostic) *expectation {
 	return nil
 }
 
-// collectWants scans every non-test .go file under the fixture for
-// want-comments, keyed by module-root-relative path to match driver
-// diagnostics.
-func collectWants(dir string) ([]*expectation, error) {
-	var wants []*expectation
-	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+// collectWants scans every non-test .go file under the fixture for want
+// and want-fact comments, keyed by module-root-relative path to match
+// driver diagnostics. factFiles records which files carry at least one
+// want-fact mark — only those files have their facts checked.
+func collectWants(dir string) (wants, factWants []*expectation, factFiles map[string]bool, err error) {
+	factFiles = make(map[string]bool)
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -112,17 +161,30 @@ func collectWants(dir string) ([]*expectation, error) {
 		if err != nil {
 			return err
 		}
+		relSlash := filepath.ToSlash(rel)
 		for i, lineText := range strings.Split(string(data), "\n") {
-			// A line may carry several want marks; parse each mark's
-			// patterns from its own segment (up to the next mark), so
-			// quoted prose between marks is never read as a pattern.
-			marks := wantMarkRE.FindAllStringIndex(lineText, -1)
-			for mi, mark := range marks {
+			// A line may carry several marks of either kind; parse each
+			// mark's patterns from its own segment (up to the next mark of
+			// either kind), so quoted prose between marks is never read as
+			// a pattern.
+			type mark struct {
+				at, end int // pattern segment bounds
+				fact    bool
+			}
+			var marks []mark
+			for _, m := range wantMarkRE.FindAllStringIndex(lineText, -1) {
+				marks = append(marks, mark{at: m[0], end: m[1]})
+			}
+			for _, m := range factMarkRE.FindAllStringIndex(lineText, -1) {
+				marks = append(marks, mark{at: m[0], end: m[1], fact: true})
+			}
+			sort.Slice(marks, func(a, b int) bool { return marks[a].at < marks[b].at })
+			for mi, m := range marks {
 				end := len(lineText)
 				if mi+1 < len(marks) {
-					end = marks[mi+1][0]
+					end = marks[mi+1].at
 				}
-				segment := lineText[mark[1]:end]
+				segment := lineText[m.end:end]
 				for _, q := range patternRE.FindAllStringSubmatch(segment, -1) {
 					raw := q[1]
 					if raw == "" {
@@ -132,11 +194,17 @@ func collectWants(dir string) ([]*expectation, error) {
 					if err != nil {
 						return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, i+1, raw, err)
 					}
-					wants = append(wants, &expectation{file: filepath.ToSlash(rel), line: i + 1, pattern: pat})
+					e := &expectation{file: relSlash, line: i + 1, pattern: pat}
+					if m.fact {
+						factWants = append(factWants, e)
+						factFiles[relSlash] = true
+					} else {
+						wants = append(wants, e)
+					}
 				}
 			}
 		}
 		return nil
 	})
-	return wants, err
+	return wants, factWants, factFiles, err
 }

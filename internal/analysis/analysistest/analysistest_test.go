@@ -104,3 +104,111 @@ func TestUnmatchedWantNamesFile(t *testing.T) {
 		}
 	}
 }
+
+// markedFact is the summary fact the factStub analyzer exports.
+type markedFact struct{ Tag string }
+
+func (*markedFact) AFact() {}
+
+// factStub exports a markedFact on every package-level function whose
+// name starts with Marked, exercising the want-fact machinery.
+type factStub struct{}
+
+func (factStub) Name() string { return "factstub" }
+func (factStub) Doc() string  { return "test stub: exports facts on Marked* funcs" }
+
+func (factStub) Run(pass *analysis.Pass) error {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if strings.HasPrefix(name, "Marked") {
+			pass.ExportObjectFact(scope.Lookup(name), &markedFact{Tag: name})
+		}
+	}
+	return nil
+}
+
+// TestWantFactMatches: a want-fact comment on the line of an exported
+// fact pairs with it, so the harness reports nothing.
+func TestWantFactMatches(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module kpa\n\ngo 1.22\n",
+		"fix/fix.go": "package fix\n\n" +
+			"func MarkedOne() {} // want-fact:`factstub:markedFact`\n",
+	})
+	rec := &recorder{}
+	analysistest.Run(rec, root, factStub{})
+	if len(rec.fatals) != 0 {
+		t.Fatalf("harness failed fatally: %v", rec.fatals)
+	}
+	if len(rec.errors) != 0 {
+		t.Errorf("harness reported failures for a fully-matched fact fixture:\n%s", strings.Join(rec.errors, "\n"))
+	}
+}
+
+// TestUnmatchedWantFact pins the failure message for a want-fact with no
+// matching exported fact.
+func TestUnmatchedWantFact(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module kpa\n\ngo 1.22\n",
+		"fix/fix.go": "package fix\n\n" +
+			"func Plain() {} // want-fact:`factstub:markedFact`\n",
+	})
+	rec := &recorder{}
+	analysistest.Run(rec, root, factStub{})
+	if len(rec.fatals) != 0 {
+		t.Fatalf("harness failed fatally: %v", rec.fatals)
+	}
+	if len(rec.errors) != 1 {
+		t.Fatalf("harness errors = %v, want exactly one unmatched-fact failure", rec.errors)
+	}
+	msg := rec.errors[0]
+	for _, needle := range []string{"fix/fix.go:3", "expected fact matching", "factstub:markedFact", "got none"} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("unmatched-fact failure %q does not mention %q", msg, needle)
+		}
+	}
+}
+
+// TestUnexpectedFact pins the failure message for a fact exported in a
+// file that opted into fact assertions but has no want-fact for it.
+func TestUnexpectedFact(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module kpa\n\ngo 1.22\n",
+		"fix/fix.go": "package fix\n\n" +
+			"func MarkedOne() {} // want-fact:`factstub:markedFact`\n\n" +
+			"func MarkedTwo() {}\n",
+	})
+	rec := &recorder{}
+	analysistest.Run(rec, root, factStub{})
+	if len(rec.fatals) != 0 {
+		t.Fatalf("harness failed fatally: %v", rec.fatals)
+	}
+	if len(rec.errors) != 1 {
+		t.Fatalf("harness errors = %v, want exactly one unexpected-fact failure", rec.errors)
+	}
+	msg := rec.errors[0]
+	for _, needle := range []string{"unexpected fact", "fix/fix.go:5", "factstub:markedFact"} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("unexpected-fact failure %q does not mention %q", msg, needle)
+		}
+	}
+}
+
+// TestFactsIgnoredWithoutOptIn: files with no want-fact comments keep
+// their facts unchecked, so diagnostic-only fixtures stay quiet even
+// when analyzers export summaries.
+func TestFactsIgnoredWithoutOptIn(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module kpa\n\ngo 1.22\n",
+		"fix/fix.go": "package fix\n\n" +
+			"func MarkedOne() {}\n",
+	})
+	rec := &recorder{}
+	analysistest.Run(rec, root, factStub{})
+	if len(rec.fatals) != 0 {
+		t.Fatalf("harness failed fatally: %v", rec.fatals)
+	}
+	if len(rec.errors) != 0 {
+		t.Errorf("harness checked facts in a file without want-fact marks:\n%s", strings.Join(rec.errors, "\n"))
+	}
+}

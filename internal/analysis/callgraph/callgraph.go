@@ -1,0 +1,216 @@
+// Package callgraph builds the static call graph of one package for the
+// kpavet analyzers: every call site in every declared function body,
+// attributed to its enclosing declaration and resolved — where the
+// resolution is static — to a *types.Func callee.
+//
+// Resolution covers package-level functions, methods reached through a
+// concrete receiver type (go/types.Selections carries the concrete
+// method even when the call spells an embedded promotion), and imported
+// functions; calls through function-typed variables and interface
+// methods have no static callee and contribute no edge. Conversions and
+// builtins (close, panic, ...) are not calls for the graph's purposes.
+//
+// Function literals are tracked, not modelled as nodes: a call inside a
+// literal is attributed to the enclosing declared function with Lit set,
+// and the builder records how the site executes relative to its caller —
+// Go marks calls that run on a different goroutine (a go statement, or
+// any site inside a literal a go statement launches), Defer marks calls
+// that run at function exit. Summary analyses (ctxflow's blocking
+// closure, goleak's termination signals, errkind's naked-error origins)
+// filter on those flags: a go'd call does not block its caller, a
+// deferred literal's sends still run on the caller's goroutine.
+//
+// Call sites are discovered by walking the reachable blocks of each
+// body's control-flow graph through the driver's shared CFG cache
+// (analysis.Pass.CFG), so code after return/panic never contributes
+// edges, and literal bodies — opaque to the enclosing graph — are walked
+// through their own cached graphs.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kpa/internal/analysis"
+)
+
+// Edge is one statically resolved call site.
+type Edge struct {
+	// Caller is the declared function whose body (or literal therein)
+	// contains the site.
+	Caller *types.Func
+	// Callee is the resolved target; it may be declared in another
+	// package (facts flow through the driver for those).
+	Callee *types.Func
+	// Site is the call expression, for diagnostics.
+	Site *ast.CallExpr
+	// Go reports that the site runs on a different goroutine than the
+	// caller: the call of a go statement, or any call inside a literal
+	// launched by one.
+	Go bool
+	// Defer reports that the site runs at function exit: the call of a
+	// defer statement, or any call inside a deferred literal.
+	Defer bool
+	// Lit reports that the site is inside a function literal rather than
+	// the declaration's own statements.
+	Lit bool
+}
+
+// Node is one declared function and its outgoing call sites, in source
+// order.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Out  []*Edge
+}
+
+// Graph is the call graph of one package. Funcs indexes the nodes;
+// Order lists them in file/declaration order so analyses that iterate
+// produce deterministic output.
+type Graph struct {
+	Funcs map[*types.Func]*Node
+	Order []*Node
+}
+
+// Build constructs the package's call graph through the pass's shared
+// CFG cache. Graphs are cheap relative to type-checking; analyzers that
+// need one build their own (facts keep cross-package state, not graphs).
+func Build(pass *analysis.Pass) *Graph {
+	g := &Graph{Funcs: make(map[*types.Func]*Node)}
+	b := &builder{pass: pass, g: g}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Fn: fn, Decl: fd}
+			g.Funcs[fn] = n
+			g.Order = append(g.Order, n)
+			b.node = n
+			b.body(fd.Body, site{})
+		}
+	}
+	return g
+}
+
+// site carries the execution context of the code being walked.
+type site struct {
+	inGo, inDefer, inLit bool
+}
+
+type builder struct {
+	pass *analysis.Pass
+	g    *Graph
+	node *Node
+}
+
+// body walks the reachable blocks of one function or literal body.
+func (b *builder) body(block *ast.BlockStmt, st site) {
+	g := b.pass.CFG(block)
+	for _, blk := range g.Reachable() {
+		for _, n := range blk.Nodes {
+			b.walk(n, st)
+		}
+	}
+}
+
+// walk records the calls under one CFG node, intercepting go, defer and
+// function literals so execution context stays accurate.
+func (b *builder) walk(n ast.Node, st site) {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		b.launch(n.Call, st, true, false)
+		return
+	case *ast.DeferStmt:
+		b.launch(n.Call, st, false, true)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			b.launch(m.Call, st, true, false)
+			return false
+		case *ast.DeferStmt:
+			b.launch(m.Call, st, false, true)
+			return false
+		case *ast.FuncLit:
+			lit := st
+			lit.inLit = true
+			b.body(m.Body, lit)
+			return false
+		case *ast.CallExpr:
+			b.edge(m, st)
+			return true
+		}
+		return true
+	})
+}
+
+// launch handles a go or defer statement: the launched call inherits the
+// statement's execution mode, while its function operand and arguments
+// are evaluated synchronously at the statement.
+func (b *builder) launch(call *ast.CallExpr, st site, isGo, isDefer bool) {
+	launched := st
+	launched.inGo = launched.inGo || isGo
+	launched.inDefer = launched.inDefer || isDefer
+	b.edge(call, launched)
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		body := launched
+		body.inLit = true
+		b.body(lit.Body, body)
+	} else {
+		b.walk(call.Fun, st)
+	}
+	for _, a := range call.Args {
+		b.walk(a, st)
+	}
+}
+
+func (b *builder) edge(call *ast.CallExpr, st site) {
+	fn, ok := Callee(b.pass.Info, call)
+	if !ok {
+		return
+	}
+	b.node.Out = append(b.node.Out, &Edge{
+		Caller: b.node.Fn,
+		Callee: fn,
+		Site:   call,
+		Go:     st.inGo,
+		Defer:  st.inDefer,
+		Lit:    st.inLit,
+	})
+}
+
+// Callee resolves a call expression to its static *types.Func target:
+// a package-level function, an imported function, or a method reached
+// through a concrete receiver. Interface method calls and calls through
+// function-typed values report false.
+func Callee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, false
+			}
+			// A method on an interface receiver has no static target.
+			if recv := sel.Recv(); recv != nil && types.IsInterface(recv) {
+				return nil, false
+			}
+			return fn, true
+		}
+		// Package-qualified call (pkg.F): the selector's Sel resolves
+		// directly.
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}

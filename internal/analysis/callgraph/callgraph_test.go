@@ -1,0 +1,194 @@
+package callgraph_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/callgraph"
+	"kpa/internal/analysis/driver"
+)
+
+// probe is a stub analyzer that records, per package, a flattened
+// rendering of every edge in the package's call graph.
+type probe struct {
+	mu    sync.Mutex
+	edges map[string][]string // pkg path → "Caller->Callee[flags]"
+}
+
+func (p *probe) Name() string { return "cgprobe" }
+func (p *probe) Doc() string  { return "test stub: records call-graph edges" }
+
+func (p *probe) Run(pass *analysis.Pass) error {
+	g := callgraph.Build(pass)
+	var out []string
+	for _, n := range g.Order {
+		for _, e := range n.Out {
+			flags := ""
+			if e.Go {
+				flags += "g"
+			}
+			if e.Defer {
+				flags += "d"
+			}
+			if e.Lit {
+				flags += "l"
+			}
+			out = append(out, fmt.Sprintf("%s->%s[%s]", e.Caller.Name(), e.Callee.FullName(), flags))
+		}
+	}
+	p.mu.Lock()
+	p.edges[pass.PkgPath] = out
+	p.mu.Unlock()
+	return nil
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func buildGraph(t *testing.T, src string) []string {
+	t.Helper()
+	root := writeModule(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": src,
+		"b/b.go": "package b\n\n// Exported is a cross-package callee.\nfunc Exported() int { return 1 }\n",
+	})
+	p := &probe{edges: make(map[string][]string)}
+	diags, err := driver.Run(driver.Config{Root: root, Analyzers: []analysis.Analyzer{p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("stub analyzer reported diagnostics: %+v", diags)
+	}
+	return p.edges["demo/a"]
+}
+
+// TestStaticResolution covers the resolution matrix: plain calls, method
+// calls on concrete receivers, cross-package calls, and the two
+// unresolvable shapes (interface methods, function values).
+func TestStaticResolution(t *testing.T) {
+	edges := buildGraph(t, `package a
+
+import "demo/b"
+
+type T struct{}
+
+func (T) M() int { return 2 }
+
+type I interface{ M() int }
+
+func helper() int { return 3 }
+
+func Root(i I, f func() int) int {
+	var v T
+	return helper() + v.M() + b.Exported() + i.M() + f()
+}
+`)
+	want := []string{
+		"Root->demo/a.helper[]",
+		"Root->(demo/a.T).M[]",
+		"Root->demo/b.Exported[]",
+	}
+	if !equalStrings(edges, want) {
+		t.Errorf("edges = %v, want %v", edges, want)
+	}
+}
+
+// TestExecutionFlags pins the go/defer/literal attribution: a go'd call,
+// a deferred call, calls inside plain and launched literals, and the
+// synchronous evaluation of a go statement's arguments.
+func TestExecutionFlags(t *testing.T) {
+	edges := buildGraph(t, `package a
+
+func f() int  { return 1 }
+func g() int  { return 2 }
+func h() int  { return 3 }
+func k(int)   {}
+
+func Root() {
+	go k(f()) // k runs on another goroutine; f() is evaluated here
+	defer k(g())
+	go func() {
+		_ = h() // inside a go-launched literal
+	}()
+	func() {
+		_ = f() // inside an immediately invoked literal
+	}()
+}
+`)
+	want := []string{
+		"Root->demo/a.k[g]",
+		"Root->demo/a.f[]",
+		"Root->demo/a.k[d]",
+		"Root->demo/a.g[]",
+		"Root->demo/a.h[gl]",
+		"Root->demo/a.f[l]",
+	}
+	sort.Strings(edges)
+	sort.Strings(want)
+	if !equalStrings(edges, want) {
+		t.Errorf("edges = %v, want %v", edges, want)
+	}
+}
+
+// TestUnreachableCallsExcluded: the builder walks the CFG's reachable
+// blocks, so a call after return contributes no edge.
+func TestUnreachableCallsExcluded(t *testing.T) {
+	edges := buildGraph(t, `package a
+
+func f() int { return 1 }
+
+func Root() int {
+	panic("never runs past here")
+	_ = f() // unreachable
+	return 0
+}
+`)
+	if len(edges) != 0 {
+		t.Errorf("edges = %v, want none (call is unreachable)", edges)
+	}
+}
+
+// TestConversionsAndBuiltins: type conversions and builtin calls are not
+// graph edges.
+func TestConversionsAndBuiltins(t *testing.T) {
+	edges := buildGraph(t, `package a
+
+func Root(ch chan int, n int) int {
+	close(ch)
+	return int(int64(n))
+}
+`)
+	if len(edges) != 0 {
+		t.Errorf("edges = %v, want none", edges)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

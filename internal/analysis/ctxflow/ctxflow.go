@@ -1,0 +1,357 @@
+// Package ctxflow checks that context-aware functions stay cancellable:
+// once a function takes a context.Context, every way it can block must
+// be interruptible through that context.
+//
+// Three contracts are enforced inside any function (or method) that has
+// a context.Context parameter:
+//
+//  1. A bare channel operation — a send statement, or a unary receive
+//     outside a select — blocks unconditionally; it must be wrapped in a
+//     select that also waits on ctx.Done(). Receives from a context's
+//     own Done() channel are exempt (they ARE the cancellation wait).
+//  2. A select with no default case must carry a <-ctx.Done() (or other
+//     context Done) communication, or cancellation can never preempt it.
+//  3. Calling a blocking callee that accepts a context must thread the
+//     caller's context: passing context.Background(), context.TODO() or
+//     nil severs the cancellation chain exactly where it matters.
+//
+// "Blocking" is a transitive summary: a function blocks if it performs a
+// bare channel operation or a default-less select itself, or calls — on
+// the caller's own goroutine — a function that blocks. The summary is
+// computed over the package call graph and exported as a BlockingFunc
+// fact, so the property flows across package boundaries through the
+// driver's import-ordered scheduling.
+//
+// Goroutine-launched function literals are exempt from all three checks
+// and from the blocking summary: code behind `go` blocks its own
+// goroutine, not the caller (its termination is the goleak analyzer's
+// concern). Deferred literals run on the caller's goroutine at exit, so
+// their channel operations count toward the blocking summary — but are
+// not diagnosed, because the release-at-exit idiom (`defer func() {
+// <-sem }()`) is how semaphore slots are returned and a ctx select there
+// would leak the slot. Other literals (assigned, returned, passed as
+// callbacks) are skipped: their execution context is unknown.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/callgraph"
+)
+
+// BlockingFunc marks a function that can block its caller's goroutine on
+// a channel operation, directly or through its synchronous callees.
+type BlockingFunc struct{}
+
+// AFact marks BlockingFunc as an analysis fact.
+func (*BlockingFunc) AFact() {}
+
+// Analyzer reports context-aware functions that block without selecting
+// on their context.
+type Analyzer struct{}
+
+// New returns the ctxflow analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+// Name implements analysis.Analyzer.
+func (Analyzer) Name() string { return "ctxflow" }
+
+// Doc implements analysis.Analyzer.
+func (Analyzer) Doc() string {
+	return "context-aware functions must stay cancellable: bare channel operations and " +
+		"default-less selects must wait on ctx.Done(), and blocking context-accepting " +
+		"callees must receive the caller's context, not Background/TODO/nil"
+}
+
+// Run implements analysis.Analyzer.
+func (Analyzer) Run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, graph: callgraph.Build(pass)}
+	c.summarize()
+	for _, n := range c.graph.Order {
+		if ctxParam(n.Fn) != nil {
+			c.checkFunc(n)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	graph    *callgraph.Graph
+	blocking map[*types.Func]bool
+}
+
+// summarize computes the blocking summary for every declared function —
+// a local fixpoint over the package call graph, seeded with each body's
+// direct channel operations and with BlockingFunc facts imported for
+// callees in other packages — and exports the results.
+func (c *checker) summarize() {
+	c.blocking = make(map[*types.Func]bool)
+	for _, n := range c.graph.Order {
+		if c.directBlocking(n.Decl.Body) {
+			c.blocking[n.Fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range c.graph.Order {
+			if c.blocking[n.Fn] {
+				continue
+			}
+			for _, e := range n.Out {
+				if synchronous(e) && c.calleeBlocks(e.Callee) {
+					c.blocking[n.Fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, n := range c.graph.Order {
+		if c.blocking[n.Fn] {
+			c.pass.ExportObjectFact(n.Fn, &BlockingFunc{})
+		}
+	}
+}
+
+// synchronous reports whether the edge's call runs on the caller's own
+// goroutine as part of the call: plain calls and deferred code block the
+// caller; go'd calls and non-deferred literals do not (a stored literal
+// may never run).
+func synchronous(e *callgraph.Edge) bool {
+	return !e.Go && (!e.Lit || e.Defer)
+}
+
+// calleeBlocks resolves a callee's blocking summary: the local fixpoint
+// map for same-package functions, the imported fact otherwise.
+func (c *checker) calleeBlocks(fn *types.Func) bool {
+	if _, local := c.graph.Funcs[fn]; local {
+		return c.blocking[fn]
+	}
+	return c.pass.ImportObjectFact(fn, &BlockingFunc{})
+}
+
+// directBlocking reports whether the body itself performs a channel
+// operation that can block the caller's goroutine: a send, a receive
+// outside a select, or a default-less select — at top level or inside a
+// deferred literal. Receives from a Done() channel still count: waiting
+// for cancellation blocks too.
+func (c *checker) directBlocking(body *ast.BlockStmt) bool {
+	found := false
+	scanOps(body, func(op ast.Node) { found = true })
+	return found
+}
+
+// scanOps walks body (syntactically — select statements must be seen
+// whole, and the CFG decomposes them into per-clause blocks) and the
+// bodies of deferred literals, invoking block for every potentially
+// blocking channel operation: *ast.SendStmt, bare receive
+// *ast.UnaryExpr, or *ast.SelectStmt without a default clause. Literals
+// launched by go statements and literals with unknown execution context
+// are skipped.
+func scanOps(body *ast.BlockStmt, block func(op ast.Node)) {
+	for _, s := range body.List {
+		scanNode(s, block)
+	}
+}
+
+func scanNode(n ast.Node, block func(op ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+				scanOps(lit.Body, block)
+				return false
+			}
+			return true
+		case *ast.SendStmt:
+			block(m)
+		case *ast.UnaryExpr:
+			if m.Op.String() == "<-" {
+				block(m)
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(m) {
+				block(m)
+			}
+			// Communication clauses are part of the select, not bare
+			// operations; descend only into the case bodies.
+			for _, cl := range m.Body.List {
+				for _, s := range cl.(*ast.CommClause).Body {
+					scanNode(s, block)
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// checkFunc reports the contract violations inside one context-aware
+// function: bare channel operations (1), default-less selects without a
+// Done case (2), and Background/TODO/nil contexts handed to blocking
+// context-accepting callees (3). Deferred literals are part of the
+// blocking summary but exempt from diagnostics — see the package doc.
+func (c *checker) checkFunc(n *callgraph.Node) {
+	for _, s := range n.Decl.Body.List {
+		c.checkNode(s)
+	}
+	for _, e := range n.Out {
+		if !synchronous(e) || e.Defer {
+			continue
+		}
+		if !c.calleeBlocks(e.Callee) {
+			continue
+		}
+		i := ctxParamIndex(e.Callee)
+		if i < 0 || i >= len(e.Site.Args) {
+			continue
+		}
+		if bad := severedContext(c.pass.Info, e.Site.Args[i]); bad != "" {
+			c.pass.Report(e.Site.Pos(),
+				"context-aware function passes "+bad+" to blocking callee "+
+					e.Callee.Name()+"; thread the caller's context instead")
+		}
+	}
+}
+
+func (c *checker) checkNode(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			c.pass.Report(m.Pos(), "bare channel send in context-aware function blocks without ctx.Done(); wrap in a select")
+		case *ast.UnaryExpr:
+			if m.Op.String() == "<-" && !isDoneRecv(c.pass.Info, m) {
+				c.pass.Report(m.Pos(), "bare channel receive in context-aware function blocks without ctx.Done(); wrap in a select")
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(m) && !hasDoneCase(c.pass.Info, m) {
+				c.pass.Report(m.Pos(), "select in context-aware function has no default and no ctx.Done() case; cancellation cannot preempt it")
+			}
+			for _, cl := range m.Body.List {
+				for _, s := range cl.(*ast.CommClause).Body {
+					c.checkNode(s)
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// ctxParam returns the first context.Context parameter of fn, or nil.
+func ctxParam(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return sig.Params().At(i)
+		}
+	}
+	return nil
+}
+
+// ctxParamIndex returns the index of fn's first context.Context
+// parameter, or -1.
+func ctxParamIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// severedContext classifies a context argument that breaks the
+// cancellation chain, returning a description ("context.Background()",
+// "context.TODO()", "nil") or "" if the argument is acceptable.
+func severedContext(info *types.Info, arg ast.Expr) string {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if a.Name == "nil" && info.Uses[a] == types.Universe.Lookup("nil") {
+			return "a nil context"
+		}
+	case *ast.CallExpr:
+		fn, ok := callgraph.Callee(info, a)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return ""
+		}
+		switch fn.Name() {
+		case "Background":
+			return "context.Background()"
+		case "TODO":
+			return "context.TODO()"
+		}
+	}
+	return ""
+}
+
+// isDoneRecv reports whether recv is a receive from a context's Done()
+// channel — the one bare receive that is itself the cancellation wait.
+func isDoneRecv(info *types.Info, recv *ast.UnaryExpr) bool {
+	call, ok := ast.Unparen(recv.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(info.TypeOf(sel.X))
+}
+
+// hasDefault reports whether the select has a default clause.
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cl.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDoneCase reports whether any communication clause of the select
+// receives from a context's Done() channel.
+func hasDoneCase(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm := cl.(*ast.CommClause).Comm
+		if comm == nil {
+			continue
+		}
+		var recv *ast.UnaryExpr
+		switch s := comm.(type) {
+		case *ast.ExprStmt:
+			recv, _ = ast.Unparen(s.X).(*ast.UnaryExpr)
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv, _ = ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+			}
+		}
+		if recv != nil && recv.Op.String() == "<-" && isDoneRecv(info, recv) {
+			return true
+		}
+	}
+	return false
+}

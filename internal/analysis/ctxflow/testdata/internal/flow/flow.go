@@ -1,0 +1,80 @@
+// Package flow exercises the three ctxflow contracts inside
+// context-aware functions, including cross-package blocking summaries
+// imported from kpa/internal/wait.
+package flow
+
+import (
+	"context"
+
+	"kpa/internal/wait"
+)
+
+// Naked performs bare channel operations despite taking a context.
+func Naked(ctx context.Context, ch chan int) int {
+	ch <- 1     // want `bare channel send in context-aware function`
+	return <-ch // want `bare channel receive in context-aware function`
+}
+
+// Stuck waits on a select that cancellation can never preempt.
+func Stuck(ctx context.Context, a, b chan int) int {
+	select { // want `select in context-aware function has no default and no ctx\.Done`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Drop severs the cancellation chain by handing a fresh background
+// context to a blocking callee whose summary arrived as a fact.
+func Drop(ctx context.Context, ch chan int) (int, error) {
+	return wait.Fetch(context.Background(), ch) // want `passes context\.Background\(\) to blocking callee Fetch`
+}
+
+// NilDrop severs the chain with a nil context instead.
+func NilDrop(ctx context.Context, ch chan int) (int, error) {
+	return wait.Fetch(nil, ch) // want `passes a nil context to blocking callee Fetch`
+}
+
+// helper is blocking only transitively: its one channel operation lives
+// in wait.Fetch, reached through the imported fact.
+func helper(ctx context.Context, ch chan int) (int, error) {
+	return wait.Fetch(ctx, ch)
+}
+
+// LocalDrop drops the context one local hop above the blocking call,
+// proving the summary fixpoint runs inside the package too.
+func LocalDrop(ctx context.Context, ch chan int) (int, error) {
+	return helper(context.TODO(), ch) // want `passes context\.TODO\(\) to blocking callee helper`
+}
+
+// Clean threads its context everywhere: no diagnostics.
+func Clean(ctx context.Context, ch chan int) (int, error) {
+	return wait.Fetch(ctx, ch)
+}
+
+// Unaware has no context parameter, so ctxflow has nothing to demand of
+// it even though it calls a blocking callee with Background.
+func Unaware(ch chan int) (int, error) {
+	return wait.Fetch(context.Background(), ch)
+}
+
+// WithSlot shows the two sanctioned blocking idioms: acquisition selects
+// on ctx.Done(), and the release receive hides in a deferred literal —
+// part of the blocking summary, exempt from diagnostics.
+func WithSlot(ctx context.Context, sem chan struct{}, work func()) error {
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-sem }()
+	work()
+	return nil
+}
+
+// Spawn launches a goroutine whose bare send is that goroutine's own
+// business (goleak's, specifically) — ctxflow must not flag it.
+func Spawn(ctx context.Context, ch chan int) {
+	go func() { ch <- 1 }()
+}

@@ -1,0 +1,35 @@
+// Package wait is the fixture's low-level blocking layer: its summary
+// facts are asserted directly with want-fact comments, including the
+// absence of a fact on the non-blocking helper.
+package wait
+
+import "context"
+
+// Deliver blocks unconditionally on a bare send; it takes no context, so
+// ctxflow exports the summary but reports nothing here.
+func Deliver(ch chan<- int, v int) { // want-fact:`ctxflow:BlockingFunc`
+	ch <- v
+}
+
+// Fetch blocks until a value or cancellation arrives. The select honors
+// ctx.Done(), so the function is clean — but it still blocks, and the
+// exported fact is what obliges callers to thread a live context.
+func Fetch(ctx context.Context, ch <-chan int) (int, error) { // want-fact:`ctxflow:BlockingFunc`
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Peek never blocks: the select has a default clause, so no BlockingFunc
+// fact may be exported for it (this file asserts all of its facts).
+func Peek(ch <-chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

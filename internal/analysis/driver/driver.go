@@ -56,6 +56,24 @@ type Config struct {
 	Root string
 	// Analyzers are run over every loaded package.
 	Analyzers []analysis.Analyzer
+	// FactObserver, when non-nil, receives every object fact that was
+	// exported during the run, after all passes complete, in a
+	// deterministic order (position, analyzer, fact type, object name).
+	// analysistest uses it to check want-fact expectations; production
+	// runs leave it nil.
+	FactObserver func(ExportedFact)
+}
+
+// ExportedFact is one object fact as seen by Config.FactObserver: the
+// fact itself plus the defining object's position, resolved the same way
+// diagnostics are (File is module-root-relative).
+type ExportedFact struct {
+	File     string
+	Line     int
+	Col      int
+	Analyzer string
+	Object   types.Object
+	Fact     analysis.Fact
 }
 
 // BareIgnoreMessage is the pinned diagnostic for an ignore directive that
@@ -100,10 +118,16 @@ func Run(conf Config) ([]analysis.Diagnostic, error) {
 
 	ig, diags := collectDirectives(fset, root, order)
 
-	more, err := schedule(fset, root, module, order, conf.Analyzers)
+	facts := newFactStore()
+	more, err := schedule(fset, root, module, order, conf.Analyzers, facts)
 	diags = append(diags, more...)
 	if err != nil {
 		return nil, err
+	}
+	if conf.FactObserver != nil {
+		for _, ef := range facts.sorted(fset, root) {
+			conf.FactObserver(ef)
+		}
 	}
 
 	diags = ig.filter(diags)
@@ -140,8 +164,7 @@ type task struct {
 // schedule runs every analyzer over every package, ordering each
 // analyzer's passes by import dependency while fanning independent
 // (package, analyzer) pairs out across a bounded pool of goroutines.
-func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers []analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	facts := newFactStore()
+func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers []analysis.Analyzer, facts *factStore) ([]analysis.Diagnostic, error) {
 	graphs := newCFGCache()
 
 	byPath := make(map[string]*pkg, len(order))
@@ -289,6 +312,47 @@ func (fs *factStore) lookup(analyzer string, obj types.Object, fact analysis.Fac
 	}
 	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
 	return true
+}
+
+// sorted renders the store's contents for Config.FactObserver in a
+// deterministic order: by resolved position, then analyzer, fact type
+// name and object name — the same tiebreak discipline diagnostics use.
+func (fs *factStore) sorted(fset *token.FileSet, root string) []ExportedFact {
+	fs.mu.Lock()
+	out := make([]ExportedFact, 0, len(fs.m))
+	for k, fact := range fs.m {
+		d := diag(fset, root, k.obj.Pos(), k.analyzer, "")
+		out = append(out, ExportedFact{
+			File:     d.File,
+			Line:     d.Line,
+			Col:      d.Col,
+			Analyzer: k.analyzer,
+			Object:   k.obj,
+			Fact:     fact,
+		})
+	}
+	fs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		at, bt := reflect.TypeOf(a.Fact).Elem().Name(), reflect.TypeOf(b.Fact).Elem().Name()
+		if at != bt {
+			return at < bt
+		}
+		return a.Object.Name() < b.Object.Name()
+	})
+	return out
 }
 
 // cfgCache builds each function body's control-flow graph once and shares

@@ -264,3 +264,116 @@ func TestLoadErrors(t *testing.T) {
 		t.Fatal("expected a missing-go.mod error, got none")
 	}
 }
+
+// depthFact is a transitive summary: its payload counts the longest
+// import chain below the function it is attached to, so its value is
+// only correct if every dependency's fact was complete before the
+// importer's pass ran.
+type depthFact struct{ Depth int }
+
+func (*depthFact) AFact() {}
+
+// summaryProbe exports a depthFact for the package-level function named
+// Step in every package: depth = 1 + max over imported packages' Step
+// facts. A scheduling bug (an importer racing ahead of its imports)
+// surfaces as a too-small depth — and under -race as a data race.
+type summaryProbe struct{}
+
+func (*summaryProbe) Name() string { return "summaryprobe" }
+func (*summaryProbe) Doc() string  { return "test stub: transitive depth summaries" }
+
+func (*summaryProbe) Run(pass *analysis.Pass) error {
+	obj := pass.Pkg.Scope().Lookup("Step")
+	if obj == nil {
+		return nil
+	}
+	depth := 1
+	for _, imp := range pass.Pkg.Imports() {
+		dep := imp.Scope().Lookup("Step")
+		if dep == nil {
+			continue
+		}
+		var f depthFact
+		if pass.ImportObjectFact(dep, &f) && f.Depth+1 > depth {
+			depth = f.Depth + 1
+		}
+	}
+	pass.ExportObjectFact(obj, &depthFact{Depth: depth})
+	return nil
+}
+
+// TestSummariesFlowInDependencyOrder builds a module shaped like the
+// real repository's analysis problem — a long dependency chain with wide
+// fan-out at every level (each level has several packages importing all
+// of the previous level) — and demands that transitive depth summaries
+// come out exact at every level. With the scheduler's goroutine pool
+// fanning independent passes out, any pass that ran before its imports
+// finished would read an incomplete fact and produce a wrong depth.
+// The facts are read back through Config.FactObserver, which also pins
+// the observer's deterministic ordering contract.
+func TestSummariesFlowInDependencyOrder(t *testing.T) {
+	const levels, width = 6, 4
+	files := map[string]string{"go.mod": "module demo\n\ngo 1.22\n"}
+	name := func(l, i int) string { return fmt.Sprintf("l%dp%d", l, i) }
+	for l := 0; l < levels; l++ {
+		for i := 0; i < width; i++ {
+			var b strings.Builder
+			fmt.Fprintf(&b, "package %s\n\n", name(l, i))
+			if l > 0 {
+				b.WriteString("import (\n")
+				for j := 0; j < width; j++ {
+					fmt.Fprintf(&b, "\t\"demo/%s\"\n", name(l-1, j))
+				}
+				b.WriteString(")\n\n")
+			}
+			b.WriteString("// Step carries the depth fact.\nfunc Step() int {\n\treturn 0")
+			for j := 0; j < width && l > 0; j++ {
+				fmt.Fprintf(&b, " + %s.Step()", name(l-1, j))
+			}
+			b.WriteString("\n}\n")
+			files[name(l, i)+"/"+name(l, i)+".go"] = b.String()
+		}
+	}
+	root := writeModule(t, files)
+
+	var observed []driver.ExportedFact
+	diags, err := driver.Run(driver.Config{
+		Root:         root,
+		Analyzers:    []analysis.Analyzer{&summaryProbe{}},
+		FactObserver: func(ef driver.ExportedFact) { observed = append(observed, ef) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("stub analyzer reported diagnostics: %+v", diags)
+	}
+	if len(observed) != levels*width {
+		t.Fatalf("observed %d facts, want %d (one per package)", len(observed), levels*width)
+	}
+	byFile := make(map[string]int, len(observed))
+	for _, ef := range observed {
+		f, ok := ef.Fact.(*depthFact)
+		if !ok {
+			t.Fatalf("fact on %s has type %T, want *depthFact", ef.File, ef.Fact)
+		}
+		byFile[ef.File] = f.Depth
+	}
+	for l := 0; l < levels; l++ {
+		for i := 0; i < width; i++ {
+			file := name(l, i) + "/" + name(l, i) + ".go"
+			if byFile[file] != l+1 {
+				t.Errorf("depth fact in %s = %d, want %d (summary raced its imports?)", file, byFile[file], l+1)
+			}
+		}
+	}
+	if !sort.SliceIsSorted(observed, func(i, j int) bool {
+		a, b := observed[i], observed[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	}) {
+		t.Errorf("FactObserver order not sorted by position")
+	}
+}

@@ -1,0 +1,347 @@
+// Package errkind checks that errors crossing the internal/service API
+// boundary carry a Kind. The serving stack's whole error contract —
+// HTTP status mapping, retry hints, panic containment — rides on
+// service.Error values; an exported service function that returns a
+// bare errors.New or fmt.Errorf error gives its callers nothing to
+// switch on, and KindOf silently files it under "internal".
+//
+// The analyzer computes a NakedErrReturn summary for every declared
+// function in every package: a function is naked if some return
+// statement produces, in an error-typed result position, a direct
+// errors.New(...) call, a fmt.Errorf(...) call that does not wrap with
+// %w (a non-constant format string is treated as naked — the analyzer
+// cannot see a %w in it), or a direct call to another naked function,
+// including whole-tuple passthroughs like `return s.store.get(name)`.
+// The summary is exported as a fact, so nakedness discovered in a
+// low-level package surfaces at the service boundary that republishes
+// it. Only module-internal service code draws diagnostics: exported
+// functions (and exported methods on exported types) of
+// <module>/internal/service.
+//
+// Separately, in packages under cmd/, every switch whose tag is the
+// service ErrorKind type must list every declared constant of that
+// type: the kpad writeError status mapping must grow with the taxonomy,
+// and a default clause is exactly the silent swallowing the check
+// exists to prevent.
+package errkind
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/callgraph"
+)
+
+// NakedErrReturn marks a function that can return a kindless error —
+// one built by errors.New or a non-wrapping fmt.Errorf — directly or by
+// passing through another naked function's result.
+type NakedErrReturn struct{}
+
+// AFact marks NakedErrReturn as an analysis fact.
+func (*NakedErrReturn) AFact() {}
+
+// Analyzer reports kindless errors escaping the service boundary and
+// non-exhaustive ErrorKind switches in cmd packages.
+type Analyzer struct{}
+
+// New returns the errkind analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+// Name implements analysis.Analyzer.
+func (Analyzer) Name() string { return "errkind" }
+
+// Doc implements analysis.Analyzer.
+func (Analyzer) Doc() string {
+	return "errors crossing the internal/service API boundary must be service.Error " +
+		"values with a valid Kind: no naked errors.New/fmt.Errorf returns from " +
+		"exported service functions, and cmd-side ErrorKind switches must stay " +
+		"exhaustive against the Kind constant set"
+}
+
+// Run implements analysis.Analyzer.
+func (Analyzer) Run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	c.collect()
+	c.summarize()
+	if pass.PkgPath == pass.Module+"/internal/service" {
+		c.checkBoundary()
+	}
+	if strings.HasPrefix(pass.PkgPath, pass.Module+"/cmd/") {
+		c.checkKindSwitches()
+	}
+	return nil
+}
+
+// origin describes where a return's nakedness comes from, for the
+// diagnostic and the fixpoint.
+type origin struct {
+	ret  *ast.ReturnStmt
+	desc string      // "errors.New", "fmt.Errorf without %w", or "via <callee>"
+	via  *types.Func // non-nil when the return is naked only if via is
+}
+
+type fnInfo struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	origins []origin
+	naked   bool
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	fns   map[*types.Func]*fnInfo
+	order []*fnInfo
+}
+
+// collect gathers, per declared function, every return statement that
+// can produce a kindless error in an error-typed result position.
+func (c *checker) collect() {
+	c.fns = make(map[*types.Func]*fnInfo)
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &fnInfo{fn: fn, decl: fd}
+			c.fns[fn] = info
+			c.order = append(c.order, info)
+			c.returns(fd, info)
+		}
+	}
+}
+
+// returns inspects fd's own return statements (function literals return
+// for themselves, not for fd) against its error-typed result positions.
+func (c *checker) returns(fd *ast.FuncDecl, info *fnInfo) {
+	sig := info.fn.Type().(*types.Signature)
+	results := sig.Results()
+	errPos := make([]bool, results.Len())
+	hasErr := false
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			errPos[i] = true
+			hasErr = true
+		}
+	}
+	if !hasErr {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(ret.Results) == results.Len():
+			for i, expr := range ret.Results {
+				if errPos[i] {
+					c.classify(ret, expr, info)
+				}
+			}
+		case len(ret.Results) == 1 && results.Len() > 1:
+			// Whole-tuple passthrough: return g(...) — nakedness is the
+			// callee's.
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				if fn, ok := callgraph.Callee(c.pass.Info, call); ok {
+					info.origins = append(info.origins, origin{ret: ret, desc: "via " + fn.Name(), via: fn})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// classify records expr's contribution to info's nakedness: a kindless
+// constructor makes the return naked outright, a direct call defers to
+// the callee's summary.
+func (c *checker) classify(ret *ast.ReturnStmt, expr ast.Expr, info *fnInfo) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := callgraph.Callee(c.pass.Info, call)
+	if !ok {
+		return
+	}
+	if fn.Pkg() != nil {
+		switch {
+		case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+			info.origins = append(info.origins, origin{ret: ret, desc: "errors.New"})
+			return
+		case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+			if !errorfWraps(call) {
+				info.origins = append(info.origins, origin{ret: ret, desc: "fmt.Errorf without %w"})
+			}
+			return
+		}
+	}
+	info.origins = append(info.origins, origin{ret: ret, desc: "via " + fn.Name(), via: fn})
+}
+
+// errorfWraps reports whether a fmt.Errorf call wraps with %w. A
+// non-constant format string is treated as non-wrapping: the analyzer
+// cannot prove a %w inside it.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	return err == nil && strings.Contains(format, "%w")
+}
+
+// summarize runs the nakedness fixpoint over the collected returns,
+// resolving via-callees through the local map or imported facts, and
+// exports the results.
+func (c *checker) summarize() {
+	for changed := true; changed; {
+		changed = false
+		for _, info := range c.order {
+			if info.naked {
+				continue
+			}
+			for _, o := range info.origins {
+				if o.via == nil || c.calleeNaked(o.via) {
+					info.naked = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, info := range c.order {
+		if info.naked {
+			c.pass.ExportObjectFact(info.fn, &NakedErrReturn{})
+		}
+	}
+}
+
+func (c *checker) calleeNaked(fn *types.Func) bool {
+	if info, local := c.fns[fn]; local {
+		return info.naked
+	}
+	return c.pass.ImportObjectFact(fn, &NakedErrReturn{})
+}
+
+// checkBoundary reports every naked return reachable through an
+// exported function of the service package — the API boundary where a
+// Kind is mandatory.
+func (c *checker) checkBoundary() {
+	for _, info := range c.order {
+		if !exportedBoundary(info.fn) {
+			continue
+		}
+		for _, o := range info.origins {
+			if o.via != nil && !c.calleeNaked(o.via) {
+				continue
+			}
+			c.pass.Report(o.ret.Pos(), fmt.Sprintf(
+				"exported service function %s returns a naked error (%s); "+
+					"errors crossing the service boundary must be service.Error with a valid Kind",
+				info.fn.Name(), o.desc))
+		}
+	}
+}
+
+// exportedBoundary reports whether fn is part of the package's API:
+// an exported function, or an exported method on an exported type.
+func exportedBoundary(fn *types.Func) bool {
+	if !fn.Exported() {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}
+
+// checkKindSwitches finds switches over the service ErrorKind type and
+// reports any declared Kind constant they fail to list.
+func (c *checker) checkKindSwitches() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := c.kindType(c.pass.Info.TypeOf(sw.Tag))
+			if named == nil {
+				return true
+			}
+			missing := c.missingKinds(named, sw)
+			if len(missing) > 0 {
+				c.pass.Report(sw.Pos(), fmt.Sprintf(
+					"switch on %s does not cover all kinds: missing %s "+
+						"(a default clause does not make kind handling exhaustive)",
+					named.Obj().Name(), strings.Join(missing, ", ")))
+			}
+			return true
+		})
+	}
+}
+
+// kindType returns t as the service ErrorKind named type, or nil.
+func (c *checker) kindType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "ErrorKind" || obj.Pkg() == nil || obj.Pkg().Path() != c.pass.Module+"/internal/service" {
+		return nil
+	}
+	return named
+}
+
+// missingKinds lists, sorted, the ErrorKind constants declared in the
+// kind type's package that sw's cases never mention.
+func (c *checker) missingKinds(kind *types.Named, sw *ast.SwitchStmt) []string {
+	covered := make(map[string]bool)
+	for _, cl := range sw.Body.List {
+		for _, e := range cl.(*ast.CaseClause).List {
+			var obj types.Object
+			switch e := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj = c.pass.Info.Uses[e]
+			case *ast.SelectorExpr:
+				obj = c.pass.Info.Uses[e.Sel]
+			}
+			if cst, ok := obj.(*types.Const); ok && types.Identical(cst.Type(), kind) {
+				covered[cst.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	scope := kind.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		cst, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(cst.Type(), kind) && !covered[cst.Name()] {
+			missing = append(missing, cst.Name())
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,12 @@
+package errkind_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/errkind"
+)
+
+func TestErrKind(t *testing.T) {
+	analysistest.Run(t, "testdata", errkind.New())
+}

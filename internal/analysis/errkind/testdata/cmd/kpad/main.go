@@ -1,0 +1,36 @@
+// Command kpad pins the cmd-side exhaustiveness rule: a switch over the
+// service ErrorKind must list every declared kind, default or not.
+package main
+
+import "kpa/internal/service"
+
+// status omits KindNotFound and hides behind a default — exactly the
+// silent swallowing the check rejects.
+func status(k service.ErrorKind) int {
+	switch k { // want `switch on ErrorKind does not cover all kinds: missing KindNotFound`
+	case service.KindInternal:
+		return 500
+	case service.KindBadRequest:
+		return 400
+	default:
+		return 500
+	}
+}
+
+// statusAll lists every kind: clean.
+func statusAll(k service.ErrorKind) int {
+	switch k {
+	case service.KindInternal:
+		return 500
+	case service.KindBadRequest:
+		return 400
+	case service.KindNotFound:
+		return 404
+	}
+	return 500
+}
+
+func main() {
+	_ = status(service.KindInternal)
+	_ = statusAll(service.KindNotFound)
+}

@@ -1,0 +1,18 @@
+// Package inner is the fixture's low-level layer: naked here draws no
+// diagnostic (only internal/service is the API boundary) but the
+// summary fact — asserted directly — must flow to importers.
+package inner
+
+import "errors"
+
+// Build returns a kindless error; the NakedErrReturn fact is the whole
+// point.
+func Build(name string) error { // want-fact:`errkind:NakedErrReturn`
+	return errors.New("build " + name)
+}
+
+// Describe wraps nothing kindless: no fact may be exported for it (this
+// file asserts all of its facts).
+func Describe(name string) string {
+	return "inner:" + name
+}

@@ -1,0 +1,89 @@
+// Package service mirrors the real service error taxonomy closely
+// enough to exercise the errkind boundary rules.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"kpa/internal/inner"
+)
+
+// ErrorKind classifies service errors, as in the real taxonomy.
+type ErrorKind int
+
+// The fixture taxonomy: three kinds keep the exhaustiveness check
+// readable.
+const (
+	KindInternal ErrorKind = iota
+	KindBadRequest
+	KindNotFound
+)
+
+// Error is the kind-carrying error type the boundary demands.
+type Error struct {
+	Kind ErrorKind
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Get returns a naked errors.New in its error position.
+func Get(name string) (int, error) {
+	if name == "" {
+		return 0, errors.New("empty name") // want `exported service function Get returns a naked error \(errors\.New\)`
+	}
+	return 1, nil
+}
+
+// Fetch returns a non-wrapping fmt.Errorf.
+func Fetch(name string) error {
+	return fmt.Errorf("no scenario %q", name) // want `exported service function Fetch returns a naked error \(fmt\.Errorf without %w\)`
+}
+
+// relay is unexported: naked, but not a boundary — no diagnostic, only
+// a summary used one hop up.
+func relay(name string) error {
+	return errors.New("relay " + name)
+}
+
+// Relay republishes relay's kindless error through the boundary.
+func Relay(name string) error {
+	return relay(name) // want `exported service function Relay returns a naked error \(via relay\)`
+}
+
+// CrossRelay republishes a kindless error built two packages down,
+// reached through the imported NakedErrReturn fact.
+func CrossRelay(name string) error {
+	return inner.Build(name) // want `exported service function CrossRelay returns a naked error \(via Build\)`
+}
+
+// store's get is the whole-tuple passthrough shape.
+type store struct{}
+
+func (store) get(name string) (int, error) {
+	return 0, errors.New("no " + name)
+}
+
+// Registry is an exported type, so its exported methods are boundary.
+type Registry struct{ s store }
+
+// Lookup passes store.get's tuple straight through.
+func (r *Registry) Lookup(name string) (int, error) {
+	return r.s.get(name) // want `exported service function Lookup returns a naked error \(via get\)`
+}
+
+// Wrap uses %w: the wrapped error keeps its Kind, so this is clean.
+func Wrap(name string, err error) error {
+	return fmt.Errorf("lookup %q: %w", name, err)
+}
+
+// Typed constructs the kind-carrying type directly: clean.
+func Typed(name string) error {
+	return &Error{Kind: KindBadRequest, Msg: name}
+}
+
+// Passthrough republishes a clean callee: clean.
+func Passthrough(name string, err error) error {
+	return Wrap(name, err)
+}

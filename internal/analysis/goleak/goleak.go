@@ -1,0 +1,244 @@
+// Package goleak checks that every goroutine has a visible termination
+// path. A `go` statement whose body can neither be observed finishing
+// nor told to stop is a fire-and-forget goroutine: it outlives requests,
+// holds captured state alive, and — in a serving stack built around
+// cancellation and admission control — silently erodes the very bounds
+// the stack enforces.
+//
+// A goroutine body "signals" if it syntactically reaches any of:
+//
+//   - a channel send, or close(ch) — completion is observable;
+//   - a channel receive, a select with communication cases, or a range
+//     over a channel — the goroutine is tied to a channel another party
+//     controls (a cancel/abandonment channel, a work queue that ends);
+//   - a call to (*sync.WaitGroup).Done — a waiter accounts for it;
+//   - a synchronous call to a function that signals, so helpers like
+//     `task.Signal(done)` satisfy the contract across package
+//     boundaries: the property is exported as a Signals fact and flows
+//     through the driver's import-ordered scheduling.
+//
+// Code behind a nested `go` statement does not count toward the outer
+// body (the inner goroutine signals for itself and is checked
+// separately), and neither do non-deferred function literals, whose
+// execution context is unknown. Deferred calls and deferred literals
+// count: `defer wg.Done()` and `defer close(done)` are the canonical
+// signals.
+//
+// Goroutines launched from packages under cmd/ are exempt: a main
+// package's serve/watch loops are intentionally process-lifetime.
+// Goroutines launched through function values are invisible to static
+// resolution and are skipped, not flagged.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/callgraph"
+)
+
+// Signals marks a function whose body reaches a termination signal; a
+// goroutine may be spent running it.
+type Signals struct{}
+
+// AFact marks Signals as an analysis fact.
+func (*Signals) AFact() {}
+
+// Analyzer reports go statements with no visible termination path.
+type Analyzer struct{}
+
+// New returns the goleak analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+// Name implements analysis.Analyzer.
+func (Analyzer) Name() string { return "goleak" }
+
+// Doc implements analysis.Analyzer.
+func (Analyzer) Doc() string {
+	return "every go statement needs a visible termination path — a send/close on a " +
+		"captured channel, a receive/select/range tied to one, or a WaitGroup.Done; " +
+		"fire-and-forget goroutines outside cmd/* leak"
+}
+
+// Run implements analysis.Analyzer.
+func (Analyzer) Run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, graph: callgraph.Build(pass)}
+	c.summarize()
+	if strings.HasPrefix(pass.PkgPath, pass.Module+"/cmd/") {
+		return nil // main-loop goroutines are process-lifetime by design
+	}
+	for _, n := range c.graph.Order {
+		ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+			if g, ok := m.(*ast.GoStmt); ok {
+				c.checkGo(g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	graph   *callgraph.Graph
+	signals map[*types.Func]bool
+}
+
+// summarize computes the signalling summary for every declared function:
+// direct signal operations seed a fixpoint over the package call graph,
+// with Signals facts imported for callees in other packages, and the
+// results are exported for importers. Facts are exported even from
+// exempt cmd/ packages — they cost nothing and keep the summary total.
+func (c *checker) summarize() {
+	c.signals = make(map[*types.Func]bool)
+	for _, n := range c.graph.Order {
+		if c.directSignal(n.Decl.Body) {
+			c.signals[n.Fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range c.graph.Order {
+			if c.signals[n.Fn] {
+				continue
+			}
+			for _, e := range n.Out {
+				if synchronous(e) && c.calleeSignals(e.Callee) {
+					c.signals[n.Fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, n := range c.graph.Order {
+		if c.signals[n.Fn] {
+			c.pass.ExportObjectFact(n.Fn, &Signals{})
+		}
+	}
+}
+
+// synchronous reports whether the edge's call runs as part of the
+// caller's own execution: plain and deferred calls do; go'd calls and
+// non-deferred literals do not.
+func synchronous(e *callgraph.Edge) bool {
+	return !e.Go && (!e.Lit || e.Defer)
+}
+
+// calleeSignals resolves a callee's summary: sync.WaitGroup.Done is the
+// one blessed external signal, same-package functions use the local
+// fixpoint, imported functions their exported fact.
+func (c *checker) calleeSignals(fn *types.Func) bool {
+	if fn.FullName() == "(*sync.WaitGroup).Done" {
+		return true
+	}
+	if _, local := c.graph.Funcs[fn]; local {
+		return c.signals[fn]
+	}
+	return c.pass.ImportObjectFact(fn, &Signals{})
+}
+
+// checkGo verifies one go statement. Function literals are scanned
+// directly; named callees are resolved through the summary; launches
+// through function values are unresolvable and skipped.
+func (c *checker) checkGo(g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if !c.bodySignals(lit.Body) {
+			c.report(g)
+		}
+		return
+	}
+	if fn, ok := callgraph.Callee(c.pass.Info, g.Call); ok && !c.calleeSignals(fn) {
+		c.report(g)
+	}
+}
+
+func (c *checker) report(g *ast.GoStmt) {
+	c.pass.Report(g.Pos(), "goroutine has no visible termination signal "+
+		"(send/close, receive/select/range on a channel, or WaitGroup.Done); "+
+		"fire-and-forget goroutines leak")
+}
+
+// bodySignals reports whether a launched literal's body signals: a
+// direct operation, or a synchronous call to a signalling function.
+func (c *checker) bodySignals(body *ast.BlockStmt) bool {
+	found := false
+	c.scan(body, func() { found = true }, func(call *ast.CallExpr) {
+		if fn, ok := callgraph.Callee(c.pass.Info, call); ok && c.calleeSignals(fn) {
+			found = true
+		}
+	})
+	return found
+}
+
+// directSignal reports whether the body performs a signal operation
+// itself (calls are the fixpoint's job).
+func (c *checker) directSignal(body *ast.BlockStmt) bool {
+	found := false
+	c.scan(body, func() { found = true }, func(*ast.CallExpr) {})
+	return found
+}
+
+// scan walks body syntactically, invoking onOp for each direct signal
+// operation and onCall for each call that executes as part of the body
+// (including deferred calls). Nested go statements and non-deferred
+// literals are excluded; deferred literal bodies are included.
+func (c *checker) scan(body *ast.BlockStmt, onOp func(), onCall func(*ast.CallExpr)) {
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					for _, s := range lit.Body.List {
+						visit(s)
+					}
+					return false
+				}
+				return true
+			case *ast.SendStmt:
+				onOp()
+			case *ast.UnaryExpr:
+				if m.Op.String() == "<-" {
+					onOp()
+				}
+			case *ast.SelectStmt:
+				for _, cl := range m.Body.List {
+					if cl.(*ast.CommClause).Comm != nil {
+						onOp()
+						break
+					}
+				}
+				for _, cl := range m.Body.List {
+					for _, s := range cl.(*ast.CommClause).Body {
+						visit(s)
+					}
+				}
+				return false
+			case *ast.RangeStmt:
+				if t := c.pass.Info.TypeOf(m.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						onOp()
+					}
+				}
+				return true
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok &&
+					c.pass.Info.Uses[id] == types.Universe.Lookup("close") {
+					onOp()
+					return true
+				}
+				onCall(m)
+				return true
+			}
+			return true
+		})
+	}
+	for _, s := range body.List {
+		visit(s)
+	}
+}

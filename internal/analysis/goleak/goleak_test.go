@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.New())
+}

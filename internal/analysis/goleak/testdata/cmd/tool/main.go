@@ -1,0 +1,14 @@
+// Command tool pins the cmd/* exemption: its watch loop goroutine is
+// process-lifetime by design and draws no diagnostic.
+package main
+
+func main() {
+	go func() {
+		for {
+			_ = work()
+		}
+	}()
+	select {}
+}
+
+func work() int { return 1 }

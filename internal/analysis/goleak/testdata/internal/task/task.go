@@ -1,0 +1,17 @@
+// Package task is the fixture's helper layer: its Signals facts are
+// asserted directly, including the absence of one on the spinner.
+package task
+
+// Signal closes the done channel, so a goroutine spent running it is
+// observable; the fact carries this to importing packages.
+func Signal(done chan<- struct{}) { // want-fact:`goleak:Signals`
+	close(done)
+}
+
+// Spin never signals: no channel operation, no WaitGroup, no signalling
+// callee. No fact may be exported for it.
+func Spin() {
+	for i := 0; ; i++ {
+		_ = i * i
+	}
+}

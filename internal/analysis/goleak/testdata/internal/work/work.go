@@ -1,0 +1,91 @@
+// Package work exercises the goleak contract: every go statement needs
+// a visible termination path, directly or through the cross-package
+// Signals summary from kpa/internal/task.
+package work
+
+import (
+	"sync"
+
+	"kpa/internal/task"
+)
+
+func compute() int { return 1 }
+
+// Leak launches a goroutine nobody can observe or stop.
+func Leak() {
+	go func() { // want `goroutine has no visible termination signal`
+		for {
+			_ = compute()
+		}
+	}()
+}
+
+// LeakNamed leaks through a named callee whose summary says it never
+// signals.
+func LeakNamed() {
+	go task.Spin() // want `goroutine has no visible termination signal`
+}
+
+// Tracked signals through the canonical deferred WaitGroup.Done.
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = compute()
+	}()
+}
+
+// Notify signals by closing a completion channel at exit.
+func Notify(done chan<- struct{}) {
+	go func() {
+		defer close(done)
+		_ = compute()
+	}()
+}
+
+// Chained satisfies the contract one package away: task.Signal's fact
+// says the goroutine's whole body is a signal.
+func Chained(done chan struct{}) {
+	go task.Signal(done)
+}
+
+// Watch is tied to a cancel channel through its select.
+func Watch(cancel <-chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-cancel:
+				return
+			}
+		}
+	}()
+}
+
+// Drain terminates when the producer closes the work channel.
+func Drain(ch <-chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Dynamic launches through a function value; static analysis cannot see
+// the body, so the launch is skipped, not flagged.
+func Dynamic(f func()) {
+	go f()
+}
+
+// NestedLeak: the inner goroutine's send must not excuse the outer body,
+// which itself never signals.
+func NestedLeak(ch chan int) {
+	go func() { // want `goroutine has no visible termination signal`
+		go func() {
+			ch <- 1
+		}()
+		for {
+			_ = compute()
+		}
+	}()
+}

@@ -1,18 +1,20 @@
 #!/bin/sh
-# bench.sh — run the dense-engine benchmark trajectory and record it as
-# BENCH_PR3.json (op name → ns/op, B/op, allocs/op). The Dense*/Naive*
-# pairs in internal/logic measure the optimized bitset evaluator against
-# the retained map-based reference on the same generated ≥1000-point
+# bench.sh — run the dense-engine benchmark trajectory and record it
+# (op name → ns/op, B/op, allocs/op). The Dense*/Naive* pairs in
+# internal/logic measure the optimized bitset evaluator against the
+# retained map-based reference on the same generated ≥1000-point
 # system; the script prints the resulting speedups and fails if the
 # headline C_G^α fixpoint speedup drops below 3×.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 2s)
+# Usage: [BENCH_OUT=BENCH_PRn.json] scripts/bench.sh [benchtime]
+# Default benchtime 2s; default output BENCH_PR7.json, the current
+# baseline (BENCH_PR3.json is the retained pre-resilience baseline).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
-OUT="BENCH_PR3.json"
+OUT="${BENCH_OUT:-BENCH_PR7.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -1,10 +1,11 @@
 #!/bin/sh
 # verify.sh — the checks every PR must pass: vet, the kpavet contract
-# suite, then the full test suite under the race detector. kpavet rejects
-# the code shapes that break the repo's invariants (docs/LINTING.md);
-# the -race run then validates the pooling contract dynamically
-# (internal/service's concurrency tests hammer shared services from
-# dozens of goroutines).
+# suite (all ten analyzers, including the interprocedural ctxflow /
+# goleak / errkind concurrency contracts), then the full test suite
+# under the race detector. kpavet rejects the code shapes that break the
+# repo's invariants (docs/LINTING.md); the -race run then validates the
+# pooling and cancellation contracts dynamically (internal/service's
+# concurrency tests hammer shared services from dozens of goroutines).
 set -eux
 
 cd "$(dirname "$0")/.."
