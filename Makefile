@@ -1,6 +1,6 @@
 # Development entry points; CI should run `make verify`.
 
-.PHONY: build test lint lint-fix-check verify bench chaos search-bench
+.PHONY: build test lint lint-fix-check verify bench scale-bench chaos search-bench
 
 build:
 	go build ./...
@@ -44,6 +44,14 @@ chaos:
 # docs/PERFORMANCE.md.
 bench:
 	./scripts/bench.sh
+
+# The million-point benchmark gate: runs the scale-tier benchmarks
+# (10^5-10^7-point broom systems x worker counts, one process per pair),
+# records BENCH_SCALE.json with peak RSS, and on >=4-CPU hosts enforces
+# the 3x parallel floor on the C_G / C_G^alpha fixpoints. See
+# docs/PERFORMANCE.md.
+scale-bench:
+	./scripts/scale_bench.sh
 
 # The strategy-search benchmark: solves a 2^32-strategy coupled fixture by
 # branch and bound and records BENCH_SEARCH.json (nodes/sec, pruned

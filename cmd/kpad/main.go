@@ -66,6 +66,7 @@ func run(args []string) error {
 		maxBody   = fs.Int64("max-body", 1<<20, "maximum request body in bytes")
 		cache     = fs.Int("cache", 0, "verdict cache entries (0 = default)")
 		inflight  = fs.Int("max-inflight", 0, "concurrent evaluation slots (0 = default)")
+		par       = fs.Int("parallelism", 0, "dense-engine parallelism budget: total engine goroutines across all in-flight evaluations (0 = serial)")
 		queueWait = fs.Duration("queue-wait", 0, "how long a request may queue for a slot before 503 (0 = default)")
 
 		searchWorkers = fs.Int("search-workers", 0, "branch-and-bound workers per search job (0 = default)")
@@ -79,6 +80,7 @@ func run(args []string) error {
 	svc := service.New(service.Config{
 		CacheSize:           *cache,
 		MaxInFlight:         *inflight,
+		Parallelism:         *par,
 		QueueWait:           *queueWait,
 		SearchWorkers:       *searchWorkers,
 		MaxSearchJobs:       *maxSearchJobs,

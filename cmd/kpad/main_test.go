@@ -228,3 +228,48 @@ func TestRequestTimeout(t *testing.T) {
 		t.Fatalf("timeout status %d (%+v)", code, errBody)
 	}
 }
+
+// TestStatsEngineBlock pins the JSON shape of the /v1/stats engine block:
+// the configured parallelism budget plus the three activity counters, under
+// exactly these key names — the block is part of the service's public
+// surface and scripts/scale_bench.sh readers depend on it.
+func TestStatsEngineBlock(t *testing.T) {
+	svc := service.New(service.Config{Parallelism: 4})
+	srv := httptest.NewServer(newHandler(svc, 10*time.Second, 1<<16))
+	t.Cleanup(srv.Close)
+
+	var v service.Verdict
+	req := map[string]string{"system": "introcoin", "formula": "C{1,2} (heads | !heads)"}
+	if code := postJSON(t, srv.URL+"/v1/check", req, &v); code != http.StatusOK {
+		t.Fatalf("/v1/check status %d", code)
+	}
+
+	var raw struct {
+		Engine map[string]json.Number `json:"engine"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/stats", &raw); code != http.StatusOK {
+		t.Fatalf("/v1/stats status %d", code)
+	}
+	if raw.Engine == nil {
+		t.Fatal("/v1/stats has no engine block")
+	}
+	for _, key := range []string{"parallelism", "shardRounds", "parallelPaths", "serialPaths"} {
+		if _, ok := raw.Engine[key]; !ok {
+			t.Fatalf("engine block missing %q: %+v", key, raw.Engine)
+		}
+	}
+	if len(raw.Engine) != 4 {
+		t.Fatalf("engine block has unexpected keys: %+v", raw.Engine)
+	}
+	if got := raw.Engine["parallelism"].String(); got != "4" {
+		t.Fatalf("engine.parallelism = %s, want the configured 4", got)
+	}
+	// The 4-point introcoin system is far below the sharding threshold, so
+	// the check above must have taken serial paths and spun fixpoint rounds.
+	if sr, _ := raw.Engine["shardRounds"].Int64(); sr == 0 {
+		t.Fatal("engine.shardRounds is 0 after a common-knowledge check")
+	}
+	if sp, _ := raw.Engine["serialPaths"].Int64(); sp == 0 {
+		t.Fatal("engine.serialPaths is 0 after a small-system check")
+	}
+}

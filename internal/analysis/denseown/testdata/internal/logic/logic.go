@@ -141,3 +141,69 @@ func (e *Eval) BothBranchesFresh(big bool) *system.DenseSet {
 	s.Add(0)
 	return s
 }
+
+// --- sharded-mutation patterns (the parallel engine's fan-out idiom) ---
+
+// ShardedFill writes disjoint 64-aligned words of a fresh owned set from a
+// literal callback handed straight to ParRange: the callback runs to
+// completion inside the trusted call, so ownership survives the fan-out.
+func (e *Eval) ShardedFill(n int) *system.DenseSet {
+	out := e.idx.NewDense()
+	system.ParRange(n, 64, 4, func(shard, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			out.Add(id)
+		}
+	})
+	return out
+}
+
+// ShardedScratchMerge is the worker-owned-scratch idiom: every shard
+// allocates its own fresh set inside the callback, fills it, and only
+// publishes it into its slot; the merge into a fresh result happens after
+// the barrier. All mutation targets are owned, so the whole dance is clean.
+// (Mutating through scratch[shard] instead would be flagged: slice elements
+// are shared as far as ownership is concerned.)
+func (e *Eval) ShardedScratchMerge(n int) *system.DenseSet {
+	scratch := make([]*system.DenseSet, 4)
+	system.ParRange(n, 64, 4, func(shard, lo, hi int) {
+		local := e.idx.NewDense()
+		for id := lo; id < hi; id++ {
+			local.Add(id)
+		}
+		scratch[shard] = local
+	})
+	out := e.idx.NewDense()
+	for _, s := range scratch {
+		if s != nil {
+			out.UnionWith(s)
+		}
+	}
+	return out
+}
+
+// ShardedMutateShared shards a sweep over a memoized set: transparency does
+// not confer ownership the function never had.
+func (e *Eval) ShardedMutateShared(k string, n int) {
+	s := e.memo[k]
+	system.ParRange(n, 64, 4, func(shard, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			s.Add(id) // want `\[denseown\] \(\*DenseSet\)\.Add mutates a set this function does not exclusively own`
+		}
+	})
+}
+
+// HandRolledShards spawns its own goroutines instead of going through
+// ParRange: a go'd literal escapes the function, so even a fresh set's
+// ownership is poisoned inside it — the race-free discipline lives in the
+// fan-out helper, not in the caller's good intentions.
+func (e *Eval) HandRolledShards(n int) *system.DenseSet {
+	out := e.idx.NewDense()
+	for shard := 0; shard < 4; shard++ {
+		go func(shard int) {
+			for id := shard; id < n; id += 4 {
+				out.Add(id) // want `\[denseown\] \(\*DenseSet\)\.Add mutates a set this function does not exclusively own`
+			}
+		}(shard)
+	}
+	return out
+}

@@ -34,6 +34,15 @@ func (x *Index) EachRun(visit func(id int)) {
 	}
 }
 
+// ParRange splits [0, n) into at most workers contiguous chunks and runs
+// body on each; every body call completes before ParRange returns, exactly
+// like the real fan-out helper, so literal callbacks stay transparent.
+func ParRange(n, align, workers int, body func(shard, lo, hi int)) {
+	if n > 0 {
+		body(0, 0, n)
+	}
+}
+
 // DenseSet is a bitset over an index's points.
 type DenseSet struct {
 	idx  *Index

@@ -7,6 +7,7 @@ import (
 
 	"kpa/internal/canon"
 	"kpa/internal/core"
+	"kpa/internal/gen"
 	"kpa/internal/rat"
 	"kpa/internal/system"
 )
@@ -184,5 +185,48 @@ func TestCancelPromptWallClock(t *testing.T) {
 	}
 	if elapsed > time.Second {
 		t.Fatalf("canceled evaluation took %v, want well under a second", elapsed)
+	}
+}
+
+// TestCancelScaleParallelLatency is the scale-tier promptness drill: a
+// depth-heavy evaluation over the ~10^5-point benchmark broom, running with
+// a parallelism budget of 8, must observe a deadline hook within roughly one
+// shard round — not after the nesting completes. The hook is a pure
+// deadline check, safe for the concurrent polling the sharded kernels do.
+// The wall bound is deliberately generous so single-core CI does not flake;
+// the uncancelled evaluation would run orders of magnitude longer.
+func TestCancelScaleParallelLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 10^5-point system")
+	}
+	sys := gen.MustScaleSystem(gen.ScaleTiers["100k"])
+	props := map[string]system.Fact{"p": gen.ScaleFact("p", 3)}
+	e := NewEvaluator(sys, core.NewProbAssignment(sys, core.Post(sys)), props)
+	e.SetParallelism(8)
+
+	// Alternating K/Pr nesting over all three agents: every level is a fresh
+	// full pass over the 10^5 points with no memo reuse.
+	f := Formula(Prop("p"))
+	bounds := []rat.Rat{rat.New(1, 3), rat.New(1, 5), rat.New(2, 7)}
+	for i := 0; i < 2000; i++ {
+		agent := system.AgentID(i % 3)
+		f = K(agent, PrGeq(agent, f, bounds[i%len(bounds)]))
+	}
+
+	deadline := time.Now().Add(10 * time.Millisecond)
+	e.SetCancel(func() error {
+		if time.Now().After(deadline) {
+			return errCancelTest
+		}
+		return nil
+	})
+	start := time.Now()
+	_, err := e.Extension(f)
+	elapsed := time.Since(start)
+	if !errors.Is(err, errCancelTest) {
+		t.Fatalf("scale evaluation finished (%v) before the deadline hook fired — deepen the formula", err)
+	}
+	if elapsed > 15*time.Second {
+		t.Fatalf("canceled scale evaluation took %v, want roughly one shard round", elapsed)
 	}
 }

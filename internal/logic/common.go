@@ -69,11 +69,17 @@ func (e *Evaluator) CommonByIteration(group []system.AgentID, phi Formula) (syst
 	// cycles; once a repeat is detected every future value has already
 	// been intersected into conj. Dense bit patterns double as the cheap
 	// cycle-detection signature.
-	cur := e.everyoneExtension(group, sub)
+	cur, err := e.everyoneExtension(group, sub)
+	if err != nil {
+		return nil, err
+	}
 	conj := cur.Clone()
 	seen := map[string]bool{cur.Key(): true}
 	for {
-		cur = e.everyoneExtension(group, cur)
+		cur, err = e.everyoneExtension(group, cur)
+		if err != nil {
+			return nil, err
+		}
 		conj.IntersectWith(cur)
 		s := cur.Key()
 		if seen[s] {

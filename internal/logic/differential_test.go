@@ -183,3 +183,171 @@ func TestConcurrentSharedIndex(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// forceParallel drops the sharding threshold so the parallel kernels engage
+// on small differential fixtures, and returns the restore function.
+func forceParallel() func() {
+	old := parMinPoints
+	parMinPoints = 1
+	return func() { parMinPoints = old }
+}
+
+// TestDifferentialParallelVsReference repeats the executable-specification
+// check with the parallel engine forced on: budget 4, sharding threshold 1.
+// Every operator class must agree point-for-point with the naive
+// ReferenceEvaluator no matter how the sweeps were sharded.
+func TestDifferentialParallelVsReference(t *testing.T) {
+	defer forceParallel()()
+	const (
+		numSystems     = 20
+		formulasPerSys = 5
+		propsPerSys    = 3
+		formulaDepth   = 4
+	)
+	cfgs := []gen.Config{
+		gen.DefaultConfig(),
+		{NumAgents: 3, NumTrees: 2, MaxDepth: 3, MaxBranch: 3, Synchronous: true, ObservationLevels: true},
+		{NumAgents: 2, NumTrees: 3, MaxDepth: 4, MaxBranch: 2, Synchronous: true, ObservationLevels: true},
+		{NumAgents: 1, NumTrees: 1, MaxDepth: 4, MaxBranch: 3, Synchronous: true, ObservationLevels: false},
+	}
+	for s := 0; s < numSystems; s++ {
+		rng := rand.New(rand.NewSource(int64(4000 + s)))
+		cfg := cfgs[s%len(cfgs)]
+		sys := gen.MustSystem(rng, cfg)
+		props := make(map[string]system.Fact, propsPerSys)
+		for j := 0; j < propsPerSys; j++ {
+			name := fmt.Sprintf("p%d", j)
+			props[name] = gen.RandomFact(rng, sys, name)
+		}
+		P := core.NewProbAssignment(sys, core.Post(sys))
+		dense := NewEvaluator(sys, P, props)
+		dense.SetParallelism(4)
+		naive := NewReferenceEvaluator(sys, P, props)
+
+		for j := 0; j < formulasPerSys; j++ {
+			f := randomFormula(rng, formulaDepth, propsPerSys, cfg.NumAgents)
+			want, errN := naive.Extension(f)
+			got, errD := dense.Extension(f)
+			if (errN == nil) != (errD == nil) {
+				t.Fatalf("seed %d formula %s: error disagreement: naive %v, parallel %v", 4000+s, f, errN, errD)
+			}
+			if errN != nil {
+				continue
+			}
+			if !got.Equal(want) {
+				t.Fatalf("seed %d formula %s: parallel extension differs from reference", 4000+s, f)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelScaleSystem pits the budget-4 engine against the
+// reference evaluator on a broom system large enough that ParRange really
+// splits the sweeps into multiple 64-aligned shards, covering every
+// operator family the engine shards.
+func TestDifferentialParallelScaleSystem(t *testing.T) {
+	sys := gen.MustScaleSystem(gen.ScaleConfig{NumAgents: 2, NumRuns: 256, RunLen: 6, Buckets: 8})
+	props := map[string]system.Fact{
+		"p": gen.ScaleFact("p", 3),
+		"q": gen.ScaleFact("q", 5),
+	}
+	P := core.NewProbAssignment(sys, core.Post(sys))
+	dense := NewEvaluator(sys, P, props)
+	dense.SetParallelism(4)
+	defer forceParallel()()
+	naive := NewReferenceEvaluator(sys, P, props)
+
+	g := []system.AgentID{0, 1}
+	formulas := []Formula{
+		Prop("p"),
+		And(Prop("p"), Not(Prop("q"))),
+		K(0, Prop("p")),
+		Everyone(g, Prop("p")),
+		Common(g, Or(Prop("p"), Prop("q"))),
+		PrGeq(0, Prop("p"), rat.New(1, 3)),
+		PrLeq(1, Prop("q"), rat.New(2, 3)),
+		EveryonePr(g, Prop("p"), rat.Half),
+		CommonPr(g, Prop("p"), rat.New(1, 3)),
+		Always(Implies(Prop("p"), K(1, Prop("p")))),
+		Until(Prop("p"), PrGeq(1, Prop("q"), rat.New(1, 5))),
+	}
+	for _, f := range formulas {
+		want, err := naive.Extension(f)
+		if err != nil {
+			t.Fatalf("reference %s: %v", f, err)
+		}
+		got, err := dense.Extension(f)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", f, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("formula %s: parallel extension differs from reference", f)
+		}
+	}
+}
+
+// TestConcurrentParallelSharedIndex is the race-detector drill for the full
+// sharing story: concurrent budget-4 evaluators draw extra workers from one
+// shared Gate, report into one EngineMetrics, and build/read one shared
+// system.Index and cell partition while their shards are running.
+func TestConcurrentParallelSharedIndex(t *testing.T) {
+	defer forceParallel()()
+	sys := gen.MustScaleSystem(gen.ScaleConfig{NumAgents: 2, NumRuns: 128, RunLen: 5, Buckets: 8})
+	props := map[string]system.Fact{"p": gen.ScaleFact("p", 3)}
+	P := core.NewProbAssignment(sys, core.Post(sys))
+
+	g := []system.AgentID{0, 1}
+	formulas := []Formula{
+		Common(g, Prop("p")),
+		CommonPr(g, Prop("p"), rat.Half),
+		Always(Implies(Prop("p"), K(0, Prop("p")))),
+		Until(Prop("p"), PrGeq(1, Prop("p"), rat.New(1, 3))),
+	}
+
+	ref := NewEvaluator(sys, P, props)
+	want := make([]*system.DenseSet, len(formulas))
+	for i, f := range formulas {
+		ext, err := ref.DenseExtension(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ext
+	}
+
+	gate := system.NewGate(3)
+	metrics := &EngineMetrics{}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := NewEvaluator(sys, P, props)
+			ev.SetParallelism(4)
+			ev.SetGate(gate)
+			ev.SetEngineMetrics(metrics)
+			for i, f := range formulas {
+				ext, err := ev.DenseExtension(f)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ext.Equal(want[i]) {
+					errs <- fmt.Errorf("concurrent parallel evaluation of %s disagrees", f)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if gate.TryAcquire(3) != 3 {
+		t.Fatal("gate tokens leaked: not all extra workers were released")
+	}
+	if metrics.SerialPaths.Load()+metrics.ParallelPaths.Load() == 0 {
+		t.Fatal("engine metrics recorded no regions")
+	}
+}

@@ -3,6 +3,7 @@ package logic
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"kpa/internal/core"
 	"kpa/internal/measure"
@@ -59,10 +60,11 @@ type Evaluator struct {
 	memo    map[Formula]*system.DenseSet // dense extensions, by node identity
 	extMemo map[Formula]system.PointSet  // boundary conversions of memo entries
 
-	// spaces[i] maps dense point ID → the point's probability space under
-	// prob, resolved lazily once per agent. The table depends only on the
-	// system and the assignment, so it survives Reset and DefineProp.
-	spaces map[system.AgentID][]*measure.Space
+	// spaceIdx[i] holds agent i's probability spaces resolved into a dense
+	// table: the distinct spaces in first-occurrence order plus a dense-ID →
+	// space-index map, built lazily once per agent. The table depends only
+	// on the system and the assignment, so it survives Reset and DefineProp.
+	spaceIdx map[system.AgentID]*spaceIndex
 
 	// prVerdicts memoizes probability-threshold verdicts by (space, inner-
 	// or hit-run pattern, bound). Fixpoint iterations re-ask mostly
@@ -75,6 +77,26 @@ type Evaluator struct {
 	// cancel is the optional cooperative-cancellation hook installed by
 	// SetCancel; nil means evaluation runs to completion.
 	cancel func() error
+
+	// par is the parallelism budget (SetParallelism), gate the shared
+	// extra-worker token pool (SetGate), metrics the shared activity
+	// counters (SetEngineMetrics). par defaults to 1: every kernel stays on
+	// the serial path and the engine behaves exactly as before.
+	par     int
+	gate    *system.Gate
+	metrics *EngineMetrics
+}
+
+// spaceIndex is one agent's probability-space table in dense form: spaces
+// holds the distinct *measure.Space values in order of first occurrence by
+// dense point ID, and byID maps each dense ID to its space's position in
+// spaces. Keyed assignments share one space across each information cell, so
+// len(spaces) is the number of cells — tiny next to the point count — and
+// per-space work (probability verdicts) parallelizes over spaces while
+// per-point work (verdict fan-out) parallelizes over 64-aligned ID ranges.
+type spaceIndex struct {
+	spaces []*measure.Space
+	byID   []int32
 }
 
 // cancelStride is how many points a linear scan (proposition extension,
@@ -107,8 +129,9 @@ func NewEvaluator(sys *system.System, prob *core.ProbAssignment, props map[strin
 		props:      cp,
 		memo:       make(map[Formula]*system.DenseSet),
 		extMemo:    make(map[Formula]system.PointSet),
-		spaces:     make(map[system.AgentID][]*measure.Space),
+		spaceIdx:   make(map[system.AgentID]*spaceIndex),
 		prVerdicts: make(map[prVerdictKey]bool),
+		par:        1,
 	}
 }
 
@@ -139,6 +162,10 @@ func (e *Evaluator) Reset() {
 // scans (proposition extensions, probability-table sweeps); the first
 // non-nil return aborts the evaluation with exactly that error. The hook
 // must be cheap (it runs on hot paths) and must not touch the evaluator.
+// With a parallelism budget above 1 (SetParallelism) the sharded kernels
+// poll the hook from several goroutines at once, so it must also be safe
+// for concurrent calls — reading a closed-channel or atomic signal, as the
+// service's context-backed hook does, qualifies.
 //
 // Aborting is safe: the memo only ever holds completed, correct
 // extensions, so a canceled evaluator can be pooled and reused without a
@@ -269,16 +296,25 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownProp, f.Name)
 		}
+		// With workers > 1 the fact's Holds is called from several
+		// goroutines; SetParallelism documents that facts must tolerate
+		// that. Shards are 64-aligned so each owns its result words.
+		workers, release := e.parWorkers(idx.NumPoints())
+		defer release()
+		ps, stop := e.stopFn()
 		out := idx.NewDense()
-		for id, n := 0, idx.NumPoints(); id < n; id++ {
-			if id&(cancelStride-1) == 0 && id > 0 {
-				if err := e.checkCancel(); err != nil {
-					return nil, err
+		system.ParRange(idx.NumPoints(), 64, workers, func(_, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				if stop != nil && id&(cancelStride-1) == 0 && id > lo && stop() {
+					return
+				}
+				if fact.Holds(idx.PointAt(id)) {
+					out.Add(id)
 				}
 			}
-			if fact.Holds(idx.PointAt(id)) {
-				out.Add(id)
-			}
+		})
+		if err := ps.Err(); err != nil {
+			return nil, err
 		}
 		return out, nil
 
@@ -293,7 +329,7 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sub.Complement(), nil
+		return e.complementPar(sub), nil
 
 	case *AndFormula:
 		l, err := e.DenseExtension(f.Left)
@@ -304,7 +340,7 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return l.Intersect(r), nil
+		return e.intersectPar(l, r), nil
 
 	case *OrFormula:
 		l, err := e.DenseExtension(f.Left)
@@ -315,7 +351,7 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return l.Union(r), nil
+		return e.unionPar(l, r), nil
 
 	case *ImpliesFormula:
 		l, err := e.DenseExtension(f.Left)
@@ -326,7 +362,7 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return l.Complement().Union(r), nil
+		return e.unionPar(e.complementPar(l), r), nil
 
 	case *NextFormula:
 		sub, err := e.DenseExtension(f.Sub)
@@ -358,7 +394,7 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ev.Complement(), nil
+		return e.complementPar(ev), nil
 
 	case *KnowFormula:
 		if err := checkAgentIn(e.sys, f.Agent); err != nil {
@@ -368,7 +404,7 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.knowExtension(f.Agent, sub), nil
+		return e.knowExtension(f.Agent, sub)
 
 	case *PrGeqFormula:
 		if err := checkAgentIn(e.sys, f.Agent); err != nil {
@@ -398,7 +434,7 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.everyoneExtension(f.Group, sub), nil
+		return e.everyoneExtension(f.Group, sub)
 
 	case *CommonFormula:
 		if err := checkGroupIn(e.sys, f.Group); err != nil {
@@ -409,12 +445,20 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 			return nil, err
 		}
 		// Greatest fixed point of X = E_G(φ ∧ X), from X = all points.
+		// Each round's knowledge sweeps and set combines are sharded
+		// independently, drawing workers from the gate as they go.
 		x := idx.FullDense()
 		for {
 			if err := e.checkCancel(); err != nil {
 				return nil, err
 			}
-			next := e.everyoneExtension(f.Group, sub.Intersect(x))
+			if e.metrics != nil {
+				e.metrics.ShardRounds.Add(1)
+			}
+			next, err := e.everyoneExtension(f.Group, e.intersectPar(sub, x))
+			if err != nil {
+				return nil, err
+			}
 			if next.Equal(x) {
 				return x, nil
 			}
@@ -445,7 +489,10 @@ func (e *Evaluator) compute(f Formula) (*system.DenseSet, error) {
 			if err := e.checkCancel(); err != nil {
 				return nil, err
 			}
-			next, err := e.everyonePrExtension(f.Group, sub.Intersect(x), f.Alpha)
+			if e.metrics != nil {
+				e.metrics.ShardRounds.Add(1)
+			}
+			next, err := e.everyonePrExtension(f.Group, e.intersectPar(sub, x), f.Alpha)
 			if err != nil {
 				return nil, err
 			}
@@ -494,76 +541,204 @@ func (e *Evaluator) computeUntil(phi, psi Formula) (*system.DenseSet, error) {
 	return out, nil
 }
 
-// knowExtension computes {c : K_i(c) ⊆ ext}: for each information cell of
-// agent i, one word-wise subset test; cells that pass are OR-ed into the
-// result. The partition itself is cached on the system's index.
-func (e *Evaluator) knowExtension(i system.AgentID, ext *system.DenseSet) *system.DenseSet {
-	cells := e.idx.Cells(i)
-	out := e.idx.NewDense()
-	for k := 0; k < cells.NumCells(); k++ {
-		mask := cells.Mask(k)
-		if mask.SubsetOf(ext) {
-			out.UnionWith(mask)
-		}
-	}
-	return out
+// intersectPar, unionPar, complementPar run one set-algebra combine on the
+// evaluator's budget: a region is opened for the duration of the sweep, and
+// the *Par variants themselves fall back to serial below parMinWords, so
+// small systems take the exact pre-parallel path.
+func (e *Evaluator) intersectPar(a, b *system.DenseSet) *system.DenseSet {
+	workers, release := e.parWorkers(e.idx.NumPoints())
+	defer release()
+	return a.IntersectPar(b, workers)
 }
 
-// spaceTable returns (building on first use) the dense-ID-indexed table of
-// agent i's probability spaces. With a keyed assignment all points of an
-// information cell share one *measure.Space, so the table is mostly
-// repeated pointers — which is exactly what lets prExtension compute one
-// verdict per distinct space.
-func (e *Evaluator) spaceTable(i system.AgentID) ([]*measure.Space, error) {
-	if tab, ok := e.spaces[i]; ok {
-		return tab, nil
+func (e *Evaluator) unionPar(a, b *system.DenseSet) *system.DenseSet {
+	workers, release := e.parWorkers(e.idx.NumPoints())
+	defer release()
+	return a.UnionPar(b, workers)
+}
+
+func (e *Evaluator) complementPar(a *system.DenseSet) *system.DenseSet {
+	workers, release := e.parWorkers(e.idx.NumPoints())
+	defer release()
+	return a.ComplementPar(workers)
+}
+
+// knowExtension computes {c : K_i(c) ⊆ ext} through the index's cell-
+// partition kernel: one word-wise subset test per information cell, then
+// one sweep over the dense IDs writing the bits of passing cells. Both
+// phases shard across the evaluator's workers (system.CellPartition.
+// KnowExtension); the partition itself is cached on the system's index and
+// its first construction shards too.
+func (e *Evaluator) knowExtension(i system.AgentID, ext *system.DenseSet) (*system.DenseSet, error) {
+	workers, release := e.parWorkers(e.idx.NumPoints())
+	defer release()
+	cells := e.idx.CellsPar(i, workers)
+	ps, stop := e.stopFn()
+	out := cells.KnowExtension(ext, workers, stop)
+	if err := ps.Err(); err != nil {
+		return nil, err
 	}
-	tab := make([]*measure.Space, e.idx.NumPoints())
-	for id := range tab {
-		if id&(cancelStride-1) == 0 && id > 0 {
-			if err := e.checkCancel(); err != nil {
-				return nil, err
+	return out, nil
+}
+
+// spaceIndexFor returns (building on first use) agent i's dense space
+// table. The keyed path shards like CellsPar: each worker numbers the
+// distinct sample keys of its 64-aligned ID range privately (phase 1), the
+// shard numberings are merged in shard order — reproducing the serial
+// first-occurrence order — and one space is constructed per distinct key
+// (phase 2, serial: ProbAssignment.Space mutates its caches), and the
+// shard-local numbers are remapped in place (phase 3). Non-keyed
+// assignments fall back to one serial Space call per point.
+func (e *Evaluator) spaceIndexFor(i system.AgentID) (*spaceIndex, error) {
+	if sx, ok := e.spaceIdx[i]; ok {
+		return sx, nil
+	}
+	n := e.idx.NumPoints()
+	sx := &spaceIndex{byID: make([]int32, n)}
+	keyed, _ := e.prob.SampleAssignment().(core.KeyedAssignment)
+	built := false
+	if keyed != nil {
+		// One region spans all three phases: phase 3 reuses phase 1's
+		// worker count, so ParRange reproduces the shard boundaries and
+		// each ID's shard-local number is remapped through its own
+		// shard's table.
+		workers, release := e.parWorkers(n)
+		defer release()
+		ps, stop := e.stopFn()
+		type shardKeys struct {
+			byKey map[string]int32
+			keys  []string
+			rep   []int // representative dense ID per local key
+		}
+		var (
+			perShard []shardKeys
+			mu       sync.Mutex
+			unkeyed  bool
+		)
+		system.ParRange(n, 64, workers, func(shard, lo, hi int) {
+			sk := shardKeys{byKey: make(map[string]int32)}
+			for id := lo; id < hi; id++ {
+				if stop != nil && id&(cancelStride-1) == 0 && id > lo && stop() {
+					return
+				}
+				key, ok := keyed.SampleKey(i, e.idx.PointAt(id))
+				if !ok {
+					mu.Lock()
+					unkeyed = true
+					mu.Unlock()
+					return
+				}
+				k, seen := sk.byKey[key]
+				if !seen {
+					k = int32(len(sk.keys))
+					sk.byKey[key] = k
+					sk.keys = append(sk.keys, key)
+					sk.rep = append(sk.rep, id)
+				}
+				sx.byID[id] = k // shard-local numbering, remapped below
 			}
+			mu.Lock()
+			for len(perShard) <= shard {
+				perShard = append(perShard, shardKeys{})
+			}
+			perShard[shard] = sk
+			mu.Unlock()
+		})
+		if err := ps.Err(); err != nil {
+			return nil, err
 		}
-		c := e.idx.PointAt(id)
-		sp, err := e.prob.Space(i, c)
-		if err != nil {
-			return nil, fmt.Errorf("Pr%d at %v: %w", i+1, c, err)
+		if !unkeyed {
+			global := make(map[string]int32)
+			remap := make([][]int32, len(perShard))
+			for s, sk := range perShard {
+				remap[s] = make([]int32, len(sk.keys))
+				for k, key := range sk.keys {
+					g, ok := global[key]
+					if !ok {
+						g = int32(len(sx.spaces))
+						global[key] = g
+						sp, err := e.prob.Space(i, e.idx.PointAt(sk.rep[k]))
+						if err != nil {
+							return nil, fmt.Errorf("Pr%d at %v: %w", i+1, e.idx.PointAt(sk.rep[k]), err)
+						}
+						sx.spaces = append(sx.spaces, sp)
+					}
+					remap[s][k] = g
+				}
+			}
+			system.ParRange(n, 64, workers, func(shard, lo, hi int) {
+				tab := remap[shard]
+				for id := lo; id < hi; id++ {
+					sx.byID[id] = tab[sx.byID[id]]
+				}
+			})
+			built = true
 		}
-		tab[id] = sp
 	}
-	e.spaces[i] = tab
-	return tab, nil
+	if !built {
+		pos := make(map[*measure.Space]int32)
+		for id := 0; id < n; id++ {
+			if id&(cancelStride-1) == 0 && id > 0 {
+				if err := e.checkCancel(); err != nil {
+					return nil, err
+				}
+			}
+			c := e.idx.PointAt(id)
+			sp, err := e.prob.Space(i, c)
+			if err != nil {
+				return nil, fmt.Errorf("Pr%d at %v: %w", i+1, c, err)
+			}
+			k, ok := pos[sp]
+			if !ok {
+				k = int32(len(sx.spaces))
+				pos[sp] = k
+				sx.spaces = append(sx.spaces, sp)
+			}
+			sx.byID[id] = k
+		}
+	}
+	e.spaceIdx[i] = sx
+	return sx, nil
 }
 
 // prExtension computes {c : inner measure of S_ic ∩ ext ≥ α} (geq) or
-// {c : outer measure ≤ α} (leq). Spaces are resolved once per agent via
-// spaceTable; the measure verdict is computed once per distinct space and
-// fanned out to every point sharing it.
+// {c : outer measure ≤ α} (leq) in two sharded phases: one measure verdict
+// per distinct space (phase A, parallel over spaces — keyed assignments
+// have one space per information cell, so this is the expensive exact-
+// rational part), then one sweep over the dense IDs fanning each verdict
+// out to the points sharing the space (phase B, parallel over 64-aligned ID
+// ranges). Phase A's shards read the shared verdict memo and buffer new
+// entries privately; the calling goroutine merges them after the barrier,
+// so the memo is never written concurrently.
 func (e *Evaluator) prExtension(i system.AgentID, ext *system.DenseSet, bound rat.Rat, geq bool) (*system.DenseSet, error) {
 	if e.prob == nil {
 		return nil, ErrNoProbability
 	}
-	tab, err := e.spaceTable(i)
+	sx, err := e.spaceIndexFor(i)
 	if err != nil {
 		return nil, err
 	}
 	contains := ext.ContainsPoint
 	boundKey := bound.Key()
-	out := e.idx.NewDense()
-	verdicts := make(map[*measure.Space]bool)
-	for id, sp := range tab {
-		if id&(cancelStride-1) == 0 && id > 0 {
-			if err := e.checkCancel(); err != nil {
-				return nil, err
+	verdicts := make([]bool, len(sx.spaces))
+	workers, release := e.parWorkers(e.idx.NumPoints())
+	defer release()
+	ps, stop := e.stopFn()
+	var (
+		mu    sync.Mutex
+		fresh []map[prVerdictKey]bool
+	)
+	system.ParRange(len(sx.spaces), 1, workers, func(_, lo, hi int) {
+		// Reduce each query to a run pattern (cheap bit scanning), then
+		// look the pattern's verdict up before falling back to exact
+		// rational arithmetic. Fixpoint rounds re-ask the same patterns
+		// for most spaces, so the fallback runs rarely.
+		var local map[prVerdictKey]bool
+		for si := lo; si < hi; si++ {
+			if stop != nil && si&15 == 0 && stop() {
+				return
 			}
-		}
-		v, ok := verdicts[sp]
-		if !ok {
-			// Reduce the query to a run pattern (cheap bit scanning), then
-			// look the pattern's verdict up before falling back to exact
-			// rational arithmetic. Fixpoint rounds re-ask the same patterns
-			// for most spaces, so the fallback runs rarely.
+			sp := sx.spaces[si]
 			var runs system.RunSet
 			if geq {
 				runs = sp.InnerRuns(contains)
@@ -571,30 +746,64 @@ func (e *Evaluator) prExtension(i system.AgentID, ext *system.DenseSet, bound ra
 				runs = sp.OuterRuns(contains)
 			}
 			key := prVerdictKey{sp: sp, runs: runs.Key(), bound: boundKey, geq: geq}
-			v, ok = e.prVerdicts[key]
+			v, ok := e.prVerdicts[key]
 			if !ok {
-				if geq {
-					v = sp.ProbOfRuns(runs).GreaterEq(bound)
-				} else {
-					v = sp.ProbOfRuns(runs).LessEq(bound)
+				v, ok = local[key]
+				if !ok {
+					if geq {
+						v = sp.ProbOfRuns(runs).GreaterEq(bound)
+					} else {
+						v = sp.ProbOfRuns(runs).LessEq(bound)
+					}
+					if local == nil {
+						local = make(map[prVerdictKey]bool)
+					}
+					local[key] = v
 				}
-				e.prVerdicts[key] = v
 			}
-			verdicts[sp] = v
+			verdicts[si] = v
 		}
-		if v {
-			out.Add(id)
+		if local != nil {
+			mu.Lock()
+			fresh = append(fresh, local)
+			mu.Unlock()
 		}
+	})
+	if err := ps.Err(); err != nil {
+		return nil, err
+	}
+	for _, m := range fresh {
+		for k, v := range m {
+			e.prVerdicts[k] = v
+		}
+	}
+	out := e.idx.NewDense()
+	system.ParRange(len(sx.byID), 64, workers, func(_, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if stop != nil && id&(cancelStride-1) == 0 && id > lo && stop() {
+				return
+			}
+			if verdicts[sx.byID[id]] {
+				out.Add(id)
+			}
+		}
+	})
+	if err := ps.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func (e *Evaluator) everyoneExtension(group []system.AgentID, ext *system.DenseSet) *system.DenseSet {
+func (e *Evaluator) everyoneExtension(group []system.AgentID, ext *system.DenseSet) (*system.DenseSet, error) {
 	out := e.idx.FullDense()
 	for _, i := range group {
-		out.IntersectWith(e.knowExtension(i, ext))
+		k, err := e.knowExtension(i, ext)
+		if err != nil {
+			return nil, err
+		}
+		out.IntersectWith(k)
 	}
-	return out
+	return out, nil
 }
 
 func (e *Evaluator) everyonePrExtension(group []system.AgentID, ext *system.DenseSet, alpha rat.Rat) (*system.DenseSet, error) {
@@ -604,7 +813,11 @@ func (e *Evaluator) everyonePrExtension(group []system.AgentID, ext *system.Dens
 		if err != nil {
 			return nil, err
 		}
-		out.IntersectWith(e.knowExtension(i, pr))
+		k, err := e.knowExtension(i, pr)
+		if err != nil {
+			return nil, err
+		}
+		out.IntersectWith(k)
 	}
 	return out, nil
 }

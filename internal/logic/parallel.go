@@ -1,0 +1,145 @@
+package logic
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kpa/internal/system"
+)
+
+// This file holds the evaluator's parallelism plumbing: the per-evaluator
+// budget knob, the shared Gate hookup, the engine metrics counters, and the
+// small helpers the sharded kernels in eval.go use to decide their worker
+// count and to propagate cancellation out of a fan-out.
+
+// parMinPoints is the system size below which the evaluator's sharded
+// kernels stay on the serial path regardless of the parallelism budget:
+// fan-out overhead (goroutine spawn, barrier) swamps the sweep itself on
+// small universes. 65536 points ≈ 1k backing words. Variable, not constant,
+// so tests can force the parallel path on small fixtures.
+var parMinPoints = 1 << 16
+
+// EngineMetrics counts the dense engine's parallel activity. One instance is
+// shared by every evaluator of a service (see internal/service) and surfaced
+// through /v1/stats; all fields are atomics, safe for concurrent evaluators.
+type EngineMetrics struct {
+	// ShardRounds counts fixpoint rounds executed by the common-knowledge
+	// operators (C_G and C_G^α), the loops whose per-round sweeps the
+	// parallel engine shards.
+	ShardRounds atomic.Uint64
+	// ParallelPaths counts engine regions (knowledge sweeps, probability
+	// sweeps, proposition scans, set-algebra combines) that ran with more
+	// than one worker.
+	ParallelPaths atomic.Uint64
+	// SerialPaths counts engine regions that ran on the calling goroutine
+	// alone — because the budget was 1, the system was below parMinPoints,
+	// or the shared gate had no tokens left.
+	SerialPaths atomic.Uint64
+}
+
+// SetParallelism sets the evaluator's parallelism budget: the maximum number
+// of goroutines (including the calling one) a single engine region may fan
+// out to. The default is 1, which keeps every kernel on the serial path and
+// is exactly the pre-parallel engine.
+//
+// With a budget above 1, primitive-proposition facts and the cancellation
+// hook are called from multiple goroutines concurrently and MUST be safe for
+// that: facts should be pure functions of the point, and the hook should
+// read an atomic or a closed-channel signal (the service's context hook
+// qualifies). The evaluator itself remains single-checkout — parallelism is
+// inside one evaluation, not across evaluations.
+func (e *Evaluator) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.par = n
+}
+
+// Parallelism returns the evaluator's parallelism budget.
+func (e *Evaluator) Parallelism() int { return e.par }
+
+// SetGate attaches a shared token pool bounding the evaluator's extra shard
+// workers. When several evaluators run concurrently (a service pool), giving
+// them one gate of capacity budget−1 caps the total number of extra engine
+// goroutines at the budget no matter how many evaluations are in flight;
+// a region that finds the gate empty simply runs serially. A nil gate (the
+// default) grants every region its full budget.
+func (e *Evaluator) SetGate(g *system.Gate) { e.gate = g }
+
+// SetEngineMetrics attaches shared activity counters; nil (the default)
+// disables counting.
+func (e *Evaluator) SetEngineMetrics(m *EngineMetrics) { e.metrics = m }
+
+// parWorkers decides how many workers a sharded region over `units` points
+// may use, drawing extra-worker tokens from the gate. It returns the worker
+// count and a release that must be called (deferred) when the region ends.
+func (e *Evaluator) parWorkers(units int) (int, func()) {
+	if e.par <= 1 || units < parMinPoints {
+		if e.metrics != nil {
+			e.metrics.SerialPaths.Add(1)
+		}
+		return 1, func() {}
+	}
+	extra := e.gate.TryAcquire(e.par - 1)
+	if extra == 0 {
+		if e.metrics != nil {
+			e.metrics.SerialPaths.Add(1)
+		}
+		return 1, func() {}
+	}
+	if e.metrics != nil {
+		e.metrics.ParallelPaths.Add(1)
+	}
+	g := e.gate
+	return 1 + extra, func() { g.Release(extra) }
+}
+
+// parStop adapts the evaluator's cancellation hook to the stop-function
+// polling protocol of the sharded kernels: shards poll stop between strides,
+// the first hook error is recorded, and the caller checks Err after the
+// fan-out barrier. Safe for concurrent shards; once a shard observes an
+// error every later poll returns true immediately without re-invoking the
+// hook.
+type parStop struct {
+	cancel  func() error
+	stopped atomic.Bool
+	mu      sync.Mutex
+	err     error
+}
+
+// stopFn returns the polling function for the sharded kernels, or nil when
+// no hook is installed (kernels skip polling entirely then).
+func (e *Evaluator) stopFn() (*parStop, func() bool) {
+	if e.cancel == nil {
+		return nil, nil
+	}
+	ps := &parStop{cancel: e.cancel}
+	return ps, ps.stop
+}
+
+func (s *parStop) stop() bool {
+	if s.stopped.Load() {
+		return true
+	}
+	if err := s.cancel(); err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+		s.stopped.Store(true)
+		return true
+	}
+	return false
+}
+
+// Err returns the first error a shard's poll observed, if any. Only valid
+// after the fan-out's barrier.
+func (s *parStop) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -115,8 +115,14 @@ func (x Rat) Inv() Rat {
 // Cmp compares x and y, returning −1, 0 or +1.
 func (x Rat) Cmp(y Rat) int { return x.big().Cmp(y.big()) }
 
-// Equal reports whether x == y.
-func (x Rat) Equal(y Rat) bool { return x.Cmp(y) == 0 }
+// Equal reports whether x == y. Unlike Cmp, it never cross-multiplies:
+// *big.Rat values are always in lowest terms with a positive denominator,
+// so equality is componentwise — allocation-free, which matters on hot
+// paths that compare probabilities (run enumeration, verdict memo keys).
+func (x Rat) Equal(y Rat) bool {
+	a, b := x.big(), y.big()
+	return a.Num().Cmp(b.Num()) == 0 && a.Denom().Cmp(b.Denom()) == 0
+}
 
 // Less reports whether x < y.
 func (x Rat) Less(y Rat) bool { return x.Cmp(y) < 0 }
@@ -133,8 +139,11 @@ func (x Rat) GreaterEq(y Rat) bool { return x.Cmp(y) >= 0 }
 // IsZero reports whether x == 0.
 func (x Rat) IsZero() bool { return x.r == nil || x.r.Sign() == 0 }
 
-// IsOne reports whether x == 1.
-func (x Rat) IsOne() bool { return x.Equal(One) }
+// IsOne reports whether x == 1. Componentwise on the normalized
+// representation (1/1), so it is allocation-free.
+func (x Rat) IsOne() bool {
+	return x.r != nil && x.r.Num().Cmp(x.r.Denom()) == 0
+}
 
 // Sign returns −1, 0 or +1 according to the sign of x.
 func (x Rat) Sign() int { return x.big().Sign() }

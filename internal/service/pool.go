@@ -49,6 +49,7 @@ type evalPool struct {
 	sys    *system.System
 	sample core.SampleAssignment
 	props  map[string]system.Fact
+	eng    *engine
 
 	memoCap int
 	maxIdle int
@@ -61,11 +62,12 @@ type evalPool struct {
 	discarded uint64    // guarded by mu; poisoned workers dropped instead of repooled
 }
 
-func newEvalPool(sys *system.System, sample core.SampleAssignment, props map[string]system.Fact, memoCap, maxIdle int) *evalPool {
+func newEvalPool(sys *system.System, sample core.SampleAssignment, props map[string]system.Fact, memoCap, maxIdle int, eng *engine) *evalPool {
 	return &evalPool{
 		sys:     sys,
 		sample:  sample,
 		props:   props,
+		eng:     eng,
 		memoCap: memoCap,
 		maxIdle: maxIdle,
 	}
@@ -84,10 +86,19 @@ func (p *evalPool) get() *worker {
 	p.created++
 	p.mu.Unlock()
 	// Build outside the lock: constructing the ProbAssignment is cheap but
-	// there is no reason to serialize concurrent cold checkouts.
+	// there is no reason to serialize concurrent cold checkouts. The index
+	// build comes first so the session's one-time point index is sharded
+	// under the engine budget instead of built serially inside NewEvaluator.
+	if p.eng != nil {
+		p.eng.buildIndex(p.sys)
+	}
 	prob := core.NewProbAssignment(p.sys, p.sample)
+	ev := logic.NewEvaluator(p.sys, prob, p.props)
+	if p.eng != nil {
+		p.eng.wire(ev)
+	}
 	return &worker{
-		eval:   logic.NewEvaluator(p.sys, prob, p.props),
+		eval:   ev,
 		parsed: make(map[string]logic.Formula),
 	}
 }

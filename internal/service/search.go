@@ -318,7 +318,7 @@ func (s *Service) compileSearchSpec(req SearchRequest) (*searchSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := sess.pool(orPost(req.Assign), s.cfg)
+	pool, err := sess.pool(orPost(req.Assign), s.cfg, s.engine)
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,15 @@ type Config struct {
 	// BatchParallelism bounds the evaluator goroutines one Batch call fans
 	// out to. Default 8.
 	BatchParallelism int
+	// Parallelism is the dense engine's parallelism budget: the maximum
+	// number of goroutines (the caller included) one evaluation's sharded
+	// kernels may fan out to. The budget composes with admission control
+	// through a shared token gate: across every in-flight evaluation the
+	// engine spawns at most Parallelism−1 extra goroutines in total — NOT
+	// Parallelism × MaxInFlight — and an evaluation that finds the gate
+	// drained simply runs its kernels serially. Default 1 (fully serial
+	// engine, the pre-parallel behavior).
+	Parallelism int
 	// MaxInFlight bounds the evaluations running concurrently across the
 	// whole service (admission control); cache hits bypass the bound.
 	// Default 16.
@@ -86,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchParallelism <= 0 {
 		c.BatchParallelism = 8
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 16
 	}
@@ -123,6 +135,7 @@ type Service struct {
 	store  *store
 	cache  *verdictCache
 	flight *flightGroup
+	engine *engine
 
 	// sem is the global evaluation semaphore: one slot per concurrently
 	// running evaluation. Cache hits never touch it.
@@ -155,6 +168,7 @@ func New(cfg Config) *Service {
 		store:    newStore(cfg.Seams),
 		cache:    newVerdictCache(cfg.CacheSize),
 		flight:   newFlightGroup(),
+		engine:   newEngine(cfg.Parallelism),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		searches: make(map[string]*searchJob),
 	}
@@ -246,7 +260,7 @@ func (s *Service) check(ctx context.Context, req CheckRequest) (Verdict, error) 
 	if assign == "" {
 		assign = "post"
 	}
-	pool, err := sess.pool(assign, s.cfg)
+	pool, err := sess.pool(assign, s.cfg, s.engine)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -408,28 +422,29 @@ func (s *Service) evaluate(w *worker, sess *session, canonical, assignName strin
 	if err != nil {
 		return Verdict{}, err
 	}
-	ext, err := w.eval.Extension(f)
+	// The whole path stays dense: extension, counts and counterexamples
+	// come from the bitset, so a million-point system never materializes
+	// its map-based point set just to serve a verdict.
+	ext, err := w.eval.DenseExtension(f)
 	if err != nil {
 		return Verdict{}, err
 	}
-	total := sess.sys.Points().Len()
+	total := sess.sys.NumPoints()
+	holds := ext.Len()
 	v := Verdict{
 		System:     sess.name,
 		Hash:       sess.hash,
 		Assignment: assignName,
 		Formula:    canonical,
-		Valid:      ext.Len() == total,
-		HoldsAt:    ext.Len(),
+		Valid:      holds == total,
+		HoldsAt:    holds,
 		Points:     total,
 	}
 	if !v.Valid {
-		ces := sess.sys.Points().Minus(ext).Sorted()
-		v.CounterTotal = len(ces)
-		max := s.cfg.MaxCounterexamples
-		if len(ces) < max {
-			max = len(ces)
-		}
-		for _, p := range ces[:max] {
+		v.CounterTotal = total - holds
+		// FirstN walks only as far as the bound, and the dense-ID order is
+		// the same (tree, run, time) order Sorted produced.
+		for _, p := range ext.Complement().FirstN(s.cfg.MaxCounterexamples) {
 			v.CounterExamples = append(v.CounterExamples, fmt.Sprintf("%v %s", p, p.State()))
 		}
 	}
@@ -470,7 +485,7 @@ func (s *Service) Batch(ctx context.Context, req BatchRequest) ([]BatchItem, err
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sess.pool(orPost(req.Assign), s.cfg); err != nil {
+	if _, err := sess.pool(orPost(req.Assign), s.cfg, s.engine); err != nil {
 		return nil, err
 	}
 
@@ -554,6 +569,7 @@ type Stats struct {
 	BatchFormulas uint64          `json:"batchFormulas"`
 	Eval          EvalStats       `json:"eval"`
 	Cache         CacheStats      `json:"cache"`
+	Engine        EngineStats     `json:"engine"`
 	Resilience    ResilienceStats `json:"resilience"`
 	Search        SearchStats     `json:"search"`
 	Pools         []PoolStats     `json:"pools"`
@@ -569,7 +585,8 @@ func (s *Service) Stats() Stats {
 			Evals:      s.evals.Load(),
 			TotalNanos: s.evalNanos.Load(),
 		},
-		Cache: s.cache.stats(),
+		Cache:  s.cache.stats(),
+		Engine: s.engine.stats(),
 		Resilience: ResilienceStats{
 			InFlight: s.inflight.Load(),
 			Queued:   s.queued.Load(),

@@ -31,7 +31,7 @@ type session struct {
 // assignment's own Name(), so "opp:1" and the post assignment it equals for
 // agent 1 still get distinct pools (their verdicts coincide but their
 // sample keys differ), while repeated requests share one pool.
-func (s *session) pool(assignName string, cfg Config) (*evalPool, error) {
+func (s *session) pool(assignName string, cfg Config, eng *engine) (*evalPool, error) {
 	sa, err := registry.Assignment(s.sys, assignName)
 	if err != nil {
 		return nil, badRequest(err)
@@ -48,7 +48,7 @@ func (s *session) pool(assignName string, cfg Config) (*evalPool, error) {
 	if p, ok := s.pools[key]; ok {
 		return p, nil
 	}
-	p = newEvalPool(s.sys, sa, s.props, cfg.MemoCap, cfg.MaxIdle)
+	p = newEvalPool(s.sys, sa, s.props, cfg.MemoCap, cfg.MaxIdle, eng)
 	s.pools[key] = p
 	return p, nil
 }
@@ -138,7 +138,7 @@ func (st *store) upload(name string, doc []byte) (*session, error) {
 	}
 	s := &session{
 		name:   name,
-		desc:   fmt.Sprintf("uploaded system (%d trees, %d points)", len(sys.Trees()), sys.Points().Len()),
+		desc:   fmt.Sprintf("uploaded system (%d trees, %d points)", len(sys.Trees()), sys.NumPoints()),
 		source: "upload",
 		hash:   canon.Hash(sys),
 		sys:    sys,
@@ -198,7 +198,7 @@ func (s *session) info(name string) SystemInfo {
 		Hash:        s.hash,
 		Agents:      s.sys.NumAgents(),
 		Trees:       len(s.sys.Trees()),
-		Points:      s.sys.Points().Len(),
+		Points:      s.sys.NumPoints(),
 		Props:       props,
 	}
 }

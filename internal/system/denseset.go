@@ -176,6 +176,75 @@ func (s *DenseSet) MinusWith(t *DenseSet) {
 	}
 }
 
+// parMinWords is the backing-word count below which the *Par set-algebra
+// variants fall back to their serial counterparts: splitting a few thousand
+// words across goroutines costs more than the sweep itself, so small
+// systems pay zero overhead. 32768 words cover 2^21 points. Variable, not
+// constant, so tests can force the parallel path on small fixtures.
+var parMinWords = 1 << 15
+
+// UnionPar is Union with the word sweep split across up to workers
+// goroutines (see ParRange). Below parMinWords, or with workers ≤ 1, it is
+// exactly Union.
+func (s *DenseSet) UnionPar(t *DenseSet, workers int) *DenseSet {
+	if workers <= 1 || len(s.bits) < parMinWords {
+		return s.Union(t)
+	}
+	s.check(t)
+	u := &DenseSet{idx: s.idx, bits: make([]uint64, len(s.bits))}
+	ParRange(len(u.bits), 1, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u.bits[i] = s.bits[i] | t.bits[i]
+		}
+	})
+	return u
+}
+
+// IntersectPar is Intersect with a work-split word sweep; see UnionPar.
+func (s *DenseSet) IntersectPar(t *DenseSet, workers int) *DenseSet {
+	if workers <= 1 || len(s.bits) < parMinWords {
+		return s.Intersect(t)
+	}
+	s.check(t)
+	u := &DenseSet{idx: s.idx, bits: make([]uint64, len(s.bits))}
+	ParRange(len(u.bits), 1, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u.bits[i] = s.bits[i] & t.bits[i]
+		}
+	})
+	return u
+}
+
+// MinusPar is Minus with a work-split word sweep; see UnionPar.
+func (s *DenseSet) MinusPar(t *DenseSet, workers int) *DenseSet {
+	if workers <= 1 || len(s.bits) < parMinWords {
+		return s.Minus(t)
+	}
+	s.check(t)
+	u := &DenseSet{idx: s.idx, bits: make([]uint64, len(s.bits))}
+	ParRange(len(u.bits), 1, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u.bits[i] = s.bits[i] &^ t.bits[i]
+		}
+	})
+	return u
+}
+
+// ComplementPar is Complement with a work-split word sweep; see UnionPar.
+func (s *DenseSet) ComplementPar(workers int) *DenseSet {
+	if workers <= 1 || len(s.bits) < parMinWords {
+		return s.Complement()
+	}
+	u := &DenseSet{idx: s.idx, bits: make([]uint64, len(s.bits))}
+	ParRange(len(u.bits), 1, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u.bits[i] = ^s.bits[i]
+		}
+	})
+	u.clearTail()
+	return u
+}
+
 // SubsetOf reports whether every point of s is in t — one AND-NOT per word,
 // the test the cell-partition evaluator runs per information cell.
 func (s *DenseSet) SubsetOf(t *DenseSet) bool {
@@ -230,6 +299,26 @@ func (s *DenseSet) Key() string {
 func (s *DenseSet) PointSet() PointSet {
 	out := make(PointSet, s.Len())
 	s.Iterate(func(id int) { out.Add(s.idx.points[id]) })
+	return out
+}
+
+// FirstN returns the first n points of the set in dense-ID order (fewer if
+// the set is smaller). Unlike Sorted it stops after n hits, so reporting a
+// bounded sample of a million-point set costs O(words + n), not O(|set|).
+func (s *DenseSet) FirstN(n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Point, 0, n)
+	for wi, w := range s.bits {
+		for w != 0 {
+			out = append(out, s.idx.points[wi*64+bits.TrailingZeros64(w)])
+			if len(out) == n {
+				return out
+			}
+			w &= w - 1
+		}
+	}
 	return out
 }
 

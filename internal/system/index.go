@@ -13,7 +13,9 @@ import (
 //
 // An Index is immutable once built and safe for concurrent readers; it is
 // the backing universe for DenseSet. Obtain a system's index with
-// (*System).Index(), which builds it lazily exactly once.
+// (*System).Index(), which builds it lazily exactly once, or with
+// (*System).BuildIndex to spread the construction of a million-point index
+// across goroutines.
 type Index struct {
 	sys    *System
 	points []Point       // dense ID → point
@@ -31,32 +33,48 @@ type Index struct {
 // Index returns the system's point index, building it on first use. The
 // build is synchronized, so concurrent callers all observe the same
 // fully-constructed index.
-func (s *System) Index() *Index {
+func (s *System) Index() *Index { return s.BuildIndex(1) }
+
+// BuildIndex is Index with the point-table fill split across up to workers
+// goroutines: the per-run ID offsets are laid out serially (one pass over
+// the runs), then each worker materializes the Point records of a disjoint
+// run range. Subsequent calls — with any worker count — return the same
+// index; only the first builds.
+func (s *System) BuildIndex(workers int) *Index {
 	s.indexOnce.Do(func() {
 		idx := &Index{
 			sys: s,
 			pos: make(map[*Tree]int, len(s.trees)),
 		}
+		// Serial prefix pass: one entry per run, not per point.
 		total := 0
-		for _, t := range s.trees {
-			for r := 0; r < t.NumRuns(); r++ {
-				total += t.RunLen(r)
-			}
-		}
-		idx.points = make([]Point, 0, total)
 		idx.runStart = make([][]int, len(s.trees))
+		type runRef struct{ tree, run int }
+		var runs []runRef
 		for ti, t := range s.trees {
 			idx.pos[t] = ti
 			starts := make([]int, t.NumRuns())
 			for r := 0; r < t.NumRuns(); r++ {
-				starts[r] = len(idx.points)
-				for k := 0; k < t.RunLen(r); k++ {
-					idx.points = append(idx.points, Point{Tree: t, Run: r, Time: k})
-				}
+				starts[r] = total
+				total += t.RunLen(r)
+				runs = append(runs, runRef{tree: ti, run: r})
 			}
 			idx.runStart[ti] = starts
 		}
-		idx.words = (len(idx.points) + 63) / 64
+		idx.points = make([]Point, total)
+		// Parallel fill: runs occupy disjoint ID ranges, so shards over a
+		// run partition write disjoint slices of points.
+		ParRange(len(runs), 1, workers, func(_, lo, hi int) {
+			for ri := lo; ri < hi; ri++ {
+				t := s.trees[runs[ri].tree]
+				r := runs[ri].run
+				start := idx.runStart[runs[ri].tree][r]
+				for k, n := 0, t.RunLen(r); k < n; k++ {
+					idx.points[start+k] = Point{Tree: t, Run: r, Time: k}
+				}
+			}
+		})
+		idx.words = (total + 63) / 64
 		idx.cells = make([]*CellPartition, s.numAgents)
 		s.index = idx
 	})
@@ -119,6 +137,7 @@ func (x *Index) EachRun(visit func(t *Tree, run, start, n int)) {
 type CellPartition struct {
 	masks  []*DenseSet
 	cellOf []int32
+	idx    *Index
 }
 
 // NumCells returns the number of information cells.
@@ -131,29 +150,128 @@ func (c *CellPartition) Mask(k int) *DenseSet { return c.masks[k] }
 // CellOf returns the cell index of the point with dense ID id.
 func (c *CellPartition) CellOf(id int) int { return int(c.cellOf[id]) }
 
+// KnowExtension computes {c : cell(c) ⊆ ext}, the dense extension of K_i —
+// the kernel behind the evaluator's knowledge operator. It runs in two
+// sharded phases over up to workers goroutines: first one subset test per
+// cell (reads only), then one pass over the dense IDs writing the result
+// bits of passing cells. ID shards are 64-aligned, so distinct shards write
+// distinct backing words of the shared result — the sharded-mutation
+// pattern the denseown analyzer's fixtures pin down.
+//
+// stop, when non-nil, is polled between strides of both phases; returning
+// true abandons the sweep early (the partial result must be discarded).
+// With workers ≤ 1 both phases run on the calling goroutine.
+func (c *CellPartition) KnowExtension(ext *DenseSet, workers int, stop func() bool) *DenseSet {
+	good := make([]bool, len(c.masks))
+	ParRange(len(c.masks), 1, workers, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if stop != nil && k&15 == 0 && stop() {
+				return
+			}
+			good[k] = c.masks[k].SubsetOf(ext)
+		}
+	})
+	out := c.idx.NewDense()
+	if stop != nil && stop() {
+		return out
+	}
+	ParRange(len(c.cellOf), 64, workers, func(_, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if stop != nil && id&4095 == 0 && stop() {
+				return
+			}
+			if good[c.cellOf[id]] {
+				// Direct word write: the 64-aligned shard owns this word.
+				out.bits[id/64] |= 1 << (id % 64)
+			}
+		}
+	})
+	return out
+}
+
 // Cells returns agent i's information-cell partition, building and caching
 // it on first use. Safe for concurrent use; the returned partition is
 // immutable.
-func (x *Index) Cells(i AgentID) *CellPartition {
+func (x *Index) Cells(i AgentID) *CellPartition { return x.CellsPar(i, 1) }
+
+// CellsPar is Cells with the construction sharded across up to workers
+// goroutines. The result is identical to the serial build — cells are
+// numbered in order of first occurrence by dense ID — because the shards'
+// local first-occurrence numberings are merged in shard order before the
+// final parallel mask fill. Subsequent calls return the cached partition.
+func (x *Index) CellsPar(i AgentID, workers int) *CellPartition {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if c := x.cells[i]; c != nil {
 		return c
 	}
-	byLocal := make(map[LocalState]int32)
-	c := &CellPartition{cellOf: make([]int32, len(x.points))}
-	for id, p := range x.points {
-		l := p.Local(i)
-		k, ok := byLocal[l]
-		if !ok {
-			k = int32(len(c.masks))
-			byLocal[l] = k
-			c.masks = append(c.masks, x.NewDense())
-		}
-		//kpavet:ignore denseown the partition is still private to this loop; c escapes only via x.cells[i] below, after construction
-		c.masks[k].Add(id)
-		c.cellOf[id] = k
+	n := len(x.points)
+	c := &CellPartition{cellOf: make([]int32, n), idx: x}
+
+	// Phase 1: each shard numbers the locals of its ID range in first-
+	// occurrence order, privately.
+	type shardCells struct {
+		byLocal map[LocalState]int32
+		locals  []LocalState // shard-local number → local state
 	}
+	var perShard []shardCells
+	var mu sync.Mutex
+	ParRange(n, 64, workers, func(shard, lo, hi int) {
+		sc := shardCells{byLocal: make(map[LocalState]int32)}
+		for id := lo; id < hi; id++ {
+			l := x.points[id].Local(i)
+			k, ok := sc.byLocal[l]
+			if !ok {
+				k = int32(len(sc.locals))
+				sc.byLocal[l] = k
+				sc.locals = append(sc.locals, l)
+			}
+			c.cellOf[id] = k // shard-local numbering, remapped in phase 3
+		}
+		mu.Lock()
+		for len(perShard) <= shard {
+			perShard = append(perShard, shardCells{})
+		}
+		perShard[shard] = sc
+		mu.Unlock()
+	})
+
+	// Phase 2 (serial): merge the shard numberings in shard order, which
+	// reproduces the global first-occurrence order, then remap each shard's
+	// range. remap[shard][localNum] is the global cell number.
+	global := make(map[LocalState]int32)
+	var order []LocalState
+	remap := make([][]int32, len(perShard))
+	for s, sc := range perShard {
+		remap[s] = make([]int32, len(sc.locals))
+		for k, l := range sc.locals {
+			g, ok := global[l]
+			if !ok {
+				g = int32(len(order))
+				global[l] = g
+				order = append(order, l)
+			}
+			remap[s][k] = g
+		}
+	}
+	c.masks = make([]*DenseSet, len(order))
+	for k := range c.masks {
+		c.masks[k] = x.NewDense()
+	}
+
+	// Phase 3: remap the cell table and fill the masks, sharded over the
+	// same 64-aligned ranges. ParRange reproduces the phase-1 shard
+	// boundaries for equal n/align/workers, so each ID's shard-local number
+	// is remapped through its own shard's table; the mask writes are direct
+	// word updates on 64-aligned ranges, hence race-free.
+	ParRange(n, 64, workers, func(shard, lo, hi int) {
+		tab := remap[shard]
+		for id := lo; id < hi; id++ {
+			g := tab[c.cellOf[id]]
+			c.cellOf[id] = g
+			c.masks[g].bits[id/64] |= 1 << (id % 64)
+		}
+	})
 	x.cells[i] = c
 	return c
 }

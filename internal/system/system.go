@@ -11,8 +11,14 @@ import (
 // choices distinguishing them have been factored out by the adversary.
 type System struct {
 	numAgents int
+	numPoints int
 	trees     []*Tree
 
+	// The map-based indices are built lazily (localOnce, mapsOnce): a
+	// million-point system served through the dense engine never needs the
+	// full map layer, and building it eagerly would dominate construction.
+	// New builds everything up front to keep its historical behavior;
+	// NewTrusted defers.
 	points     PointSet                     // all points, cached
 	byLocal    []map[LocalState][]Point     // agent → local state → points
 	byState    map[string][]Point           // global-state key → points
@@ -21,6 +27,9 @@ type System struct {
 	nodePoints map[*Tree]map[NodeID][]Point // tree → node → points on it
 	synchOnce  bool
 	synchVal   bool
+
+	localOnce sync.Once // guards byLocal
+	mapsOnce  sync.Once // guards points, byState, timeIndex, nodePoints
 
 	indexOnce sync.Once
 	index     *Index // dense point index, built lazily by Index()
@@ -64,7 +73,10 @@ func New(numAgents int, trees ...*Tree) (*System, error) {
 			seenStates[key] = t.Adversary
 		}
 	}
-	s.buildIndices()
+	s.countPoints()
+	// Historical behavior: a system from New has every index ready.
+	s.ensureLocal()
+	s.ensureMaps()
 	return s, nil
 }
 
@@ -77,37 +89,112 @@ func MustNew(numAgents int, trees ...*Tree) *System {
 	return s
 }
 
-func (s *System) buildIndices() {
-	s.points = make(PointSet)
-	s.byLocal = make([]map[LocalState][]Point, s.numAgents)
-	for i := range s.byLocal {
-		s.byLocal[i] = make(map[LocalState][]Point)
+// NewTrusted assembles a system for callers whose construction already
+// guarantees the paper's global-state uniqueness assumption — generators
+// that mint one fresh environment component per node (internal/gen's scale
+// systems). It skips New's O(nodes) duplicate-state map and defers the
+// map-based point indices until an accessor needs them, which is what makes
+// a 10^7-point system constructible in seconds: the dense engine path
+// (Index, DenseSet, CellPartition) never touches them.
+//
+// Per-node agent counts and adversary-name uniqueness are still validated.
+// Passing trees with duplicated global states breaks PointsWithState and
+// the Future assignment; that is the caller's contract to keep.
+func NewTrusted(numAgents int, trees ...*Tree) (*System, error) {
+	if numAgents < 1 {
+		return nil, fmt.Errorf("system: need at least one agent, got %d", numAgents)
 	}
-	s.byState = make(map[string][]Point)
-	s.timeIndex = make(map[*Tree]map[int][]Point, len(s.trees))
-	s.nodePoints = make(map[*Tree]map[NodeID][]Point, len(s.trees))
-	for _, t := range s.trees {
-		s.timeIndex[t] = make(map[int][]Point)
-		s.nodePoints[t] = make(map[NodeID][]Point)
-		for r := 0; r < t.NumRuns(); r++ {
-			for k := 0; k < t.RunLen(r); k++ {
-				p := Point{Tree: t, Run: r, Time: k}
-				s.points.Add(p)
-				st := p.State()
-				for i := 0; i < s.numAgents; i++ {
-					l := st.Local(AgentID(i))
-					s.byLocal[i][l] = append(s.byLocal[i][l], p)
-				}
-				s.byState[st.Key()] = append(s.byState[st.Key()], p)
-				s.timeIndex[t][k] = append(s.timeIndex[t][k], p)
-				s.nodePoints[t][t.runs[r][k]] = append(s.nodePoints[t][t.runs[r][k]], p)
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("system: need at least one computation tree")
+	}
+	s := &System{
+		numAgents:  numAgents,
+		trees:      trees,
+		treeByName: make(map[string]*Tree, len(trees)),
+	}
+	for _, t := range trees {
+		if _, dup := s.treeByName[t.Adversary]; dup {
+			return nil, fmt.Errorf("system: duplicate adversary name %q", t.Adversary)
+		}
+		s.treeByName[t.Adversary] = t
+		for i := 0; i < t.NumNodes(); i++ {
+			n := t.Node(NodeID(i))
+			if got := n.State.NumAgents(); got != numAgents {
+				return nil, fmt.Errorf("system: tree %q node %d has %d local states, want %d",
+					t.Adversary, n.ID, got, numAgents)
 			}
 		}
 	}
+	s.countPoints()
+	return s, nil
+}
+
+func (s *System) countPoints() {
+	total := 0
+	for _, t := range s.trees {
+		for r := 0; r < t.NumRuns(); r++ {
+			total += t.RunLen(r)
+		}
+	}
+	s.numPoints = total
+}
+
+// ensureLocal builds the agent-local-state index on first use. It is the
+// only map index the probability machinery needs (KInTree backs the sample
+// spaces), so it is split from ensureMaps: a scale system serving Pr
+// queries builds byLocal but never pays for the global point set.
+func (s *System) ensureLocal() {
+	s.localOnce.Do(func() {
+		s.byLocal = make([]map[LocalState][]Point, s.numAgents)
+		for i := range s.byLocal {
+			s.byLocal[i] = make(map[LocalState][]Point)
+		}
+		for _, t := range s.trees {
+			for r := 0; r < t.NumRuns(); r++ {
+				for k := 0; k < t.RunLen(r); k++ {
+					p := Point{Tree: t, Run: r, Time: k}
+					st := p.State()
+					for i := 0; i < s.numAgents; i++ {
+						s.byLocal[i][st.Local(AgentID(i))] = append(s.byLocal[i][st.Local(AgentID(i))], p)
+					}
+				}
+			}
+		}
+	})
+}
+
+// ensureMaps builds the remaining map indices (global point set, by-state,
+// by-time, by-node) on first use.
+func (s *System) ensureMaps() {
+	s.mapsOnce.Do(func() {
+		s.points = make(PointSet, s.numPoints)
+		s.byState = make(map[string][]Point)
+		s.timeIndex = make(map[*Tree]map[int][]Point, len(s.trees))
+		s.nodePoints = make(map[*Tree]map[NodeID][]Point, len(s.trees))
+		for _, t := range s.trees {
+			s.timeIndex[t] = make(map[int][]Point)
+			s.nodePoints[t] = make(map[NodeID][]Point)
+			for r := 0; r < t.NumRuns(); r++ {
+				for k := 0; k < t.RunLen(r); k++ {
+					p := Point{Tree: t, Run: r, Time: k}
+					s.points.Add(p)
+					st := p.State()
+					s.byState[st.Key()] = append(s.byState[st.Key()], p)
+					s.timeIndex[t][k] = append(s.timeIndex[t][k], p)
+					s.nodePoints[t][t.runs[r][k]] = append(s.nodePoints[t][t.runs[r][k]], p)
+				}
+			}
+		}
+	})
 }
 
 // NumAgents returns the number of agents in the system.
 func (s *System) NumAgents() int { return s.numAgents }
+
+// NumPoints returns the number of points of the system. Unlike
+// Points().Len() it reads a cached count and never materializes the
+// map-based point set, so it is safe to call on million-point systems.
+func (s *System) NumPoints() int { return s.numPoints }
 
 // Agents returns the agent IDs 0..n−1.
 func (s *System) Agents() []AgentID {
@@ -127,10 +214,14 @@ func (s *System) TreeByAdversary(name string) *Tree { return s.treeByName[name] 
 
 // Points returns the set of all points of the system. The returned set must
 // not be modified; Clone it first.
-func (s *System) Points() PointSet { return s.points }
+func (s *System) Points() PointSet {
+	s.ensureMaps()
+	return s.points
+}
 
 // PointsOfTree returns all points lying in tree t.
 func (s *System) PointsOfTree(t *Tree) PointSet {
+	s.ensureMaps()
 	u := make(PointSet)
 	for p := range s.points {
 		if p.Tree == t {
@@ -141,20 +232,30 @@ func (s *System) PointsOfTree(t *Tree) PointSet {
 }
 
 // PointsAtTime returns the points of tree t at time k.
-func (s *System) PointsAtTime(t *Tree, k int) []Point { return s.timeIndex[t][k] }
+func (s *System) PointsAtTime(t *Tree, k int) []Point {
+	s.ensureMaps()
+	return s.timeIndex[t][k]
+}
 
 // PointsOnNode returns the points (run, time) lying on the given node of
 // tree t — one per run through the node.
-func (s *System) PointsOnNode(t *Tree, id NodeID) []Point { return s.nodePoints[t][id] }
+func (s *System) PointsOnNode(t *Tree, id NodeID) []Point {
+	s.ensureMaps()
+	return s.nodePoints[t][id]
+}
 
 // PointsWithState returns all points whose global state equals g.
-func (s *System) PointsWithState(g GlobalState) []Point { return s.byState[g.Key()] }
+func (s *System) PointsWithState(g GlobalState) []Point {
+	s.ensureMaps()
+	return s.byState[g.Key()]
+}
 
 // K returns K_i(c): the set of points agent i considers possible at c —
 // all points of the system at which i has the same local state as at c.
 // This is the possibility relation ∼_i of Section 2; it may span several
 // computation trees.
 func (s *System) K(i AgentID, c Point) PointSet {
+	s.ensureLocal()
 	pts := s.byLocal[i][c.Local(i)]
 	u := make(PointSet, len(pts))
 	for _, p := range pts {
@@ -166,6 +267,7 @@ func (s *System) K(i AgentID, c Point) PointSet {
 // KInTree returns Tree_ic = {d ∈ T(c) : c ∼_i d}: the points of c's own
 // computation tree that agent i considers possible at c (Section 6).
 func (s *System) KInTree(i AgentID, c Point) PointSet {
+	s.ensureLocal()
 	u := make(PointSet)
 	for _, p := range s.byLocal[i][c.Local(i)] {
 		if p.Tree == c.Tree {
@@ -194,6 +296,7 @@ func (s *System) IsSynchronous() bool {
 	if s.synchOnce {
 		return s.synchVal
 	}
+	s.ensureLocal()
 	s.synchOnce = true
 	s.synchVal = true
 	for i := 0; i < s.numAgents && s.synchVal; i++ {
@@ -211,6 +314,7 @@ func (s *System) IsSynchronous() bool {
 // SameLocalTimes reports, for diagnostics, the first synchrony violation:
 // an agent and two points it cannot distinguish at different times.
 func (s *System) SameLocalTimes() (AgentID, Point, Point, bool) {
+	s.ensureLocal()
 	for i := 0; i < s.numAgents; i++ {
 		for _, pts := range s.byLocal[i] {
 			for j := 1; j < len(pts); j++ {

@@ -126,6 +126,13 @@ type Tree struct {
 	runs     [][]NodeID // maximal root-to-leaf paths, by run index
 	runProbs []rat.Rat  // probability of each run
 	depth    int        // maximum node time
+
+	// uniform is set when every run has the same probability (a broom of
+	// equiprobable branches, the shape scale-tier systems use). Prob then
+	// reduces a run-set sum to one popcount and one multiplication instead
+	// of |set| exact-rational additions.
+	uniform     bool
+	uniformProb rat.Rat
 }
 
 // NumNodes returns the number of nodes in the tree.
@@ -171,6 +178,16 @@ func (t *Tree) RunsThroughNode(id NodeID) RunSet {
 // Prob returns the probability of a set of runs: μ_A(R) = Σ_{r∈R} μ_A(r).
 // Over a finite tree every run set is measurable.
 func (t *Tree) Prob(rs RunSet) rat.Rat {
+	if t.uniform {
+		n := rs.Len()
+		switch n {
+		case 0:
+			return rat.Zero
+		case 1:
+			return t.uniformProb
+		}
+		return rat.FromInt(int64(n)).Mul(t.uniformProb)
+	}
 	acc := rat.Zero
 	rs.Iterate(func(r int) {
 		acc = acc.Add(t.runProbs[r])
@@ -270,10 +287,32 @@ func (t *Tree) enumerateRuns() {
 			t.runProbs = append(t.runProbs, prob)
 		} else {
 			for _, e := range n.Edges {
-				walk(e.Child, prob.Mul(e.Prob))
+				// Probability-1 edges (deterministic chains) keep the
+				// parent's Rat value instead of allocating a product; in a
+				// broom-shaped tree every run then shares one value.
+				if e.Prob.IsOne() {
+					walk(e.Child, prob)
+				} else {
+					walk(e.Child, prob.Mul(e.Prob))
+				}
 			}
 		}
 		path = path[:len(path)-1]
 	}
 	walk(0, rat.One)
+	// Detect uniform run distributions for Prob's fast path. Runs that
+	// inherited the parent's value through the probability-1 shortcut above
+	// share one Rat, so the identity compare settles the common broom shape
+	// without touching big.Rat.
+	if len(t.runProbs) > 0 {
+		t.uniform = true
+		t.uniformProb = t.runProbs[0]
+		for _, p := range t.runProbs[1:] {
+			if p != t.uniformProb && !p.Equal(t.uniformProb) {
+				t.uniform = false
+				break
+			}
+		}
+	}
 }
+

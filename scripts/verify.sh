@@ -27,3 +27,6 @@ go test -race ./...
 # Smoke the benchmark trajectory: one iteration each, so a broken or
 # bit-rotted benchmark fails verification without paying for a full run.
 go test -run '^$' -bench . -benchtime 1x ./...
+# The scale-tier benchmarks are env-gated (they skip without KPA_SCALE_TIER),
+# so smoke the smallest tier explicitly, one iteration, budget 2.
+KPA_SCALE_TIER=100k KPA_SCALE_WORKERS=2 go test -run '^$' -bench 'Scale' -benchtime 1x ./internal/logic
