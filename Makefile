@@ -12,19 +12,21 @@ test:
 # behind internal/rat, no floats in probability code, immutable big.Rat
 # receivers, pool get/put pairing, dense-set ownership, guarded-field
 # locking, deterministic map-derived output, context threading, goroutine
-# termination, service error kinds). See docs/LINTING.md.
+# termination, service error kinds, shard-disjoint parallel writes, Gate
+# token balance, atomic-field access discipline, cancel polling in sweeps
+# and fixpoints). See docs/LINTING.md.
 lint:
 	go vet ./...
 	go run ./cmd/kpavet ./...
 
 # Guard against an analyzer silently dropping out of the default roster:
-# -list must name all ten contracts.
+# -list must name all fourteen contracts.
 lint-fix-check:
 	@out="$$(go run ./cmd/kpavet -list)"; \
-	for a in bigimport ctxflow denseown errkind floatprob goleak lockguard maprange poolpair ratmut; do \
+	for a in atomicstate bigimport cancelpoll ctxflow denseown errkind floatprob gatebal goleak lockguard maprange poolpair ratmut shardsafe; do \
 		echo "$$out" | grep -q "^$$a:" || { echo "kpavet -list is missing $$a"; exit 1; }; \
 	done; \
-	echo "kpavet -list names all ten analyzers"
+	echo "kpavet -list names all fourteen analyzers"
 
 # vet + full test suite under the race detector (validates the concurrent
 # query service's pooling contract).

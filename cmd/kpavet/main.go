@@ -17,7 +17,9 @@
 //	file:line: [analyzer] message
 //
 // or, with -json, one JSON object per line with the fields file, line,
-// col, analyzer and message, and exits 1 if there were any violations,
+// col, analyzer, message and doc (the first sentence of the analyzer's
+// contract, for grouping without a roster lookup), and exits 1 if
+// there were any violations,
 // 2 if the module failed to load, 0 when clean. Suppress a diagnostic
 // with a justified directive:
 //
@@ -34,31 +36,39 @@ import (
 	"strings"
 
 	"kpa/internal/analysis"
+	"kpa/internal/analysis/atomicstate"
 	"kpa/internal/analysis/bigimport"
+	"kpa/internal/analysis/cancelpoll"
 	"kpa/internal/analysis/ctxflow"
 	"kpa/internal/analysis/denseown"
 	"kpa/internal/analysis/driver"
 	"kpa/internal/analysis/errkind"
 	"kpa/internal/analysis/floatprob"
+	"kpa/internal/analysis/gatebal"
 	"kpa/internal/analysis/goleak"
 	"kpa/internal/analysis/lockguard"
 	"kpa/internal/analysis/maprange"
 	"kpa/internal/analysis/poolpair"
 	"kpa/internal/analysis/ratmut"
+	"kpa/internal/analysis/shardsafe"
 )
 
 func defaultAnalyzers() []analysis.Analyzer {
 	return []analysis.Analyzer{
+		atomicstate.New(),
 		bigimport.New(),
+		cancelpoll.New(),
 		ctxflow.New(),
 		denseown.New(),
 		errkind.New(),
 		floatprob.New(),
+		gatebal.New(),
 		goleak.New(),
 		lockguard.New(),
 		maprange.New(),
 		poolpair.New(),
 		ratmut.New(),
+		shardsafe.New(),
 	}
 }
 

@@ -26,14 +26,15 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// rosterNames is the pinned 10-analyzer roster, in roster order.
+// rosterNames is the pinned 14-analyzer roster, in roster order.
 var rosterNames = []string{
-	"bigimport", "ctxflow", "denseown", "errkind", "floatprob",
-	"goleak", "lockguard", "maprange", "poolpair", "ratmut",
+	"atomicstate", "bigimport", "cancelpoll", "ctxflow", "denseown",
+	"errkind", "floatprob", "gatebal", "goleak", "lockguard",
+	"maprange", "poolpair", "ratmut", "shardsafe",
 }
 
-// TestList pins the analyzer roster: each of the ten contracts must be
-// present and documented.
+// TestList pins the analyzer roster: each of the fourteen contracts
+// must be present and documented.
 func TestList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
@@ -131,6 +132,9 @@ func Names(m map[string]int) []string {
 		}
 		if d.File != "report.go" || d.Line <= 0 || d.Col <= 0 || d.Analyzer == "" || d.Message == "" {
 			t.Errorf("decoded diagnostic has bad fields: %+v", d)
+		}
+		if d.Doc == "" || strings.ContainsAny(d.Doc, "\n\t") {
+			t.Errorf("diagnostic doc summary should be one non-empty line: %+v", d)
 		}
 		if d.Analyzer == "maprange" {
 			sawMaprange = true

@@ -1,0 +1,199 @@
+// Package atomicstate implements the kpavet analyzer for atomic access
+// consistency on struct fields.
+//
+// A field that any code accesses through sync/atomic (LoadInt64,
+// AddInt32, CompareAndSwapUint64, ...) is a shared counter: the atomic
+// calls are its access protocol, and every other load or store of the
+// same field must follow it. One plain read racing one atomic increment
+// is already undefined — the read may tear, the race detector fires
+// only on the interleavings that happen to run, and the engine's
+// metrics silently drift. The analyzer therefore enforces all-or-
+// nothing: once a field is touched atomically anywhere in the module,
+// every plain selector access of it is a diagnostic.
+//
+// Atomic accesses are recognized through the &f argument of the legacy
+// pointer API (the typed atomic.Int64 family encapsulates its word and
+// cannot be accessed plainly, so it needs no checking — and is the
+// recommended fix). Cross-package consistency flows through
+// AtomicField facts: the pass over the defining package exports one per
+// atomically-accessed field, and passes over importing packages treat
+// the imported fact exactly like a local atomic site. Composite-literal
+// initialization is exempt — the struct is not yet shared while being
+// built.
+package atomicstate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kpa/internal/analysis"
+)
+
+// AtomicField marks a struct field that is accessed via sync/atomic
+// somewhere in its defining package, so importing packages must not
+// access it plainly.
+type AtomicField struct{}
+
+// AFact marks AtomicField as a driver-transportable fact.
+func (*AtomicField) AFact() {}
+
+// Analyzer enforces all-or-nothing atomic access per struct field.
+type Analyzer struct{}
+
+// New returns the atomicstate analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+func (*Analyzer) Name() string { return "atomicstate" }
+
+func (*Analyzer) Doc() string {
+	return "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere; mixing plain loads or stores with atomic ones races (prefer the typed atomic.Int64 family, which makes plain access impossible)"
+}
+
+// atomicFuncs is the legacy pointer API of sync/atomic whose first
+// argument addresses the accessed word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func (*Analyzer) Run(pass *analysis.Pass) error {
+	c := &collector{
+		pass:     pass,
+		atomic:   make(map[*types.Var][]*ast.SelectorExpr),
+		inAtomic: make(map[*ast.SelectorExpr]bool),
+	}
+	for _, f := range pass.Files {
+		c.collectAtomic(f)
+	}
+	for _, f := range pass.Files {
+		c.checkPlain(f)
+	}
+	for field := range c.atomic {
+		pass.ExportObjectFact(field, &AtomicField{})
+	}
+	return nil
+}
+
+type collector struct {
+	pass *analysis.Pass
+	// atomic maps each field to its atomic access sites in this package.
+	atomic map[*types.Var][]*ast.SelectorExpr
+	// inAtomic marks selector expressions consumed as &f arguments of
+	// atomic calls, so the plain sweep skips them.
+	inAtomic map[*ast.SelectorExpr]bool
+}
+
+// collectAtomic records every field addressed by a legacy atomic call.
+func (c *collector) collectAtomic(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !c.isAtomicCall(call) || len(call.Args) == 0 {
+			return true
+		}
+		un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return true
+		}
+		sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := c.fieldOf(sel)
+		if field == nil {
+			return true
+		}
+		c.atomic[field] = append(c.atomic[field], sel)
+		c.inAtomic[sel] = true
+		return true
+	})
+}
+
+// checkPlain flags every selector access of an atomically-accessed
+// field outside the atomic calls themselves.
+func (c *collector) checkPlain(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CompositeLit); ok {
+			return false // initialization before sharing is exempt
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || c.inAtomic[sel] {
+			return true
+		}
+		field := c.fieldOf(sel)
+		if field == nil {
+			return true
+		}
+		if !c.isAtomicField(field) {
+			return true
+		}
+		c.pass.Report(sel.Pos(), fmt.Sprintf(
+			"plain access of field %s, which is accessed via sync/atomic elsewhere; mixed access races — use atomic operations everywhere or migrate to atomic.%s",
+			field.Name(), typedSuggestion(field.Type())))
+		return true
+	})
+}
+
+// isAtomicField reports whether the field has atomic access sites in
+// this package or, via fact, in its defining package.
+func (c *collector) isAtomicField(field *types.Var) bool {
+	if len(c.atomic[field]) > 0 {
+		return true
+	}
+	return c.pass.ImportObjectFact(field, &AtomicField{})
+}
+
+// isAtomicCall reports whether call invokes one of sync/atomic's legacy
+// pointer functions.
+func (c *collector) isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := c.pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it reads or writes.
+func (c *collector) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	s, ok := c.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// typedSuggestion names the typed atomic wrapper matching the field's
+// type, for the diagnostic's migration hint.
+func typedSuggestion(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Pointer"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	}
+	return "Value"
+}

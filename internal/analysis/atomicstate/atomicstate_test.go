@@ -1,0 +1,12 @@
+package atomicstate_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/atomicstate"
+)
+
+func TestAtomicState(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicstate.New())
+}

@@ -1,0 +1,3 @@
+module kpa
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package logic exercises the cross-package fact: system maintains
+// Counters.Ops atomically, so a plain read here is flagged through the
+// imported AtomicField fact.
+package logic
+
+import "kpa/internal/system"
+
+// Drain reads the atomic counter plainly: races with system.Bump.
+func Drain(c *system.Counters) int64 {
+	return c.Ops // want `plain access of field Ops`
+}
+
+// Label reads a field with no atomic protocol: clean.
+func Label(c *system.Counters) string {
+	return c.Name
+}
+
+// Fresh initializes the struct in a composite literal before it is
+// shared: exempt.
+func Fresh() *system.Counters {
+	return &system.Counters{Ops: 0, Name: "fresh"}
+}

@@ -1,0 +1,37 @@
+// Package system exercises in-package atomic consistency and exports
+// AtomicField facts for the cross-package half of the fixture.
+package system
+
+import "sync/atomic"
+
+// Metrics counts engine events; hits is maintained atomically, total is
+// a plain field only ever touched before the struct is shared.
+type Metrics struct {
+	hits  int64 // want-fact:"atomicstate:AtomicField"
+	total int64
+}
+
+// Hit bumps the shared counter atomically.
+func (m *Metrics) Hit() { atomic.AddInt64(&m.hits, 1) }
+
+// Snapshot reads hits atomically; reading the non-atomic total plainly
+// is fine.
+func (m *Metrics) Snapshot() int64 {
+	return atomic.LoadInt64(&m.hits) + m.total
+}
+
+// Reset mixes a plain store into the atomic field's protocol.
+func (m *Metrics) Reset() {
+	m.hits = 0 // want `plain access of field hits`
+	m.total = 0
+}
+
+// Counters is shared across packages; Ops is atomically maintained
+// here, so importers must not touch it plainly.
+type Counters struct {
+	Ops  int64 // want-fact:"atomicstate:AtomicField"
+	Name string
+}
+
+// Bump increments Ops atomically.
+func (c *Counters) Bump() { atomic.AddInt64(&c.Ops, 1) }

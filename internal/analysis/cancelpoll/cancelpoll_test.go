@@ -1,0 +1,12 @@
+package cancelpoll_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/cancelpoll"
+)
+
+func TestCancelPoll(t *testing.T) {
+	analysistest.Run(t, "testdata", cancelpoll.New())
+}

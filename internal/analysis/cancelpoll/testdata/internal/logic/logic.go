@@ -1,0 +1,91 @@
+// Package logic exercises cancel-poll enforcement: polled sweeps and
+// fixpoints stay clean (directly, through in-package helpers, or
+// through imported PollsCancel facts), unpolled loops with a hook in
+// reach are flagged, and code without a capability is exempt.
+package logic
+
+import "kpa/internal/system"
+
+// Evaluator carries the cancel hook as a field, so every method has the
+// capability in reach.
+type Evaluator struct {
+	cancel func() error
+	rounds int
+}
+
+// checkCancel consults the hook: the in-package polling helper.
+func (e *Evaluator) checkCancel() error {
+	if e.cancel == nil {
+		return nil
+	}
+	return e.cancel()
+}
+
+// FixpointPolled polls once per round through the helper.
+func (e *Evaluator) FixpointPolled() error {
+	for {
+		if err := e.checkCancel(); err != nil {
+			return err
+		}
+		if e.rounds == 0 {
+			return nil
+		}
+		e.rounds--
+	}
+}
+
+// FixpointUnpolled spins rounds with the hook one field away and never
+// consults it.
+func (e *Evaluator) FixpointUnpolled() int {
+	total := 0
+	for { // want `condition-less fixpoint loop without a cancel poll`
+		if e.rounds == 0 {
+			return total
+		}
+		total++
+		e.rounds--
+	}
+}
+
+// SweepPolled tests the captured stop function inside the stride gate.
+func SweepPolled(n, workers int, stop func() bool, out []int32) {
+	system.ParRange(n, 1, workers, func(shard, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if stop != nil && id&4095 == 0 && id > lo && stop() {
+				return
+			}
+			out[id] = int32(id)
+		}
+	})
+}
+
+// SweepUnpolled captures the hook and ignores it.
+func SweepUnpolled(n, workers int, stop func() bool, out []int32) {
+	system.ParRange(n, 1, workers, func(shard, lo, hi int) {
+		for id := lo; id < hi; id++ { // want `shard sweep over lo:hi without a cancel poll`
+			out[id] = int32(id)
+		}
+	})
+}
+
+// SweepViaHelper polls through the imported system.PollStop fact.
+func SweepViaHelper(n, workers int, stop func() bool, out []int32) {
+	system.ParRange(n, 1, workers, func(shard, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if system.PollStop(stop) {
+				return
+			}
+			out[id] = int32(id)
+		}
+	})
+}
+
+// SweepNoCapability has no hook anywhere in reach: exempt, the caller
+// owns responsiveness.
+func SweepNoCapability(n, workers int, out []int32) {
+	system.ParRange(n, 1, workers, func(shard, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			out[id] = int32(id)
+		}
+	})
+}

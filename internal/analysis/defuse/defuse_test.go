@@ -1,0 +1,279 @@
+package defuse_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"kpa/internal/analysis/cfg"
+	"kpa/internal/analysis/defuse"
+)
+
+// load type-checks one in-memory file and returns the body of the named
+// function plus everything needed to build an Info for it.
+func load(t *testing.T, src, fn string) (*ast.BlockStmt, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd.Body, info, fset
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil, nil
+}
+
+// findVar resolves a variable by name among the body's defined objects.
+func findVar(t *testing.T, in *defuse.Info, info *types.Info, body *ast.BlockStmt, name string) *types.Var {
+	t.Helper()
+	var found *types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && found == nil {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				found = v
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				found = v
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("variable %s not found", name)
+	}
+	return found
+}
+
+// useAt finds the identifier use of name on the given fset line.
+func useAt(t *testing.T, info *types.Info, fset *token.FileSet, body *ast.BlockStmt, name string, line int) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && fset.Position(id.Pos()).Line == line {
+			if _, isUse := info.Uses[id]; isUse {
+				found = id
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no use of %s on line %d", name, line)
+	}
+	return found
+}
+
+func TestReachingDefsKillAndMerge(t *testing.T) {
+	src := `package p
+
+func f(cond bool) int {
+	x := 1          // line 4: def A
+	if cond {
+		x = 2       // line 6: def B
+	}
+	y := x          // line 8: use sees A and B
+	x = 3           // line 9: def C
+	return x + y    // line 10: use of x sees only C
+}
+`
+	body, info, fset := load(t, src, "f")
+	in := defuse.New(body, info, cfg.New)
+
+	x := findVar(t, in, info, body, "x")
+	if got := len(in.DefsOf(x)); got != 3 {
+		t.Fatalf("DefsOf(x) = %d defs, want 3", got)
+	}
+
+	atMerge := in.ReachingDefs(useAt(t, info, fset, body, "x", 8))
+	if len(atMerge) != 2 {
+		t.Errorf("after if-join, %d defs reach the use of x, want 2", len(atMerge))
+	}
+	atReturn := in.ReachingDefs(useAt(t, info, fset, body, "x", 10))
+	if len(atReturn) != 1 {
+		t.Fatalf("after redefinition, %d defs reach the use of x, want 1", len(atReturn))
+	}
+	if line := fset.Position(atReturn[0].Site.Pos()).Line; line != 9 {
+		t.Errorf("surviving def on line %d, want 9", line)
+	}
+}
+
+func TestFreshAndAliasRoots(t *testing.T) {
+	src := `package p
+
+type set struct{ bits []uint64 }
+
+func g(shared *set, tables [][]int32, shard int) {
+	own := &set{bits: make([]uint64, 4)}
+	alias := shared
+	words := shared.bits
+	sub := words[0:2]
+	tab := tables[shard]
+	mixed := own
+	if shard > 0 {
+		mixed = alias
+	}
+	_, _, _, _, _ = own, sub, tab, mixed, alias
+}
+`
+	body, info, _ := load(t, src, "g")
+	in := defuse.New(body, info, cfg.New)
+
+	shared := findVar(t, in, info, body, "shared")
+	own := findVar(t, in, info, body, "own")
+	sub := findVar(t, in, info, body, "sub")
+	tab := findVar(t, in, info, body, "tab")
+	mixed := findVar(t, in, info, body, "mixed")
+
+	if !in.Fresh(own) {
+		t.Errorf("own allocates on its only def; Fresh(own) = false")
+	}
+	if in.Fresh(mixed) {
+		t.Errorf("mixed aliases shared on one path; Fresh(mixed) = true")
+	}
+
+	if roots, opaque := in.AliasRoots(own); len(roots) != 0 || opaque {
+		t.Errorf("AliasRoots(own) = %v opaque=%v, want none", roots, opaque)
+	}
+	if roots, _ := in.AliasRoots(sub); len(roots) != 1 || roots[0] != shared {
+		t.Errorf("AliasRoots(sub) should be {shared}, got %v", roots)
+	}
+	if roots, _ := in.AliasRoots(tab); len(roots) != 1 || roots[0].Name() != "tables" {
+		t.Errorf("AliasRoots(tab) should be {tables}, got %v", roots)
+	}
+	if roots, _ := in.AliasRoots(mixed); len(roots) != 1 || roots[0] != shared {
+		t.Errorf("AliasRoots(mixed) should be {shared}, got %v", roots)
+	}
+}
+
+func TestOpaqueCallResult(t *testing.T) {
+	src := `package p
+
+func mk() []int { return make([]int, 4) }
+
+func h() {
+	v := mk()
+	_ = v
+}
+`
+	body, info, _ := load(t, src, "h")
+	in := defuse.New(body, info, cfg.New)
+	v := findVar(t, in, info, body, "v")
+	if roots, opaque := in.AliasRoots(v); !opaque || len(roots) != 0 {
+		t.Errorf("call results must be opaque: roots=%v opaque=%v", roots, opaque)
+	}
+	if in.Fresh(v) {
+		t.Errorf("a call result is not provably fresh")
+	}
+}
+
+func TestCaptures(t *testing.T) {
+	src := `package p
+
+func caps(n int) []func() {
+	total := 0
+	var outs []func()
+	for i := 0; i < n; i++ {
+		outs = append(outs, func() {
+			total += i // writes total, reads loop var i
+		})
+	}
+	go func() {
+		total++
+	}()
+	return outs
+}
+`
+	body, info, _ := load(t, src, "caps")
+	in := defuse.New(body, info, cfg.New)
+
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, l)
+		}
+		return true
+	})
+	if len(lits) != 2 {
+		t.Fatalf("found %d literals, want 2", len(lits))
+	}
+
+	loopLit, goLit := lits[0], lits[1]
+	caps := in.Captures(loopLit)
+	byName := make(map[string]defuse.Capture)
+	for _, c := range caps {
+		byName[c.Obj.Name()] = c
+	}
+	tc, ok := byName["total"]
+	if !ok || !tc.Assigned || tc.LoopVar {
+		t.Errorf("capture of total: got %+v ok=%v, want Assigned, not LoopVar", tc, ok)
+	}
+	ic, ok := byName["i"]
+	if !ok || !ic.LoopVar {
+		t.Errorf("capture of i: got %+v ok=%v, want LoopVar", ic, ok)
+	}
+
+	if !in.LaunchedByGo(goLit) {
+		t.Errorf("second literal is launched by go; LaunchedByGo = false")
+	}
+	if in.LaunchedByGo(loopLit) {
+		t.Errorf("loop literal is not go-launched; LaunchedByGo = true")
+	}
+}
+
+func TestLiteralBoundaryIsPessimistic(t *testing.T) {
+	src := `package p
+
+func lit() func() int {
+	x := 1
+	f := func() int { return x } // line 5: use inside literal
+	x = 2
+	return f
+}
+`
+	body, info, fset := load(t, src, "lit")
+	in := defuse.New(body, info, cfg.New)
+	use := useAt(t, info, fset, body, "x", 5)
+	if got := len(in.ReachingDefs(use)); got != 2 {
+		t.Errorf("a literal may run after any def: %d defs reach, want 2", got)
+	}
+}
+
+func TestAddressTaken(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+func addr() int32 {
+	var n int32
+	atomic.AddInt32(&n, 1)
+	m := int32(0)
+	return n + m
+}
+`
+	body, info, _ := load(t, src, "addr")
+	in := defuse.New(body, info, cfg.New)
+	n := findVar(t, in, info, body, "n")
+	m := findVar(t, in, info, body, "m")
+	if !in.AddressTaken(n) {
+		t.Errorf("AddressTaken(n) = false, want true")
+	}
+	if in.AddressTaken(m) {
+		t.Errorf("AddressTaken(m) = true, want false")
+	}
+}

@@ -101,7 +101,7 @@ func (e *Eval) ReadShared(k string) int {
 
 // AccumulateEachRun fills a fresh set inside an inline system callback —
 // the callback runs before EachRun returns, so ownership survives it.
-func (e *Eval) AccumulateEachRun() *system.DenseSet {
+func (e *Eval) AccumulateEachRun() *system.DenseSet { // want-fact:"denseown:FreshSetResult"
 	out := e.idx.NewDense()
 	e.idx.EachRun(func(id int) {
 		if id%2 == 0 {
@@ -123,7 +123,7 @@ func (e *Eval) RacyClone(k string, t *system.DenseSet) {
 
 // FreshAcross mutates the result of a cross-package fresh helper: the
 // FreshSetResult fact carried by the driver proves ownership.
-func FreshAcross(x *system.Index) *system.DenseSet {
+func FreshAcross(x *system.Index) *system.DenseSet { // want-fact:"denseown:FreshSetResult"
 	s := setops.Singleton(x, 2)
 	s.Add(4)
 	return s
@@ -131,7 +131,7 @@ func FreshAcross(x *system.Index) *system.DenseSet {
 
 // BothBranchesFresh allocates on every path, so the join keeps
 // ownership.
-func (e *Eval) BothBranchesFresh(big bool) *system.DenseSet {
+func (e *Eval) BothBranchesFresh(big bool) *system.DenseSet { // want-fact:"denseown:FreshSetResult"
 	var s *system.DenseSet
 	if big {
 		s = e.idx.FullDense()
@@ -147,7 +147,7 @@ func (e *Eval) BothBranchesFresh(big bool) *system.DenseSet {
 // ShardedFill writes disjoint 64-aligned words of a fresh owned set from a
 // literal callback handed straight to ParRange: the callback runs to
 // completion inside the trusted call, so ownership survives the fan-out.
-func (e *Eval) ShardedFill(n int) *system.DenseSet {
+func (e *Eval) ShardedFill(n int) *system.DenseSet { // want-fact:"denseown:FreshSetResult"
 	out := e.idx.NewDense()
 	system.ParRange(n, 64, 4, func(shard, lo, hi int) {
 		for id := lo; id < hi; id++ {
@@ -163,7 +163,7 @@ func (e *Eval) ShardedFill(n int) *system.DenseSet {
 // the barrier. All mutation targets are owned, so the whole dance is clean.
 // (Mutating through scratch[shard] instead would be flagged: slice elements
 // are shared as far as ownership is concerned.)
-func (e *Eval) ShardedScratchMerge(n int) *system.DenseSet {
+func (e *Eval) ShardedScratchMerge(n int) *system.DenseSet { // want-fact:"denseown:FreshSetResult"
 	scratch := make([]*system.DenseSet, 4)
 	system.ParRange(n, 64, 4, func(shard, lo, hi int) {
 		local := e.idx.NewDense()

@@ -47,6 +47,7 @@ import (
 
 	"kpa/internal/analysis"
 	"kpa/internal/analysis/cfg"
+	"kpa/internal/analysis/defuse"
 )
 
 // Config describes one driver run.
@@ -84,6 +85,9 @@ const BareIgnoreMessage = `bare //kpavet:ignore directive: an analyzer name and 
 // driverName labels diagnostics emitted by the driver itself (malformed
 // ignore directives) rather than by an analyzer.
 const driverName = "kpavet"
+
+// driverDoc is the Doc summary attached to the driver's own diagnostics.
+const driverDoc = "every //kpavet:ignore directive names an analyzer and gives a reason"
 
 // Run loads the module at cfg.Root, type-checks every package and runs
 // every analyzer, returning the surviving diagnostics sorted by position.
@@ -157,7 +161,7 @@ func Run(conf Config) ([]analysis.Diagnostic, error) {
 type task struct {
 	p          *pkg
 	a          analysis.Analyzer
-	deps       int32 // remaining unfinished dependencies
+	deps       atomic.Int32 // remaining unfinished dependencies
 	dependents []*task
 }
 
@@ -166,6 +170,7 @@ type task struct {
 // (package, analyzer) pairs out across a bounded pool of goroutines.
 func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers []analysis.Analyzer, facts *factStore) ([]analysis.Diagnostic, error) {
 	graphs := newCFGCache()
+	defuses := newDefUseCache(graphs)
 
 	byPath := make(map[string]*pkg, len(order))
 	for _, p := range order {
@@ -192,7 +197,7 @@ func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers 
 				seen[dep] = true
 				if dt, ok := index[dep]; ok {
 					dt.dependents = append(dt.dependents, t)
-					t.deps++
+					t.deps.Add(1)
 				}
 			}
 		}
@@ -211,17 +216,17 @@ func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers 
 		workers = len(tasks)
 	}
 	// Seed the queue before any worker exists: once a worker runs it
-	// decrements dependents' counters concurrently, so reading deps here
-	// would race (and a task reaching zero mid-loop could be sent twice).
+	// decrements dependents' counters concurrently, so a task reaching
+	// zero mid-loop could be sent twice if workers were already draining.
 	for _, t := range tasks {
-		if t.deps == 0 {
+		if t.deps.Load() == 0 {
 			ready <- t
 		}
 	}
 	for i := 0; i < workers; i++ {
 		go func() {
 			for t := range ready {
-				local, err := runPass(fset, root, module, t, facts, graphs)
+				local, err := runPass(fset, root, module, t, facts, graphs, defuses)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("analyzer %s on %s: %w", t.a.Name(), t.p.path, err)
@@ -229,7 +234,7 @@ func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers 
 				diags = append(diags, local...)
 				mu.Unlock()
 				for _, d := range t.dependents {
-					if atomic.AddInt32(&d.deps, -1) == 0 {
+					if d.deps.Add(-1) == 0 {
 						ready <- d
 					}
 				}
@@ -246,20 +251,27 @@ func schedule(fset *token.FileSet, root, module string, order []*pkg, analyzers 
 }
 
 // runPass runs one analyzer over one package and returns its diagnostics.
-func runPass(fset *token.FileSet, root, module string, t *task, facts *factStore, graphs *cfgCache) ([]analysis.Diagnostic, error) {
+func runPass(fset *token.FileSet, root, module string, t *task, facts *factStore, graphs *cfgCache, defuses *defUseCache) ([]analysis.Diagnostic, error) {
 	name := t.a.Name()
+	doc := docSummary(t.a.Doc())
+	info := t.p.info
 	pass := &analysis.Pass{
 		Fset:    fset,
 		Module:  module,
 		PkgPath: t.p.path,
 		Pkg:     t.p.types,
 		Files:   t.p.files,
-		Info:    t.p.info,
+		Info:    info,
 		CFG:     graphs.get,
+		DefUse: func(body *ast.BlockStmt) *defuse.Info {
+			return defuses.get(body, info)
+		},
 	}
 	var local []analysis.Diagnostic
 	pass.Report = func(pos token.Pos, msg string) {
-		local = append(local, diag(fset, root, pos, name, msg))
+		d := diag(fset, root, pos, name, msg)
+		d.Doc = doc
+		local = append(local, d)
 	}
 	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
 		facts.export(name, obj, fact)
@@ -355,6 +367,15 @@ func (fs *factStore) sorted(fset *token.FileSet, root string) []ExportedFact {
 	return out
 }
 
+// docSummary reduces an analyzer's Doc to its first sentence, the stable
+// per-contract summary carried on every diagnostic (Diagnostic.Doc).
+func docSummary(doc string) string {
+	if i := strings.Index(doc, ". "); i >= 0 {
+		return doc[:i+1]
+	}
+	return strings.TrimRight(doc, ".\n")
+}
+
 // cfgCache builds each function body's control-flow graph once and shares
 // it across every analyzer's passes.
 type cfgCache struct {
@@ -375,6 +396,32 @@ func (c *cfgCache) get(body *ast.BlockStmt) *cfg.Graph {
 	g := cfg.New(body)
 	c.m[body] = g
 	return g
+}
+
+// defUseCache builds each function body's def-use summary once, over the
+// shared CFG cache, and shares it across every analyzer's passes. The
+// cache is keyed by body alone: a body belongs to exactly one package,
+// so the first requesting pass's types.Info is the right one for every
+// later request.
+type defUseCache struct {
+	mu     sync.Mutex
+	m      map[*ast.BlockStmt]*defuse.Info
+	graphs *cfgCache
+}
+
+func newDefUseCache(graphs *cfgCache) *defUseCache {
+	return &defUseCache{m: make(map[*ast.BlockStmt]*defuse.Info), graphs: graphs}
+}
+
+func (c *defUseCache) get(body *ast.BlockStmt, info *types.Info) *defuse.Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if du, ok := c.m[body]; ok {
+		return du
+	}
+	du := defuse.New(body, info, c.graphs.get)
+	c.m[body] = du
+	return du
 }
 
 // pkg is one package during loading: parsed first, type-checked later.
@@ -612,7 +659,9 @@ func collectDirectives(fset *token.FileSet, root string, pkgs []*pkg) (ignoreSet
 					}
 					analyzer, reason := m[1], strings.TrimSpace(m[2])
 					if analyzer == "" || reason == "" {
-						diags = append(diags, diag(fset, root, c.Pos(), driverName, BareIgnoreMessage))
+						d := diag(fset, root, c.Pos(), driverName, BareIgnoreMessage)
+						d.Doc = driverDoc
+						diags = append(diags, d)
 						continue
 					}
 					pos := fset.Position(c.Pos())

@@ -2,6 +2,8 @@ package driver_test
 
 import (
 	"fmt"
+	"go/ast"
+	"go/types"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -12,6 +14,8 @@ import (
 
 	"kpa/internal/analysis"
 	"kpa/internal/analysis/bigimport"
+	"kpa/internal/analysis/cfg"
+	"kpa/internal/analysis/defuse"
 	"kpa/internal/analysis/driver"
 	"kpa/internal/analysis/floatprob"
 )
@@ -375,5 +379,138 @@ func TestSummariesFlowInDependencyOrder(t *testing.T) {
 		return a.Line < b.Line
 	}) {
 		t.Errorf("FactObserver order not sorted by position")
+	}
+}
+
+// defuseRecorder collects, per function body, the *defuse.Info and
+// *cfg.Graph every probe analyzer saw. Probes run concurrently across
+// packages, so access is locked.
+type defuseRecorder struct {
+	mu    sync.Mutex
+	infos map[*ast.BlockStmt][]*defuse.Info
+	cfgs  map[*ast.BlockStmt][]*cfg.Graph
+}
+
+// defuseProbe is a fake analyzer that queries the value-flow layer for
+// every function body and reports one deterministic summary line per
+// function, so runs can be compared byte for byte.
+type defuseProbe struct {
+	name string
+	rec  *defuseRecorder
+}
+
+func (p *defuseProbe) Name() string { return p.name }
+func (p *defuseProbe) Doc() string  { return "probe the shared def-use cache" }
+
+func (p *defuseProbe) Run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			du := pass.DefUse(fd.Body)
+			g := pass.CFG(fd.Body)
+			p.rec.mu.Lock()
+			p.rec.infos[fd.Body] = append(p.rec.infos[fd.Body], du)
+			p.rec.cfgs[fd.Body] = append(p.rec.cfgs[fd.Body], g)
+			p.rec.mu.Unlock()
+			fresh := 0
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if v, ok := pass.Info.Defs[id].(*types.Var); ok && du.Fresh(v) {
+					fresh++
+				}
+				return true
+			})
+			pass.Report(fd.Name.Pos(), fmt.Sprintf("%s: %d fresh locals", fd.Name.Name, fresh))
+		}
+	}
+	return nil
+}
+
+// TestDefUseCacheSharedAcrossAnalyzers runs two probes over a module
+// whose packages fan out across goroutines, and demands (a) both probes
+// get the very same *defuse.Info and *cfg.Graph for each body — the
+// layer is built once and shared, not rebuilt per analyzer — and (b)
+// the defuse-derived diagnostics are identical over five runs.
+func TestDefUseCacheSharedAcrossAnalyzers(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func Fresh() *[]int {
+	s := make([]int, 4)
+	s[0] = 1
+	return &s
+}
+
+func Stale(in []int) []int {
+	out := in
+	return out
+}
+`,
+		"b/b.go": `package b
+
+func Spawn(n int) chan int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	return ch
+}
+`,
+		"c/c.go": `package c
+
+func Branch(cond bool) map[string]int {
+	var m map[string]int
+	if cond {
+		m = map[string]int{"a": 1}
+	} else {
+		m = make(map[string]int)
+	}
+	return m
+}
+`,
+	}
+	root := writeModule(t, files)
+	runOnce := func() ([]analysis.Diagnostic, *defuseRecorder) {
+		rec := &defuseRecorder{
+			infos: make(map[*ast.BlockStmt][]*defuse.Info),
+			cfgs:  make(map[*ast.BlockStmt][]*cfg.Graph),
+		}
+		diags := run(t, root, &defuseProbe{name: "probe1", rec: rec}, &defuseProbe{name: "probe2", rec: rec})
+		return diags, rec
+	}
+	first, rec := runOnce()
+	if len(first) != 8 {
+		t.Fatalf("diagnostics = %d, want 8 (4 functions x 2 probes):\n%+v", len(first), first)
+	}
+	if len(rec.infos) != 4 {
+		t.Fatalf("recorded %d bodies, want 4", len(rec.infos))
+	}
+	for body, infos := range rec.infos {
+		if len(infos) != 2 || infos[0] != infos[1] {
+			t.Errorf("body at %v: defuse.Info not shared across analyzers: %p vs %p",
+				body.Pos(), infos[0], infos[len(infos)-1])
+		}
+	}
+	for body, graphs := range rec.cfgs {
+		if len(graphs) != 2 || graphs[0] != graphs[1] {
+			t.Errorf("body at %v: cfg.Graph not shared across analyzers: %p vs %p",
+				body.Pos(), graphs[0], graphs[len(graphs)-1])
+		}
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := runOnce()
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
 	}
 }

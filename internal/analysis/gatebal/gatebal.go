@@ -1,0 +1,335 @@
+// Package gatebal implements the kpavet analyzer for the shared Gate's
+// token balance.
+//
+// The parallel engine bounds its total worker count with one
+// system.Gate: every sharded region draws extra-worker tokens with
+// TryAcquire and must hand every token back with Release, no matter how
+// the region exits — fall-through, early return, or panic. A leaked
+// token silently shrinks the global worker budget for the rest of the
+// process; the engine degrades to serial and nothing ever says why.
+//
+// The analyzer mirrors poolpair's checkout discipline for tokens.
+// After k := g.TryAcquire(n) the remainder of the enclosing block must
+// discharge k in one of three recognized forms:
+//
+//   - defer g.Release(k) — the only panic-proof form, preferred;
+//   - a plain g.Release(k) statement — accepted, but flagged when calls
+//     stand between acquire and release, because a panic in that window
+//     leaks the tokens (use defer);
+//   - a function literal mentioning g.Release(k) — the obligation
+//     transfers to the closure, the parWorkers release-callback pattern.
+//
+// A zero-guard branch (if k == 0 { ... }) is exempt: with no tokens
+// held, returning without a release is the correct fast path. Reaching
+// a return or the end of the block without any discharge, or discarding
+// the TryAcquire result outright, is a leak diagnostic.
+//
+// The same contract has a flip side: inside internal/logic and
+// internal/system, spawning goroutines directly (outside ParRange
+// itself) bypasses the gate's budget entirely — a hand-rolled fan-out
+// is flagged and should go through system.ParRange.
+package gatebal
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kpa/internal/analysis"
+	"kpa/internal/analysis/callgraph"
+)
+
+// Analyzer enforces the Gate token balance and the ParRange-only
+// fan-out rule inside the engine packages.
+type Analyzer struct{}
+
+// New returns the gatebal analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+func (*Analyzer) Name() string { return "gatebal" }
+
+func (*Analyzer) Doc() string {
+	return "every system.Gate TryAcquire must be balanced by a Release on all exit paths (deferred, or transferred to a release closure), and goroutine fan-outs inside the engine must go through system.ParRange so the gate's worker budget holds"
+}
+
+func (*Analyzer) Run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, sysPath: pass.Module + "/internal/system"}
+	enginePkg := pass.PkgPath == c.sysPath || pass.PkgPath == pass.Module+"/internal/logic"
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkBlocks(fd.Body)
+			if enginePkg && !(fd.Name.Name == "ParRange" && pass.PkgPath == c.sysPath) {
+				c.checkGoStmts(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	sysPath string
+}
+
+// checkGoStmts flags hand-rolled goroutine launches inside the engine
+// packages; ParRange is the one sanctioned fan-out.
+func (c *checker) checkGoStmts(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			c.pass.Report(g.Pos(), "hand-rolled goroutine fan-out inside the engine bypasses the shared Gate's worker budget; use system.ParRange")
+		}
+		return true
+	})
+}
+
+// checkBlocks scans every statement list in the body for TryAcquire
+// sites and checks each one's discharge within its own block.
+func (c *checker) checkBlocks(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			c.checkStmt(s, list[i+1:])
+		}
+		return true
+	})
+}
+
+// checkStmt inspects one statement for an acquire and, if found, checks
+// the discharge over the rest of the enclosing list.
+func (c *checker) checkStmt(s ast.Stmt, rest []ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && c.isTryAcquire(call) {
+			c.pass.Report(call.Pos(), "result of Gate.TryAcquire is discarded: any acquired tokens leak immediately; bind the count and Release it")
+		}
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok || !c.isTryAcquire(call) {
+			return
+		}
+		id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			c.pass.Report(call.Pos(), "result of Gate.TryAcquire is discarded: any acquired tokens leak immediately; bind the count and Release it")
+			return
+		}
+		k, ok := c.objOf(id).(*types.Var)
+		if !ok {
+			return
+		}
+		c.checkDischarge(call, k, rest)
+	}
+}
+
+// checkDischarge walks the statements after the acquire looking for one
+// of the three discharge forms.
+func (c *checker) checkDischarge(acquire *ast.CallExpr, k *types.Var, rest []ast.Stmt) {
+	sawCall := false
+	for _, s := range rest {
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if c.isRelease(s.Call, k) {
+				return // panic-proof
+			}
+			if c.litReleases(s.Call, k) {
+				return // defer func() { ...Release(k)... }()
+			}
+			sawCall = true
+			continue
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && c.isRelease(call, k) {
+				if sawCall {
+					c.pass.Report(acquire.Pos(), "Gate release is not deferred: a panic between TryAcquire and Release leaks the tokens; defer the release")
+				}
+				return
+			}
+		case *ast.IfStmt:
+			if c.isZeroGuard(s, k) {
+				continue // with k == 0 there is nothing to release
+			}
+		case *ast.ReturnStmt:
+			if c.litReleases(s, k) {
+				return // obligation transferred to a returned closure
+			}
+			c.pass.Report(s.Pos(), "return without releasing the Gate tokens from TryAcquire; defer the Release right after the acquire")
+			return
+		}
+		if c.litReleases(s, k) {
+			return // a stored closure carries the obligation
+		}
+		if c.stmtReleases(s, k) {
+			return // released inside a branch; trust the author's paths
+		}
+		if ret := firstReturn(s); ret != nil {
+			c.pass.Report(ret.Pos(), "return without releasing the Gate tokens from TryAcquire; defer the Release right after the acquire")
+			return
+		}
+		if containsCall(s) {
+			sawCall = true
+		}
+	}
+	c.pass.Report(acquire.Pos(), "Gate tokens from TryAcquire are never released on this path; add defer g.Release(k) right after the acquire")
+}
+
+// isTryAcquire reports whether call is (*system.Gate).TryAcquire.
+func (c *checker) isTryAcquire(call *ast.CallExpr) bool {
+	return c.isGateMethod(call, "TryAcquire")
+}
+
+// isRelease reports whether call is (*system.Gate).Release with the
+// acquired count (or any argument, when k is reused arithmetically) —
+// the argument must mention k.
+func (c *checker) isRelease(call *ast.CallExpr, k *types.Var) bool {
+	if !c.isGateMethod(call, "Release") || len(call.Args) != 1 {
+		return false
+	}
+	return c.mentions(call.Args[0], k)
+}
+
+func (c *checker) isGateMethod(call *ast.CallExpr, name string) bool {
+	fn, ok := callgraph.Callee(c.pass.Info, call)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Gate" && obj.Pkg() != nil && obj.Pkg().Path() == c.sysPath
+}
+
+// isZeroGuard recognizes if k == 0 / k <= 0 / 0 == k fast paths.
+func (c *checker) isZeroGuard(s *ast.IfStmt, k *types.Var) bool {
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.EQL && cond.Op != token.LEQ && cond.Op != token.GEQ) {
+		return false
+	}
+	isK := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && c.objOf(id) == k
+	}
+	isZero := func(e ast.Expr) bool {
+		lit, ok := ast.Unparen(e).(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	switch cond.Op {
+	case token.EQL:
+		return (isK(cond.X) && isZero(cond.Y)) || (isZero(cond.X) && isK(cond.Y))
+	case token.LEQ:
+		return isK(cond.X) && isZero(cond.Y)
+	case token.GEQ:
+		return isZero(cond.X) && isK(cond.Y)
+	}
+	return false
+}
+
+// litReleases reports whether n contains a function literal that calls
+// Release with k: the closure now owns the obligation.
+func (c *checker) litReleases(n ast.Node, k *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		lit, ok := m.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if c.stmtReleases(lit.Body, k) {
+			found = true
+		}
+		return false
+	})
+	return found
+}
+
+// stmtReleases reports whether any Release(k) call occurs within n.
+func (c *checker) stmtReleases(n ast.Node, k *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && c.isRelease(call, k) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// mentions reports whether e references the variable k.
+func (c *checker) mentions(e ast.Expr, k *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.objOf(id) == k {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// firstReturn finds a return statement nested in n (outside function
+// literals): an exit path that escapes the block without a release.
+func firstReturn(n ast.Node) *ast.ReturnStmt {
+	var found *ast.ReturnStmt
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func containsCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if o := c.pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.Info.Defs[id]
+}

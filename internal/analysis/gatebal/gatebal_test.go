@@ -1,0 +1,12 @@
+package gatebal_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/gatebal"
+)
+
+func TestGateBal(t *testing.T) {
+	analysistest.Run(t, "testdata", gatebal.New())
+}

@@ -1,0 +1,29 @@
+// Package service checks the scope split: the token-balance rules apply
+// module-wide, but the ParRange-only fan-out rule is confined to the
+// engine packages (internal/logic, internal/system).
+package service
+
+import (
+	"kpa/internal/system"
+)
+
+// BuildWithBudget leaks tokens if the build panics: flagged even
+// outside the engine packages.
+func BuildWithBudget(g *system.Gate, par int, build func(workers int)) {
+	extra := g.TryAcquire(par - 1) // want `release is not deferred`
+	build(1 + extra)
+	g.Release(extra)
+}
+
+// BuildDeferred is the fixed form.
+func BuildDeferred(g *system.Gate, par int, build func(workers int)) {
+	extra := g.TryAcquire(par - 1)
+	defer g.Release(extra)
+	build(1 + extra)
+}
+
+// ServeAsync may spawn goroutines freely: the fan-out rule does not
+// apply outside the engine.
+func ServeAsync(run func()) {
+	go run()
+}

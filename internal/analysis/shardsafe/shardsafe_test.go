@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"kpa/internal/analysis/analysistest"
+	"kpa/internal/analysis/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.New())
+}

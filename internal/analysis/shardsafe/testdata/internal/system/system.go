@@ -1,0 +1,61 @@
+// Package system is the fixture's miniature parallel engine. shardsafe
+// mines the mutator facts from these method bodies — Add and Remove are
+// pointwise word writes (divisor 64), UnionWith is a bulk mutator — so
+// the fixture exercises the same fact pipeline as the real
+// internal/system.
+package system
+
+import "sync"
+
+// ParRange splits [0, n) into contiguous chunks whose interior
+// boundaries are multiples of align and runs body(shard, lo, hi) on
+// each, concurrently.
+func ParRange(n, align, workers int, body func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	step := (n + workers - 1) / workers
+	step = (step + align - 1) / align * align
+	var wg sync.WaitGroup
+	for shard := 0; shard*step < n; shard++ {
+		lo, hi := shard*step, (shard+1)*step
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			body(shard, lo, hi)
+		}(shard, lo, hi)
+	}
+	wg.Wait()
+}
+
+// DenseSet is a bit set over a fixed universe of points.
+type DenseSet struct {
+	n    int
+	bits []uint64
+}
+
+// NewDense returns a fresh empty set over n points.
+func NewDense(n int) *DenseSet {
+	return &DenseSet{n: n, bits: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts id: a pointwise word write, divisor 64.
+func (s *DenseSet) Add(id int) { s.bits[id/64] |= 1 << uint(id%64) }
+
+// Remove deletes id: likewise pointwise.
+func (s *DenseSet) Remove(id int) { s.bits[id/64] &^= 1 << uint(id%64) }
+
+// Contains reports membership without writing.
+func (s *DenseSet) Contains(id int) bool {
+	return s.bits[id/64]&(1<<uint(id%64)) != 0
+}
+
+// UnionWith merges t into the receiver word by word: a bulk mutator.
+func (s *DenseSet) UnionWith(t *DenseSet) {
+	for i := range s.bits {
+		s.bits[i] |= t.bits[i]
+	}
+}

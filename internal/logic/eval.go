@@ -669,9 +669,15 @@ func (e *Evaluator) spaceIndexFor(i system.AgentID) (*spaceIndex, error) {
 			system.ParRange(n, 64, workers, func(shard, lo, hi int) {
 				tab := remap[shard]
 				for id := lo; id < hi; id++ {
+					if stop != nil && id&(cancelStride-1) == 0 && id > lo && stop() {
+						return
+					}
 					sx.byID[id] = tab[sx.byID[id]]
 				}
 			})
+			if err := ps.Err(); err != nil {
+				return nil, err
+			}
 			built = true
 		}
 	}

@@ -36,8 +36,8 @@ func newEngine(par int) *engine {
 // index is once-guarded, so only the first caller per system pays.
 func (e *engine) buildIndex(sys *system.System) {
 	extra := e.gate.TryAcquire(e.par - 1)
+	defer e.gate.Release(extra)
 	sys.BuildIndex(1 + extra)
-	e.gate.Release(extra)
 }
 
 // wire attaches the engine to a freshly built evaluator.

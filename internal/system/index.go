@@ -70,6 +70,7 @@ func (s *System) BuildIndex(workers int) *Index {
 				r := runs[ri].run
 				start := idx.runStart[runs[ri].tree][r]
 				for k, n := 0, t.RunLen(r); k < n; k++ {
+					//kpavet:ignore shardsafe run ri owns IDs [start, start+RunLen): runStart assigns each run a disjoint range, so shards over the run partition write disjoint slices
 					idx.points[start+k] = Point{Tree: t, Run: r, Time: k}
 				}
 			}

@@ -315,4 +315,3 @@ func (t *Tree) enumerateRuns() {
 		}
 	}
 }
-

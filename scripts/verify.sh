@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the checks every PR must pass: vet, the kpavet contract
-# suite (all ten analyzers, including the interprocedural ctxflow /
-# goleak / errkind concurrency contracts), then the full test suite
-# under the race detector. kpavet rejects the code shapes that break the
+# suite (all fourteen analyzers, including the interprocedural ctxflow /
+# goleak / errkind concurrency contracts and the shardsafe / gatebal /
+# atomicstate / cancelpoll parallelism contracts), then the full test
+# suite under the race detector. kpavet rejects the code shapes that break the
 # repo's invariants (docs/LINTING.md); the -race run then validates the
 # pooling and cancellation contracts dynamically (internal/service's
 # concurrency tests hammer shared services from dozens of goroutines).
@@ -13,6 +14,18 @@ cd "$(dirname "$0")/.."
 go vet ./...
 make lint-fix-check
 go run ./cmd/kpavet ./...
+# The parallelism-contract subset by itself: the -run fast path must
+# stay wired up and clean on the engine it was written for.
+go run ./cmd/kpavet -run shardsafe,gatebal,atomicstate,cancelpoll ./...
+# The analyzer fixture modules are real Go modules the main build never
+# compiles: keep them gofmt-clean and vet-clean so fixture rot can't
+# hide behind the want-comment matcher. vet's unreachable check is off:
+# ratmut's fixtures use dead code on purpose to exercise the CFG walk.
+for mod in internal/analysis/*/testdata; do
+	[ -f "$mod/go.mod" ] || continue
+	test -z "$(gofmt -l "$mod")"
+	(cd "$mod" && go vet -unreachable=false ./...)
+done
 go build ./...
 # The chaos suite first, as its own named gate: fault injection against
 # the serving stack must hold its containment invariants before the full
