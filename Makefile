@@ -1,6 +1,6 @@
 # Development entry points; CI should run `make verify`.
 
-.PHONY: build test lint lint-fix-check verify bench scale-bench chaos search-bench
+.PHONY: build test lint lint-fix-check verify bench scale-bench chaos search-bench loadtest
 
 build:
 	go build ./...
@@ -60,3 +60,11 @@ scale-bench:
 # permille — all integers, no floats). See docs/SEARCH.md.
 search-bench:
 	./scripts/search_bench.sh
+
+# The warm-restart benchmark gate: kpaload replays mixed /v1/check +
+# /v1/batch traffic against a real kpad booted cold and then again after a
+# SIGTERM + snapshot-restored restart, records BENCH_RESTART.json
+# (override with BENCH_OUT), and enforces the 5x cold-vs-warm
+# first-request floor on the scale:100k tier. See docs/RESILIENCE.md.
+loadtest:
+	./scripts/load_bench.sh

@@ -18,7 +18,8 @@
 //	DELETE /v1/search/{id} cancel a job (resumable via resumeFrom)
 //	GET  /v1/stats        cache, pool, request, resilience and search counters
 //	GET  /healthz         liveness: 200 while the process serves
-//	GET  /readyz          readiness: 200 after preload, 503 while draining
+//	GET  /readyz          readiness: 200 once warm; 503 "restoring" during
+//	                      snapshot restore, 503 "draining" during shutdown
 //
 // Every response is JSON; errors are {"error":"...","kind":"..."} with the
 // status mandated by the service's error taxonomy (docs/RESILIENCE.md):
@@ -28,6 +29,13 @@
 // a single JSON object with no unknown fields and no trailing data, and
 // each request runs under a timeout. SIGINT/SIGTERM flip /readyz to 503,
 // then drain in-flight requests before exiting.
+//
+// With -snapshot-dir the daemon persists each loaded session — dense index,
+// per-agent cell partitions, evaluator memos and cached verdicts — and
+// restores them at boot, serving cache-warm from the first request; a
+// SIGTERM during restore aborts cleanly and a corrupt snapshot degrades to
+// a cold load. With -search-dir it also re-discovers unfinished search-job
+// checkpoints at boot and resumes them under their original IDs.
 package main
 
 import (
@@ -72,6 +80,9 @@ func run(args []string) error {
 		searchWorkers = fs.Int("search-workers", 0, "branch-and-bound workers per search job (0 = default)")
 		maxSearchJobs = fs.Int("max-search-jobs", 0, "concurrently running search jobs (0 = default)")
 		searchDir     = fs.String("search-dir", "", "directory for resumable search checkpoints (empty = no persistence)")
+
+		snapshotDir   = fs.String("snapshot-dir", "", "directory for durable session snapshots; restored on boot (empty = no persistence)")
+		snapshotEvery = fs.Duration("snapshot-every", 0, "background snapshot cadence (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +96,8 @@ func run(args []string) error {
 		SearchWorkers:       *searchWorkers,
 		MaxSearchJobs:       *maxSearchJobs,
 		SearchCheckpointDir: *searchDir,
+		SnapshotDir:         *snapshotDir,
+		SnapshotEvery:       *snapshotEvery,
 	})
 	for _, name := range strings.Split(*preload, ",") {
 		if name = strings.TrimSpace(name); name == "" {
@@ -98,6 +111,11 @@ func run(args []string) error {
 	}
 
 	d := newDaemon(svc, *timeout, *maxBody)
+	if *snapshotDir != "" {
+		// The server accepts connections immediately but /readyz reports
+		// "restoring" until every durable snapshot is re-published.
+		d.state.Store(stateRestoring)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           d.handler(),
@@ -111,37 +129,79 @@ func run(args []string) error {
 		log.Printf("kpad listening on %s", *addr)
 		errc <- srv.ListenAndServe()
 	}()
+	restored := make(chan struct{})
+	go func() {
+		// Warm restore runs under the signal context: SIGTERM mid-restore
+		// aborts between sessions and never publishes a partial one — the
+		// daemon then exits without ever reporting ready.
+		defer close(restored)
+		if *snapshotDir != "" {
+			rep, err := svc.RestoreSnapshots(ctx)
+			if err != nil {
+				log.Printf("snapshot restore aborted: %v", err)
+				return
+			}
+			log.Printf("restored %d session(s): %d verdicts, %d memo entries, %d bytes",
+				rep.Sessions, rep.Verdicts, rep.MemoEntries, rep.Bytes)
+			for _, c := range rep.Corrupt {
+				log.Printf("snapshot rejected (cold load instead): %s", c)
+			}
+		}
+		if *searchDir != "" {
+			rep := svc.ResumeSearches()
+			for _, id := range rep.Resumed {
+				log.Printf("resumed search %s from its checkpoint", id)
+			}
+			for _, skip := range rep.Skipped {
+				log.Printf("search checkpoint skipped: %s", skip)
+			}
+		}
+		d.state.CompareAndSwap(stateRestoring, stateReady)
+	}()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 		// Flip readiness first so load balancers stop routing here; cancel
 		// running searches so their final checkpoints are written (they
-		// resume from -search-dir on restart); then drain in-flight
-		// requests.
-		d.ready.Store(false)
+		// resume from -search-dir on restart); flush a final snapshot; then
+		// drain in-flight requests.
+		d.state.Store(stateDraining)
 		log.Printf("shutting down")
+		<-restored // the aborted restore goroutine, if any, has settled
 		svc.DrainSearches()
+		if err := svc.Close(); err != nil {
+			log.Printf("final snapshot flush: %v", err)
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutCtx)
 	}
 }
 
-// daemon carries the HTTP layer's state: the service plus readiness, so
-// /readyz can advertise draining before Shutdown stops accepting.
+// Readiness states: /readyz distinguishes a daemon that is still warming
+// from its snapshots (new traffic should wait — the same query is about to
+// be cache-hot) from one that is draining for shutdown (traffic must go
+// elsewhere). Both answer 503; the body says which.
+const (
+	stateReady int32 = iota
+	stateRestoring
+	stateDraining
+)
+
+// daemon carries the HTTP layer's state: the service plus the readiness
+// state machine, so /readyz can advertise restoring before the warm boot
+// finishes and draining before Shutdown stops accepting.
 type daemon struct {
 	svc     *service.Service
 	timeout time.Duration
 	maxBody int64
-	ready   atomic.Bool
+	state   atomic.Int32
 	start   time.Time
 }
 
 func newDaemon(svc *service.Service, timeout time.Duration, maxBody int64) *daemon {
-	d := &daemon{svc: svc, timeout: timeout, maxBody: maxBody, start: time.Now()}
-	d.ready.Store(true)
-	return d
+	return &daemon{svc: svc, timeout: timeout, maxBody: maxBody, start: time.Now()}
 }
 
 // newHandler builds the kpad HTTP mux over the service. Factored out of run
@@ -160,11 +220,14 @@ func (d *daemon) handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !d.ready.Load() {
+		switch d.state.Load() {
+		case stateRestoring:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "restoring"})
+		case stateDraining:
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
-			return
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "systems": len(svc.Systems())})
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "systems": len(svc.Systems())})
 	})
 	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
 		var req service.CheckRequest

@@ -95,12 +95,34 @@ func TestHealthAndReadiness(t *testing.T) {
 		t.Fatalf("readyz: %d %+v", code, ready)
 	}
 
-	d.ready.Store(false) // what the signal handler does before Shutdown
+	// A daemon booted with a snapshot dir starts in the restoring state:
+	// unready, but with a body that tells the balancer to wait rather than
+	// reroute — the warm cache is seconds away.
+	d.state.Store(stateRestoring)
+	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.Status != "restoring" {
+		t.Fatalf("restoring readyz: %d %+v", code, ready)
+	}
+	// Restore completion only publishes readiness when nothing else moved
+	// the state meanwhile (the CAS in run's restore goroutine).
+	d.state.CompareAndSwap(stateRestoring, stateReady)
+	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusOK || ready.Status != "ready" {
+		t.Fatalf("post-restore readyz: %d %+v", code, ready)
+	}
+
+	d.state.Store(stateDraining) // what the signal handler does before Shutdown
 	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.Status != "draining" {
 		t.Fatalf("draining readyz: %d %+v", code, ready)
 	}
 	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK {
 		t.Fatalf("healthz during drain: %d", code)
+	}
+	// SIGTERM during restore: draining wins and the CAS must not revive
+	// readiness afterwards.
+	d.state.Store(stateRestoring)
+	d.state.Store(stateDraining)
+	d.state.CompareAndSwap(stateRestoring, stateReady)
+	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.Status != "draining" {
+		t.Fatalf("drain-during-restore readyz: %d %+v", code, ready)
 	}
 }
 

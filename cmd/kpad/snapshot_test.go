@@ -1,0 +1,71 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kpa/internal/service"
+)
+
+// TestWarmRestartOverHTTP drives the -snapshot-dir flow at the HTTP layer:
+// a first daemon takes traffic and snapshots, a second daemon restores
+// from the same directory and must answer the same queries from cache on
+// its very first requests, with the snapshot block visible in /v1/stats.
+func TestWarmRestartOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	cfg := service.Config{SnapshotDir: dir, SnapshotEvery: time.Hour}
+
+	svc1 := service.New(cfg)
+	srv1 := httptest.NewServer(newHandler(svc1, 10*time.Second, 1<<16))
+	queries := []map[string]string{
+		{"system": "introcoin", "formula": "K1^1/2 heads"},
+		{"system": "die", "assign": "fut", "formula": "Pr1(face6) >= 1/6"},
+		{"system": "die", "formula": "K2 even"},
+	}
+	want := make([]service.Verdict, len(queries))
+	for i, q := range queries {
+		if code := postJSON(t, srv1.URL+"/v1/check", q, &want[i]); code != http.StatusOK {
+			t.Fatalf("warm-up check %d: status %d", i, code)
+		}
+	}
+	srv1.Close()
+	if err := svc1.Close(); err != nil { // the daemon's shutdown flush
+		t.Fatal(err)
+	}
+
+	// "Restarted" daemon: restore before serving, as run does.
+	svc2 := service.New(cfg)
+	defer svc2.Close()
+	rep, err := svc2.RestoreSnapshots(t.Context())
+	if err != nil {
+		t.Fatalf("RestoreSnapshots: %v", err)
+	}
+	if rep.Sessions != 2 || len(rep.Corrupt) != 0 {
+		t.Fatalf("restore report: %+v", rep)
+	}
+	srv2 := httptest.NewServer(newHandler(svc2, 10*time.Second, 1<<16))
+	defer srv2.Close()
+
+	for i, q := range queries {
+		var got service.Verdict
+		if code := postJSON(t, srv2.URL+"/v1/check", q, &got); code != http.StatusOK {
+			t.Fatalf("post-restart check %d: status %d", i, code)
+		}
+		if !got.Cached {
+			t.Fatalf("post-restart check %d missed the cache: %+v", i, got)
+		}
+		if got.Valid != want[i].Valid || got.HoldsAt != want[i].HoldsAt || got.Formula != want[i].Formula {
+			t.Fatalf("post-restart verdict %d differs: got %+v want %+v", i, got, want[i])
+		}
+	}
+
+	var stats service.Stats
+	if code := getJSON(t, srv2.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/v1/stats status %d", code)
+	}
+	if !stats.Snapshot.Enabled || stats.Snapshot.RestoredSessions != 2 {
+		t.Fatalf("snapshot stats block: %+v", stats.Snapshot)
+	}
+}

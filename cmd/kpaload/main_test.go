@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// stubKpad fakes the two kpad endpoints kpaload drives, counting traffic.
+type stubKpad struct {
+	checks  atomic.Int64
+	batches atomic.Int64
+	fail    atomic.Bool
+}
+
+func (s *stubKpad) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			System  string `json:"system"`
+			Assign  string `json:"assign"`
+			Formula string `json:"formula"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.System == "" || req.Formula == "" {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if s.fail.Load() {
+			http.Error(w, `{"error":"injected","kind":"internal"}`, http.StatusInternalServerError)
+			return
+		}
+		// The first request is a miss, everything after a hit — like a
+		// daemon warming up.
+		cached := s.checks.Add(1) > 1
+		json.NewEncoder(w).Encode(map[string]any{"valid": true, "cached": cached})
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			System   string   `json:"system"`
+			Formulas []string `json:"formulas"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Formulas) == 0 {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		s.batches.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"items": []any{}})
+	})
+	return mux
+}
+
+func runLoad(t *testing.T, args []string) Report {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, buf.String())
+	}
+	return rep
+}
+
+func TestLoadMixedTraffic(t *testing.T) {
+	stub := &stubKpad{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	rep := runLoad(t, []string{
+		"-url", srv.URL, "-system", "scale:100k", "-props", "m2,m3,m5",
+		"-requests", "100", "-concurrency", "4", "-batch-every", "5", "-batch-size", "3",
+	})
+	if rep.Requests != 100 || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.BatchRequests != 20 {
+		t.Fatalf("batch requests = %d, want 20 (every 5th of 100)", rep.BatchRequests)
+	}
+	if got := stub.batches.Load(); got != 20 {
+		t.Fatalf("server saw %d batches, want 20", got)
+	}
+	// 80 timed checks + 1 probe.
+	if got := stub.checks.Load(); got != 81 {
+		t.Fatalf("server saw %d checks, want 81", got)
+	}
+	if rep.FirstRequestMs <= 0 || rep.FirstRequestCached {
+		t.Fatalf("probe: %+v (first stub answer is never cached)", rep)
+	}
+	if rep.P50Ms <= 0 || rep.P50Ms > rep.P95Ms || rep.P95Ms > rep.P99Ms {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	}
+	if rep.ThroughputRPS <= 0 || rep.ElapsedMs <= 0 {
+		t.Fatalf("throughput block empty: %+v", rep)
+	}
+}
+
+func TestLoadCountsErrors(t *testing.T) {
+	// Every response fails except the very first (the probe).
+	var n atomic.Int64
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			json.NewEncoder(w).Encode(map[string]any{"valid": true, "cached": true})
+			return
+		}
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer srv2.Close()
+	rep := runLoad(t, []string{
+		"-url", srv2.URL, "-requests", "20", "-concurrency", "2", "-batch-every", "0",
+	})
+	if rep.Errors != 20 || rep.Requests != 20 {
+		t.Fatalf("report: %+v, want 20/20 failed", rep)
+	}
+	if !rep.FirstRequestCached {
+		t.Fatalf("probe cached flag lost: %+v", rep)
+	}
+}
+
+func TestFormulaRosterDeterministic(t *testing.T) {
+	a := formulaRoster([]string{"m2", "m3"}, 12)
+	b := formulaRoster([]string{"m2", " m3 "}, 12)
+	if len(a) != 12 || len(b) != 12 {
+		t.Fatalf("roster sizes: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("roster not deterministic: %q vs %q", a[i], b[i])
+		}
+	}
+	seen := make(map[string]bool)
+	for _, f := range a {
+		if seen[f] {
+			t.Fatalf("duplicate formula %q in roster %v", f, a)
+		}
+		seen[f] = true
+	}
+}

@@ -27,3 +27,27 @@ func BuildDeferred(g *system.Gate, par int, build func(workers int)) {
 func ServeAsync(run func()) {
 	go run()
 }
+
+// FlushEvery is the background-writer loop: each tick draws extra
+// tokens for one flush and discharges them tick-locally through the
+// deferred release inside the per-tick closure — the accepted form.
+func FlushEvery(g *system.Gate, ticks <-chan struct{}, flush func(workers int)) {
+	for range ticks {
+		func() {
+			extra := g.TryAcquire(3)
+			defer g.Release(extra)
+			flush(1 + extra)
+		}()
+	}
+}
+
+// FlushEveryLeaky releases after the flush without defer: a flush that
+// panics mid-tick leaks that tick's tokens, and the loop keeps drawing
+// more on every later tick.
+func FlushEveryLeaky(g *system.Gate, ticks <-chan struct{}, flush func(workers int)) {
+	for range ticks {
+		extra := g.TryAcquire(3) // want `release is not deferred`
+		flush(1 + extra)
+		g.Release(extra)
+	}
+}

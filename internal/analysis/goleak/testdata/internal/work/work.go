@@ -5,6 +5,7 @@ package work
 
 import (
 	"sync"
+	"time"
 
 	"kpa/internal/task"
 )
@@ -75,6 +76,36 @@ func Drain(ch <-chan int) {
 // the body, so the launch is skipped, not flagged.
 func Dynamic(f func()) {
 	go f()
+}
+
+// FlushLoop is the background-writer shape a snapshot cadence uses: a
+// ticker loop whose select ties each iteration to a stop channel. Both
+// the tick receive and the stop receive are termination signals, so the
+// goroutine is stoppable and observable — no diagnostic.
+func FlushLoop(stop <-chan struct{}, flush func()) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				flush()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// PollLoop is the broken writer: it paces itself with Sleep instead of a
+// ticker channel, so no channel ever ties it to a stopper — flagged.
+func PollLoop(flush func()) {
+	go func() { // want `goroutine has no visible termination signal`
+		for {
+			time.Sleep(time.Millisecond)
+			flush()
+		}
+	}()
 }
 
 // NestedLeak: the inner goroutine's send must not excuse the outer body,

@@ -1,0 +1,145 @@
+package logic
+
+import (
+	"sort"
+	"testing"
+
+	"kpa/internal/rat"
+)
+
+// warmMemoEval evaluates a few formulas so the memo has entries worth
+// exporting, returning the evaluator and the formulas evaluated.
+func warmMemoEval(t *testing.T) (*Evaluator, []Formula) {
+	t.Helper()
+	e := asyncEval(t, 4)
+	formulas := []Formula{
+		K(0, Prop("lastHeads")),
+		PrGeq(1, Prop("lastHeads"), rat.New(1, 2)),
+		Not(K(1, Not(Prop("lastHeads")))),
+	}
+	for _, f := range formulas {
+		if _, err := e.Valid(f); err != nil {
+			t.Fatalf("Valid(%v): %v", f, err)
+		}
+	}
+	return e, formulas
+}
+
+func TestExportImportMemoRoundTrip(t *testing.T) {
+	warm, formulas := warmMemoEval(t)
+	exported := warm.ExportMemo()
+	if len(exported) == 0 {
+		t.Fatal("warm evaluator exported an empty memo")
+	}
+	if !sort.SliceIsSorted(exported, func(i, j int) bool {
+		return exported[i].Formula < exported[j].Formula
+	}) {
+		t.Fatal("ExportMemo is not sorted by formula text")
+	}
+
+	// A cold evaluator over the SAME system: hash-consed formulas are
+	// per-process, so the import path must work via re-parsing.
+	cold := asyncEval(t, 4)
+	n, err := cold.ImportMemo(exported)
+	if err != nil {
+		t.Fatalf("ImportMemo: %v", err)
+	}
+	if n != len(exported) {
+		t.Fatalf("imported %d of %d entries", n, len(exported))
+	}
+	if cold.MemoLen() != warm.MemoLen() {
+		t.Fatalf("imported memo has %d entries, warm has %d", cold.MemoLen(), warm.MemoLen())
+	}
+	// Every memoized extension must be byte-identical, and the warmed
+	// evaluator must answer the original queries identically.
+	for _, en := range exported {
+		f, err := Parse(en.Formula)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", en.Formula, err)
+		}
+		got, err := cold.DenseExtension(f)
+		if err != nil {
+			t.Fatalf("DenseExtension(%q): %v", en.Formula, err)
+		}
+		want, err := warm.DenseExtension(f)
+		if err != nil {
+			t.Fatalf("warm DenseExtension(%q): %v", en.Formula, err)
+		}
+		if got.Key() != want.Key() {
+			t.Fatalf("extension of %q differs after import", en.Formula)
+		}
+	}
+	for _, f := range formulas {
+		gv, err := cold.Valid(f)
+		if err != nil {
+			t.Fatalf("cold Valid(%v): %v", f, err)
+		}
+		wv, err := warm.Valid(f)
+		if err != nil {
+			t.Fatalf("warm Valid(%v): %v", f, err)
+		}
+		if gv != wv {
+			t.Fatalf("Valid(%v): imported %v, warm %v", f, gv, wv)
+		}
+	}
+}
+
+func TestExportMemoDeterministic(t *testing.T) {
+	a, _ := warmMemoEval(t)
+	b, _ := warmMemoEval(t)
+	ea, eb := a.ExportMemo(), b.ExportMemo()
+	if len(ea) != len(eb) {
+		t.Fatalf("exports differ in length: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i].Formula != eb[i].Formula {
+			t.Fatalf("entry %d: %q vs %q", i, ea[i].Formula, eb[i].Formula)
+		}
+		if len(ea[i].Bits) != len(eb[i].Bits) {
+			t.Fatalf("entry %d: bit lengths differ", i)
+		}
+		for w := range ea[i].Bits {
+			if ea[i].Bits[w] != eb[i].Bits[w] {
+				t.Fatalf("entry %d word %d differs", i, w)
+			}
+		}
+	}
+}
+
+func TestImportMemoRejectsMalformed(t *testing.T) {
+	e := asyncEval(t, 3)
+	idxWords := e.idx.Words()
+
+	t.Run("badFormula", func(t *testing.T) {
+		n, err := e.ImportMemo([]MemoExport{{Formula: "((", Bits: make([]uint64, idxWords)}})
+		if err == nil {
+			t.Fatal("unparseable formula accepted")
+		}
+		if n != 0 {
+			t.Fatalf("imported %d entries before the failure", n)
+		}
+	})
+	t.Run("badBits", func(t *testing.T) {
+		n, err := e.ImportMemo([]MemoExport{{Formula: "lastHeads", Bits: make([]uint64, idxWords+1)}})
+		if err == nil {
+			t.Fatal("wrong-size bitset accepted")
+		}
+		if n != 0 {
+			t.Fatalf("imported %d entries before the failure", n)
+		}
+	})
+	t.Run("partialImportKeepsValidPrefix", func(t *testing.T) {
+		fresh := asyncEval(t, 3)
+		entries := []MemoExport{
+			{Formula: "lastHeads", Bits: make([]uint64, idxWords)},
+			{Formula: "((", Bits: make([]uint64, idxWords)},
+		}
+		n, err := fresh.ImportMemo(entries)
+		if err == nil {
+			t.Fatal("malformed second entry accepted")
+		}
+		if n != 1 || fresh.MemoLen() != 1 {
+			t.Fatalf("valid prefix not kept: n=%d, memo=%d", n, fresh.MemoLen())
+		}
+	})
+}

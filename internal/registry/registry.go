@@ -12,6 +12,7 @@ import (
 	"kpa/internal/canon"
 	"kpa/internal/coordattack"
 	"kpa/internal/core"
+	"kpa/internal/gen"
 	"kpa/internal/system"
 	"kpa/internal/twoaces"
 )
@@ -39,6 +40,7 @@ type Entry struct {
 //	fig1             Figure 1's labelled tree
 //	ca1, ca2, ca3, canever   §4/§8 coordinated attack protocols (ca3 adaptive)
 //	aces-fixed, aces-random   App. B.1's two-aces protocols
+//	scale:TIER       deterministic benchmark broom (scale:100k, scale:1m, scale:10m)
 func Lookup(name string) (Entry, error) {
 	switch {
 	case name == "introcoin":
@@ -153,6 +155,33 @@ func Lookup(name string) (Entry, error) {
 				"hasAS":    twoaces.HoldsAceOfSpades(),
 			},
 		}, nil
+	case strings.HasPrefix(name, "scale:"):
+		tier := strings.TrimPrefix(name, "scale:")
+		cfg, ok := gen.ScaleTiers[tier]
+		if !ok {
+			tiers := make([]string, 0, len(gen.ScaleTiers))
+			for t := range gen.ScaleTiers {
+				tiers = append(tiers, t)
+			}
+			sort.Strings(tiers)
+			return Entry{}, fmt.Errorf("registry: unknown scale tier %q (try %s)",
+				tier, strings.Join(tiers, ", "))
+		}
+		sys, err := gen.ScaleSystem(cfg)
+		if err != nil {
+			return Entry{}, err
+		}
+		return Entry{
+			Name: name,
+			Description: fmt.Sprintf("benchmark broom: %d agents, %d runs × %d steps = %d points",
+				cfg.NumAgents, cfg.NumRuns, cfg.RunLen, cfg.NumPoints()),
+			Sys: sys,
+			Props: map[string]system.Fact{
+				"m2": gen.ScaleFact("m2", 2),
+				"m3": gen.ScaleFact("m3", 3),
+				"m5": gen.ScaleFact("m5", 5),
+			},
+		}, nil
 	default:
 		return Entry{}, fmt.Errorf("registry: unknown system %q (try %s)",
 			name, strings.Join(Names(), ", "))
@@ -198,6 +227,7 @@ func Names() []string {
 	names := []string{
 		"introcoin", "vardi", "die", "async:N", "biased", "fig1",
 		"ca1", "ca2", "ca3", "canever", "aces-fixed", "aces-random",
+		"scale:TIER",
 	}
 	sort.Strings(names)
 	return names

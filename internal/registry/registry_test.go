@@ -50,6 +50,28 @@ func TestLookupAsync(t *testing.T) {
 	}
 }
 
+func TestLookupScale(t *testing.T) {
+	e, err := Lookup("scale:100k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Sys.NumPoints(); got < 100_000-2_000 || got > 110_000 {
+		t.Errorf("scale:100k points = %d, want ~100k", got)
+	}
+	for _, p := range []string{"m2", "m3", "m5"} {
+		if e.Props[p] == nil {
+			t.Errorf("scale entry missing prop %q", p)
+		}
+	}
+	for _, bad := range []string{"scale:", "scale:9q", "scale:100K"} {
+		if _, err := Lookup(bad); err == nil {
+			t.Errorf("Lookup(%q) should fail", bad)
+		} else if !strings.Contains(err.Error(), "100k") {
+			t.Errorf("Lookup(%q) error should list tiers: %v", bad, err)
+		}
+	}
+}
+
 func TestLookupUnknown(t *testing.T) {
 	_, err := Lookup("nonsense")
 	if err == nil {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 )
 
@@ -71,6 +72,34 @@ func (c *verdictCache) put(k cacheKey, v Verdict) {
 		delete(c.entries, last.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// exportFor returns the cached verdicts of one system (by canonical
+// content hash) with their keys, sorted by (assignment, formula) so
+// equal caches export identically. Export does not touch recency or the
+// hit/miss counters.
+func (c *verdictCache) exportFor(sysHash string) []cachedVerdict {
+	c.mu.Lock()
+	var out []cachedVerdict
+	for k, el := range c.entries {
+		if k.sysHash == sysHash {
+			out = append(out, cachedVerdict{key: k, v: el.Value.(*cacheEntry).v})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.assign != out[j].key.assign {
+			return out[i].key.assign < out[j].key.assign
+		}
+		return out[i].key.formula < out[j].key.formula
+	})
+	return out
+}
+
+// cachedVerdict pairs a cache key with its verdict for export.
+type cachedVerdict struct {
+	key cacheKey
+	v   Verdict
 }
 
 // CacheStats is a point-in-time snapshot of the verdict cache's counters.

@@ -134,6 +134,44 @@ func (p *evalPool) put(w *worker) {
 	}
 }
 
+// exportMemo exports the memo of one idle worker in durable form (empty
+// when the pool has no idle worker — nothing warm to persist). The
+// worker is checked out for the duration of the export, so concurrent
+// requests are never blocked behind the bit copies, and the pool's
+// created/reused counters are untouched: an export is not a checkout a
+// client observed.
+func (p *evalPool) exportMemo() []logic.MemoExport {
+	p.mu.Lock()
+	n := len(p.idle)
+	if n == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	w := p.idle[n-1]
+	p.idle = p.idle[:n-1]
+	p.mu.Unlock()
+	out := w.eval.ExportMemo()
+	p.mu.Lock()
+	if len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, w)
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// seedWorker builds one worker, imports previously exported memo
+// entries into it, and parks it idle, so the first post-restore request
+// checks out an already-warm evaluator. Returns how many entries were
+// imported; a malformed entry aborts the import, and the partially
+// warmed worker is still pooled — every imported entry was individually
+// validated.
+func (p *evalPool) seedWorker(entries []logic.MemoExport) (int, error) {
+	w := p.get()
+	n, err := w.eval.ImportMemo(entries)
+	p.put(w)
+	return n, err
+}
+
 // PoolStats is a point-in-time snapshot of one evaluator pool's counters.
 type PoolStats struct {
 	System     string `json:"system"`

@@ -25,6 +25,20 @@ type Seams struct {
 	// last durable checkpoint stays authoritative), a failed load fails
 	// the resume request.
 	BeforeCheckpoint func(op, jobID string) error
+	// BeforeSnapshotWrite runs before a session snapshot's temp file is
+	// written, with the system's canon hash. An error (or panic — the
+	// writer contains it) fails that write; the previous durable snapshot
+	// stays authoritative.
+	BeforeSnapshotWrite func(hash string) error
+	// BeforeSnapshotRename runs between writing a snapshot's temp file
+	// and renaming it into place — the crash window the tmp+rename
+	// discipline defends. An error fails the write with the temp file
+	// removed.
+	BeforeSnapshotRename func(hash string) error
+	// BeforeSnapshotLoad runs before a snapshot file is read during
+	// restore, with the file path. An error fails that file's restore
+	// (counted, logged, skipped) and the boot proceeds cold for it.
+	BeforeSnapshotLoad func(path string) error
 }
 
 // storeGet consults the BeforeStoreGet seam.
@@ -57,4 +71,28 @@ func (s *Seams) checkpoint(op, jobID string) error {
 		return nil
 	}
 	return s.BeforeCheckpoint(op, jobID)
+}
+
+// snapshotWrite consults the BeforeSnapshotWrite seam.
+func (s *Seams) snapshotWrite(hash string) error {
+	if s == nil || s.BeforeSnapshotWrite == nil {
+		return nil
+	}
+	return s.BeforeSnapshotWrite(hash)
+}
+
+// snapshotRename consults the BeforeSnapshotRename seam.
+func (s *Seams) snapshotRename(hash string) error {
+	if s == nil || s.BeforeSnapshotRename == nil {
+		return nil
+	}
+	return s.BeforeSnapshotRename(hash)
+}
+
+// snapshotLoad consults the BeforeSnapshotLoad seam.
+func (s *Seams) snapshotLoad(path string) error {
+	if s == nil || s.BeforeSnapshotLoad == nil {
+		return nil
+	}
+	return s.BeforeSnapshotLoad(path)
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -638,6 +640,135 @@ func (s *Service) resumeSeed(id string) (SearchRequest, *search.Checkpoint, erro
 		return SearchRequest{}, nil, &Error{Kind: KindConflict, Msg: "service: checkpoint rejected", Err: err}
 	}
 	return file.Request, ckpt, nil
+}
+
+// SearchResumeReport summarizes one ResumeSearches scan.
+type SearchResumeReport struct {
+	// Resumed lists the job IDs restarted from their checkpoint files, in
+	// ID order.
+	Resumed []string
+	// Skipped lists files that were found but not resumed, each with the
+	// reason (corrupt, conflicting, or over the job cap). Skipped files are
+	// left on disk for manual resume.
+	Skipped []string
+}
+
+// ResumeSearches scans SearchCheckpointDir for job checkpoints left behind
+// by a previous process and restarts each one under its original ID, so
+// clients polling a job across a daemon restart keep their handle. The
+// sequence counter is bumped past every discovered ID first: new jobs can
+// never collide with a resumed one. Corrupt or conflicting files are
+// skipped (and kept), and resumption stops admitting jobs at the
+// MaxSearchJobs cap — the excess stays on disk, resumable by hand.
+func (s *Service) ResumeSearches() SearchResumeReport {
+	var rep SearchResumeReport
+	if s.cfg.SearchCheckpointDir == "" {
+		return rep
+	}
+	ents, err := os.ReadDir(s.cfg.SearchCheckpointDir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: %v", s.cfg.SearchCheckpointDir, err))
+		}
+		return rep
+	}
+	type cand struct {
+		id  string
+		seq int
+	}
+	var cands []cand
+	maxSeq := 0
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "s") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "s"), ".json"))
+		if err != nil || seq <= 0 {
+			continue // temp files and strangers, not job checkpoints
+		}
+		cands = append(cands, cand{id: name[:len(name)-len(".json")], seq: seq})
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].seq < cands[b].seq })
+	s.searchMu.Lock()
+	if maxSeq > s.searchSeq {
+		s.searchSeq = maxSeq
+	}
+	s.searchMu.Unlock()
+	for _, c := range cands {
+		if err := s.resumeJobAs(c.id, c.seq); err != nil {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s.json: %v", c.id, err))
+			continue
+		}
+		rep.Resumed = append(rep.Resumed, c.id)
+	}
+	return rep
+}
+
+// resumeJobAs restarts one checkpointed job under its original ID. It is
+// StartSearch's resume path minus the fresh-ID allocation: the checkpoint
+// file's embedded request defines the problem, the current config defines
+// the worker count (a restarted daemon may well be sized differently), and
+// the job slot cap still applies.
+func (s *Service) resumeJobAs(id string, seq int) error {
+	s.searchMu.Lock()
+	_, taken := s.searches[id]
+	s.searchMu.Unlock()
+	if taken {
+		return &Error{Kind: KindConflict, Msg: fmt.Sprintf("service: search %s already registered", id)}
+	}
+	req, seed, err := s.resumeSeed(id)
+	if err != nil {
+		return err
+	}
+	req.ResumeFrom = ""
+	// The old daemon's worker preference is advisory at best; resume with
+	// the new config's sizing.
+	req.Workers = 0
+	spec, err := s.compileSearchSpec(req)
+	if err != nil {
+		return err
+	}
+	if err := s.admitSearch(); err != nil {
+		return err
+	}
+	s.searchMu.Lock()
+	running := 0
+	for _, j := range s.searches {
+		if j.runningNow() {
+			running++
+		}
+	}
+	if running >= s.cfg.MaxSearchJobs {
+		s.searchMu.Unlock()
+		<-s.sem
+		return &Error{
+			Kind: KindOverloaded,
+			Msg:  fmt.Sprintf("service: all %d search-job slots busy; checkpoint kept", s.cfg.MaxSearchJobs),
+		}
+	}
+	if _, taken := s.searches[id]; taken {
+		s.searchMu.Unlock()
+		<-s.sem
+		return &Error{Kind: KindConflict, Msg: fmt.Sprintf("service: search %s already registered", id)}
+	}
+	job := &searchJob{
+		id:      id,
+		seq:     seq,
+		req:     req,
+		done:    make(chan struct{}),
+		state:   SearchRunning,
+		resumed: id,
+	}
+	s.searches[id] = job
+	s.searchMu.Unlock()
+	s.pruneSearches()
+
+	go s.runSearch(job, spec, seed)
+	return nil
 }
 
 // SearchStatusOf reports one job.

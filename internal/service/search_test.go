@@ -416,6 +416,176 @@ func TestSearchChaosKillResumeAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestSearchResumeDiscoveryAcrossRestart is the boot-time flavor of the
+// restart scenario: nobody names the dead job. A daemon restarted over the
+// checkpoint directory discovers the leftover file itself, resumes the job
+// under its original ID — with a different worker count than the crashed
+// process used — and new jobs are numbered past the resumed one.
+func TestSearchResumeDiscoveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	gate := newCkptGate()
+	svc := New(Config{
+		SearchWorkers:         4,
+		SearchCheckpointDir:   dir,
+		SearchCheckpointEvery: 1,
+		Seams:                 &Seams{BeforeCheckpoint: gate.seam},
+	})
+	uploadCoupled(t, svc, 8, 4)
+
+	// The undisturbed answer.
+	clean := New(Config{})
+	uploadCoupled(t, clean, 8, 4)
+	cst, err := clean.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitSearch(t, clean, cst.ID)
+	if want.State != SearchDone {
+		t.Fatalf("clean run: %s (%s)", want.State, want.Error)
+	}
+
+	st, err := svc.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered
+	// Cancel mid-search so a partial checkpoint lands on disk, then abandon
+	// the service — the "crashed daemon".
+	cancelDone := make(chan struct{})
+	go func() {
+		svc.CancelSearch(st.ID)
+		close(cancelDone)
+	}()
+	svc.searchMu.Lock()
+	job := svc.searches[st.ID]
+	svc.searchMu.Unlock()
+	for !job.canceled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	<-cancelDone
+	if _, err := os.Stat(filepath.Join(dir, st.ID+".json")); err != nil {
+		t.Fatalf("no checkpoint file survived: %v", err)
+	}
+
+	// Plant junk next to it: a corrupt checkpoint under a valid job name,
+	// and a file that is not a job checkpoint at all.
+	if err := os.WriteFile(filepath.Join(dir, "s9.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" with a different worker count than the checkpoint's request
+	// asked for.
+	svc2 := New(Config{SearchWorkers: 1, SearchCheckpointDir: dir})
+	uploadCoupled(t, svc2, 8, 4)
+	rep := svc2.ResumeSearches()
+	if len(rep.Resumed) != 1 || rep.Resumed[0] != st.ID {
+		t.Fatalf("Resumed = %v, want [%s] (skipped: %v)", rep.Resumed, st.ID, rep.Skipped)
+	}
+	if len(rep.Skipped) != 1 || !strings.Contains(rep.Skipped[0], "s9.json") {
+		t.Fatalf("Skipped = %v, want the corrupt s9.json only", rep.Skipped)
+	}
+	fin := waitSearch(t, svc2, st.ID)
+	if fin.State != SearchDone || fin.Result == nil {
+		t.Fatalf("resumed job: %s (%s)", fin.State, fin.Error)
+	}
+	if fin.ResumedFrom != st.ID {
+		t.Fatalf("ResumedFrom = %q, want %q", fin.ResumedFrom, st.ID)
+	}
+	if fin.Result.Value != want.Result.Value {
+		t.Fatalf("resumed value %s != clean value %s", fin.Result.Value, want.Result.Value)
+	}
+
+	// The sequence counter cleared the junk file's s9 too: the next job may
+	// not collide with anything on disk.
+	st2, err := svc2.StartSearch(smallSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != "s10" {
+		t.Fatalf("next job ID = %s, want s10 (seq bumped past discovered files)", st2.ID)
+	}
+	if fin2 := waitSearch(t, svc2, st2.ID); fin2.State != SearchDone {
+		t.Fatalf("follow-up job: %s (%s)", fin2.State, fin2.Error)
+	}
+
+	// Re-running discovery is a no-op conflict-skip for live jobs and a
+	// clean skip for the still-corrupt file.
+	rep2 := svc2.ResumeSearches()
+	if len(rep2.Resumed) != 0 {
+		t.Fatalf("second discovery resumed %v", rep2.Resumed)
+	}
+}
+
+// TestSearchResumeDiscoveryRespectsJobCap pins the cap: with MaxSearchJobs
+// of 1, discovery over two leftover checkpoints resumes one and leaves the
+// other on disk.
+func TestSearchResumeDiscoveryRespectsJobCap(t *testing.T) {
+	dir := t.TempDir()
+	gate := newCkptGate()
+	svc := New(Config{
+		SearchCheckpointDir:   dir,
+		SearchCheckpointEvery: 1,
+		Seams:                 &Seams{BeforeCheckpoint: gate.seam},
+	})
+	uploadCoupled(t, svc, 8, 4)
+
+	st1, err := svc.StartSearch(bigSearchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered
+	stop := make(chan struct{})
+	go func() {
+		svc.DrainSearches()
+		close(stop)
+	}()
+	svc.searchMu.Lock()
+	job := svc.searches[st1.ID]
+	svc.searchMu.Unlock()
+	for !job.canceled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	<-stop
+	// Forge a second unfinished job by copying the first checkpoint under
+	// the next ID (the embedded ID is advisory; the filename is the key).
+	data, err := os.ReadFile(filepath.Join(dir, st1.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "s2.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gate2 := newCkptGate()
+	svc2 := New(Config{
+		MaxSearchJobs:         1,
+		SearchCheckpointDir:   dir,
+		SearchCheckpointEvery: 1,
+		Seams:                 &Seams{BeforeCheckpoint: gate2.seam},
+	})
+	uploadCoupled(t, svc2, 8, 4)
+	rep := svc2.ResumeSearches()
+	if len(rep.Resumed) != 1 || rep.Resumed[0] != st1.ID {
+		t.Fatalf("Resumed = %v, want [%s]", rep.Resumed, st1.ID)
+	}
+	if len(rep.Skipped) != 1 || !strings.Contains(rep.Skipped[0], "s2.json") {
+		t.Fatalf("Skipped = %v, want s2.json over the cap", rep.Skipped)
+	}
+	// The skipped checkpoint is intact on disk for a later manual resume.
+	if _, err := os.Stat(filepath.Join(dir, "s2.json")); err != nil {
+		t.Fatalf("skipped checkpoint was removed: %v", err)
+	}
+	close(gate2.release)
+	if fin := waitSearch(t, svc2, st1.ID); fin.State != SearchDone {
+		t.Fatalf("resumed job: %s (%s)", fin.State, fin.Error)
+	}
+}
+
 func TestSearchResumeConflicts(t *testing.T) {
 	gate := newCkptGate()
 	svc := New(Config{

@@ -71,6 +71,15 @@ type Config struct {
 	// <dir>/<jobID>.json so a restarted daemon can resume them. Empty
 	// disables persistence (in-memory resume of canceled jobs still works).
 	SearchCheckpointDir string
+	// SnapshotDir, when set, makes sessions durable: a background writer
+	// persists each loaded system's snapshot (identity, cell partitions,
+	// warm memos, cached verdicts) as <dir>/<canon-hash>.kpasnap, and
+	// RestoreSnapshots rebuilds them at boot. Empty disables durability.
+	// Services with a SnapshotDir own a background goroutine — stop it
+	// with Close.
+	SnapshotDir string
+	// SnapshotEvery is the background snapshot cadence. Default 30s.
+	SnapshotEvery time.Duration
 	// Seams are optional fault-injection hooks for resilience tests; nil
 	// in production. See Seams and internal/faultinject.
 	Seams *Seams
@@ -116,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.SearchCheckpointEvery == 0 {
 		c.SearchCheckpointEvery = 4096
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 30 * time.Second
+	}
 	return c
 }
 
@@ -158,12 +170,19 @@ type Service struct {
 	searches    map[string]*searchJob // guarded by searchMu
 	searchSeq   int                   // guarded by searchMu
 	searchCkpts atomic.Uint64         // checkpoint files durably written
+
+	// snap is the durability layer (nil without Config.SnapshotDir);
+	// closeOnce makes Close idempotent.
+	snap      *snapshotter
+	closeOnce sync.Once
 }
 
-// New builds a Service with the config (zero value for defaults).
+// New builds a Service with the config (zero value for defaults). With
+// Config.SnapshotDir set, the service owns a background snapshot writer;
+// the caller must eventually stop it with Close.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		store:    newStore(cfg.Seams),
 		cache:    newVerdictCache(cfg.CacheSize),
@@ -172,6 +191,11 @@ func New(cfg Config) *Service {
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		searches: make(map[string]*searchJob),
 	}
+	if cfg.SnapshotDir != "" {
+		s.snap = newSnapshotter(cfg.SnapshotDir, cfg.SnapshotEvery)
+		go s.snapshotLoop()
+	}
+	return s
 }
 
 // CheckRequest asks whether a formula is valid (holds at every point) in a
@@ -572,6 +596,7 @@ type Stats struct {
 	Engine        EngineStats     `json:"engine"`
 	Resilience    ResilienceStats `json:"resilience"`
 	Search        SearchStats     `json:"search"`
+	Snapshot      SnapshotStats   `json:"snapshot"`
 	Pools         []PoolStats     `json:"pools"`
 }
 
@@ -595,7 +620,8 @@ func (s *Service) Stats() Stats {
 			Cancels:  s.cancels.Load(),
 			Dedups:   s.dedups.Load(),
 		},
-		Search: s.searchStats(),
+		Search:   s.searchStats(),
+		Snapshot: s.snapshotStats(),
 	}
 	if st.Eval.Evals > 0 {
 		st.Eval.AvgNanos = st.Eval.TotalNanos / st.Eval.Evals

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kpa/internal/faultinject"
+	"kpa/internal/snapshot"
+)
+
+// chaosReplayQueries is the 200-query replay mix: a bounded roster of
+// distinct formulas over two registry systems and one upload, cycled to
+// 200 requests, so the replay exercises both cache hits and the cold
+// rebuild path identically on every service instance.
+func chaosReplayQueries() []CheckRequest {
+	var distinct []CheckRequest
+	for i := 2; i <= 6; i++ {
+		distinct = append(distinct,
+			CheckRequest{System: "introcoin", Formula: fmt.Sprintf("K1^1/%d heads", i)},
+			CheckRequest{System: "die", Formula: fmt.Sprintf("Pr1(face%d) >= 1/6", i)},
+			CheckRequest{System: "die", Assign: "fut", Formula: fmt.Sprintf("Pr2(face%d) >= 1/%d", i, i)},
+			CheckRequest{System: "mycoin", Formula: fmt.Sprintf("K%d heads", i%3+1)},
+		)
+	}
+	distinct = append(distinct,
+		CheckRequest{System: "die", Formula: "K2 even"},
+		CheckRequest{System: "die", Formula: "F even"},
+		CheckRequest{System: "die", Assign: "prior", Formula: "!K1 !even"},
+		CheckRequest{System: "introcoin", Formula: "F (K1^1/2 heads)"},
+	)
+	out := make([]CheckRequest, 0, 200)
+	for i := 0; len(out) < 200; i++ {
+		out = append(out, distinct[i%len(distinct)])
+	}
+	return out
+}
+
+// chaosFingerprint renders a verdict to its canonical JSON with cache
+// provenance zeroed: the byte-identity the chaos suite asserts is about
+// answers, not about which layer served them.
+func chaosFingerprint(t *testing.T, v Verdict) string {
+	t.Helper()
+	v.Cached = false
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// chaosOracle runs the replay on an uninterrupted, snapshot-free service
+// and returns the per-query verdict fingerprints.
+func chaosOracle(t *testing.T, queries []CheckRequest) []string {
+	t.Helper()
+	svc := New(Config{})
+	if _, err := svc.Upload("mycoin", introDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(queries))
+	for i, q := range queries {
+		v, err := svc.Check(context.Background(), q)
+		if err != nil {
+			t.Fatalf("oracle Check(%+v): %v", q, err)
+		}
+		out[i] = chaosFingerprint(t, v)
+	}
+	return out
+}
+
+// chaosReplayAndCompare replays the queries on svc and fails on the first
+// verdict that is not byte-identical to the oracle's.
+func chaosReplayAndCompare(t *testing.T, svc *Service, queries []CheckRequest, oracle []string) {
+	t.Helper()
+	for i, q := range queries {
+		v, err := svc.Check(context.Background(), q)
+		if err != nil {
+			t.Fatalf("replay %d Check(%+v): %v", i, q, err)
+		}
+		if got := chaosFingerprint(t, v); got != oracle[i] {
+			t.Fatalf("replay %d (%+v):\n got %s\nwant %s", i, q, got, oracle[i])
+		}
+	}
+}
+
+// TestChaosSnapshotKillAtSeams kills the daemon at every snapshot
+// injection site in turn — before the temp-file write, in the
+// write-to-rename crash window, and at restore-time reads — and proves a
+// restarted service answers the full 200-query replay byte-identically to
+// an uninterrupted oracle. The kill is modeled the way a kill lands: the
+// in-flight operation dies, the process never runs Close, and whatever
+// the crash left in the directory (stale files, orphaned temp files) is
+// what the next boot finds.
+func TestChaosSnapshotKillAtSeams(t *testing.T) {
+	queries := chaosReplayQueries()
+	oracle := chaosOracle(t, queries)
+	errKill := errors.New("injected kill")
+
+	sites := []struct {
+		name string
+		seam string // which snapshot seam the kill hits
+	}{
+		{"kill-before-write", "snap.write"},
+		{"kill-before-rename", "snap.rename"},
+		{"kill-at-restore-read", "snap.load"},
+	}
+	for _, site := range sites {
+		t.Run(site.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultinject.New(20260808)
+			inj.Set(site.seam, faultinject.Plan{At: 1, Err: errKill})
+			seams := &Seams{
+				BeforeSnapshotWrite: func(string) error {
+					if site.seam == "snap.write" {
+						return inj.Hit(site.seam)
+					}
+					return nil
+				},
+				BeforeSnapshotRename: func(string) error {
+					if site.seam == "snap.rename" {
+						return inj.Hit(site.seam)
+					}
+					return nil
+				},
+			}
+
+			svc1 := New(Config{SnapshotDir: dir, SnapshotEvery: time.Hour, Seams: seams})
+			if _, err := svc1.Upload("mycoin", introDoc(t)); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				if _, err := svc1.Check(context.Background(), q); err != nil {
+					t.Fatalf("warm-up Check(%+v): %v", q, err)
+				}
+			}
+			_, flushErr := svc1.SnapshotNow()
+			if site.seam == "snap.write" || site.seam == "snap.rename" {
+				if !errors.Is(flushErr, errKill) {
+					t.Fatalf("flush survived the %s kill: %v", site.seam, flushErr)
+				}
+				if inj.Fired(site.seam) != 1 {
+					t.Fatalf("injector fired %d times, want 1", inj.Fired(site.seam))
+				}
+			}
+			// The kill: svc1 is abandoned — no Close, no final flush. The
+			// crash window also strands an orphaned temp file, which the
+			// next boot must ignore.
+			if err := os.WriteFile(filepath.Join(dir, "deadbeefdead-12345.tmp"),
+				[]byte("half a snapshot"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			restoreSeams := &Seams{}
+			if site.seam == "snap.load" {
+				restoreSeams.BeforeSnapshotLoad = func(string) error { return inj.Hit(site.seam) }
+			}
+			svc2 := New(Config{SnapshotDir: dir, SnapshotEvery: time.Hour, Seams: restoreSeams})
+			defer svc2.Close()
+			if _, err := svc2.Upload("mycoin", introDoc(t)); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := svc2.RestoreSnapshots(context.Background())
+			if err != nil {
+				t.Fatalf("RestoreSnapshots after %s: %v", site.name, err)
+			}
+			if site.seam == "snap.load" {
+				if len(rep.Corrupt) != 1 || !strings.Contains(rep.Corrupt[0], "injected kill") {
+					t.Fatalf("load kill not degraded to cold: %+v", rep)
+				}
+				if inj.Fired(site.seam) != 1 {
+					t.Fatalf("injector fired %d times, want 1", inj.Fired(site.seam))
+				}
+			} else if len(rep.Corrupt) != 0 {
+				// A kill before write or rename must never leave a damaged
+				// file: the previous durable state stays authoritative.
+				t.Fatalf("crash window corrupted a snapshot: %v", rep.Corrupt)
+			}
+
+			chaosReplayAndCompare(t, svc2, queries, oracle)
+		})
+	}
+}
+
+// TestChaosSnapshotBitFlipDegradesToCold flips one byte in every durable
+// snapshot — disk rot after a clean shutdown — and proves the restarted
+// service rejects each file with a typed error, starts cold, and still
+// answers the whole replay byte-identically to the oracle.
+func TestChaosSnapshotBitFlipDegradesToCold(t *testing.T) {
+	queries := chaosReplayQueries()
+	oracle := chaosOracle(t, queries)
+
+	dir := t.TempDir()
+	svc1 := New(Config{SnapshotDir: dir, SnapshotEvery: time.Hour})
+	if _, err := svc1.Upload("mycoin", introDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if _, err := svc1.Check(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "*"+snapshot.Ext))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("snapshot files: %v (err %v), want 2", files, err)
+	}
+	for i, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[(len(data)/3)*(i+1)] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc2 := New(Config{SnapshotDir: dir, SnapshotEvery: time.Hour})
+	defer svc2.Close()
+	if _, err := svc2.Upload("mycoin", introDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc2.RestoreSnapshots(context.Background())
+	if err != nil {
+		t.Fatalf("RestoreSnapshots: %v", err)
+	}
+	if rep.Sessions != 0 || len(rep.Corrupt) != 2 {
+		t.Fatalf("bit-flipped files were trusted: %+v", rep)
+	}
+	for _, c := range rep.Corrupt {
+		if !strings.Contains(c, "snapshot:") {
+			t.Fatalf("corrupt entry %q carries no typed snapshot error", c)
+		}
+	}
+	if st := svc2.Stats().Snapshot; st.CorruptFiles != 2 {
+		t.Fatalf("corrupt accounting: %+v", st)
+	}
+
+	chaosReplayAndCompare(t, svc2, queries, oracle)
+}
+
+// TestChaosSnapshotKillDuringRestoreReplaysClean covers the SIGTERM-
+// during-restore half: a boot whose restore is cancelled publishes
+// nothing, and the following boot (no cancellation) restores everything
+// and replays byte-identically.
+func TestChaosSnapshotKillDuringRestoreReplaysClean(t *testing.T) {
+	queries := chaosReplayQueries()
+	oracle := chaosOracle(t, queries)
+
+	dir := t.TempDir()
+	svc1 := New(Config{SnapshotDir: dir, SnapshotEvery: time.Hour})
+	if _, err := svc1.Upload("mycoin", introDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if _, err := svc1.Check(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot A: SIGTERM lands while the first file is being restored.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seams := &Seams{BeforeSnapshotLoad: func(string) error {
+		cancel() // the signal arrives mid-restore
+		return nil
+	}}
+	killed := New(Config{SnapshotDir: dir, SnapshotEvery: time.Hour, Seams: seams})
+	defer killed.Close()
+	if _, err := killed.RestoreSnapshots(ctx); err == nil {
+		t.Fatal("cancelled restore reported success")
+	}
+	if got := len(killed.Systems()); got != 0 {
+		t.Fatalf("aborted restore published %d sessions", got)
+	}
+
+	// Boot B: clean restart over the same directory.
+	svc2 := New(Config{SnapshotDir: dir, SnapshotEvery: time.Hour})
+	defer svc2.Close()
+	rep, err := svc2.RestoreSnapshots(context.Background())
+	if err != nil || rep.Sessions != 2 || len(rep.Corrupt) != 0 {
+		t.Fatalf("clean restart restore: %+v err=%v", rep, err)
+	}
+	chaosReplayAndCompare(t, svc2, queries, oracle)
+}

@@ -22,6 +22,12 @@ type session struct {
 	sys    *system.System
 	props  map[string]system.Fact
 
+	// doc retains the original upload document for "upload" sessions (nil
+	// for registry sessions): propositions are compiled closures and
+	// cannot be serialized, so the document is what a snapshot carries to
+	// rebuild the system after a restart.
+	doc []byte
+
 	mu    sync.RWMutex
 	pools map[string]*evalPool // guarded by mu
 }
@@ -51,6 +57,27 @@ func (s *session) pool(assignName string, cfg Config, eng *engine) (*evalPool, e
 	p = newEvalPool(s.sys, sa, s.props, cfg.MemoCap, cfg.MaxIdle, eng)
 	s.pools[key] = p
 	return p, nil
+}
+
+// poolsSnapshot returns the session's pools with their canonical
+// assignment keys, sorted by key, for the snapshot writer.
+func (s *session) poolsSnapshot() (keys []string, pools []*evalPool) {
+	type kp struct {
+		k string
+		p *evalPool
+	}
+	s.mu.RLock()
+	items := make([]kp, 0, len(s.pools))
+	for k, p := range s.pools {
+		items = append(items, kp{k, p})
+	}
+	s.mu.RUnlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].k < items[j].k })
+	for _, it := range items {
+		keys = append(keys, it.k)
+		pools = append(pools, it.p)
+	}
+	return keys, pools
 }
 
 func (s *session) poolStats() []PoolStats {
@@ -143,6 +170,7 @@ func (st *store) upload(name string, doc []byte) (*session, error) {
 		hash:   canon.Hash(sys),
 		sys:    sys,
 		props:  props,
+		doc:    append([]byte(nil), doc...),
 		pools:  make(map[string]*evalPool),
 	}
 	got := st.intern(name, s)
@@ -222,6 +250,21 @@ func (st *store) list() []SystemInfo {
 		out = append(out, sessions[n].info(n))
 	}
 	return out
+}
+
+// namesOf returns every name bound to the session, sorted. The snapshot
+// layer persists them so a restarted daemon answers the same aliases.
+func (st *store) namesOf(s *session) []string {
+	st.mu.RLock()
+	var names []string
+	for n, sess := range st.byName {
+		if sess == s {
+			names = append(names, n)
+		}
+	}
+	st.mu.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // sessions returns a snapshot of the distinct loaded sessions.

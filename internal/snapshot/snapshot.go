@@ -1,0 +1,428 @@
+// Package snapshot defines the durable on-disk format for a loaded
+// session of the serving stack: the system's identity (a registry name or
+// the uploaded encode document), the names it is loaded under, the
+// expensive derived state worth persisting — per-agent information-cell
+// tables and warm evaluator memos — and the session's slice of the
+// verdict cache. internal/service writes one snapshot file per distinct
+// system (keyed by canonical content hash, canon.Hash) and restores them
+// at boot, so a restarted daemon serves cache-warm from the first
+// request instead of rebuilding every index and re-evaluating every
+// formula.
+//
+// The format is binary, versioned and checksummed:
+//
+//	offset 0   magic   "KPSNAP" (6 bytes)
+//	offset 6   version uint16 little-endian (currently 1)
+//	offset 8   payload length uint64 little-endian
+//	offset 16  payload (see Session)
+//	tail       CRC-32C (Castagnoli) of everything before it, uint32 LE
+//
+// Decode refuses — with a typed error, never a partial Session — any
+// file that is truncated (ErrTruncated), from a different format version
+// (ErrVersion), bit-flipped anywhere (ErrChecksum), not a snapshot at
+// all (ErrBadMagic), or structurally inconsistent despite an intact
+// checksum (ErrCorrupt). Restores treat every one of these as "no
+// snapshot": the server falls back to a cold load rather than trusting
+// damaged bytes, which is what makes crash-mid-write (the temp file +
+// rename discipline's failure window) recoverable.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Version is the current format version. Decode rejects every other
+// version: derived tables (cell numbering, memo bit layout) are trusted
+// byte-for-byte, so cross-version reinterpretation is never safe.
+const Version = 1
+
+// Ext is the snapshot file extension.
+const Ext = ".kpasnap"
+
+// Filename returns the snapshot file name for a system's canonical
+// content hash.
+func Filename(hash string) string { return hash + Ext }
+
+// Typed decode failures. Every Decode error wraps exactly one of these,
+// so callers can classify failures without string matching.
+var (
+	// ErrBadMagic: the file does not begin with the snapshot magic.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrVersion: the file's format version is not Version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrTruncated: the file is shorter (or longer) than its header
+	// promises.
+	ErrTruncated = errors.New("snapshot: truncated")
+	// ErrChecksum: the footer CRC does not match the file's contents.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt: the checksum holds but the payload is structurally
+	// inconsistent (a writer bug or a deliberate forgery, not bit rot).
+	ErrCorrupt = errors.New("snapshot: corrupt payload")
+)
+
+// Session is one system's durable state. Exactly one of Registry and Doc
+// identifies the system: Source "registry" carries the registry name to
+// rebuild from, Source "upload" carries the original encode document
+// (propositions are compiled closures and cannot be serialized, so the
+// document — which can — is the unit of durability for uploads).
+type Session struct {
+	// Hash is the system's canonical content hash (canon.Hash), the
+	// snapshot's key. Restores verify the rebuilt system hashes to
+	// exactly this value before trusting any derived table.
+	Hash string
+	// Source is "registry" or "upload".
+	Source string
+	// Names are the names the session was loaded under (aliases
+	// included), sorted.
+	Names []string
+	// Registry is the registry name to rebuild from (Source "registry").
+	Registry string
+	// Doc is the original uploaded encode document (Source "upload").
+	Doc []byte
+	// Cells holds the per-agent information-cell tables that were built
+	// when the snapshot was written (agents whose partition was never
+	// needed are absent).
+	Cells []CellTable
+	// Verdicts is the session's slice of the verdict cache.
+	Verdicts []Verdict
+	// Memos holds one warm evaluator memo per assignment that had one.
+	Memos []MemoTable
+}
+
+// CellTable is one agent's information-cell partition in dense form:
+// CellOf[id] is the cell number of dense point ID id, with cells
+// numbered in order of first occurrence by ID (the numbering
+// system.Index.Cells produces).
+type CellTable struct {
+	Agent    int
+	NumCells int
+	CellOf   []int32
+}
+
+// Verdict is one cached verdict, keyed within the session by
+// (assignment, canonical formula).
+type Verdict struct {
+	Assign          string
+	Formula         string
+	Valid           bool
+	HoldsAt         int
+	Points          int
+	CounterTotal    int
+	CounterExamples []string
+}
+
+// MemoTable is one assignment's warm evaluator memo: the memoized dense
+// extensions, each as the canonical formula text plus the extension's
+// backing bitset words.
+type MemoTable struct {
+	Assign  string
+	Entries []MemoEntry
+}
+
+// MemoEntry is one memoized formula extension.
+type MemoEntry struct {
+	Formula string
+	Bits    []uint64
+}
+
+var magic = [6]byte{'K', 'P', 'S', 'N', 'A', 'P'}
+
+// crcTable is the Castagnoli polynomial table; CRC-32C has hardware
+// support on the platforms the daemon runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes the session in the current format, footer CRC
+// included.
+func Encode(s *Session) []byte {
+	var p payloadWriter
+	p.str(s.Hash)
+	p.str(s.Source)
+	p.uvarint(uint64(len(s.Names)))
+	for _, n := range s.Names {
+		p.str(n)
+	}
+	p.str(s.Registry)
+	p.bytes(s.Doc)
+	p.uvarint(uint64(len(s.Cells)))
+	for _, c := range s.Cells {
+		p.uvarint(uint64(c.Agent))
+		p.uvarint(uint64(c.NumCells))
+		p.uvarint(uint64(len(c.CellOf)))
+		for _, v := range c.CellOf {
+			p.u32(uint32(v))
+		}
+	}
+	p.uvarint(uint64(len(s.Verdicts)))
+	for _, v := range s.Verdicts {
+		p.str(v.Assign)
+		p.str(v.Formula)
+		p.bool(v.Valid)
+		p.uvarint(uint64(v.HoldsAt))
+		p.uvarint(uint64(v.Points))
+		p.uvarint(uint64(v.CounterTotal))
+		p.uvarint(uint64(len(v.CounterExamples)))
+		for _, ce := range v.CounterExamples {
+			p.str(ce)
+		}
+	}
+	p.uvarint(uint64(len(s.Memos)))
+	for _, m := range s.Memos {
+		p.str(m.Assign)
+		p.uvarint(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			p.str(e.Formula)
+			p.uvarint(uint64(len(e.Bits)))
+			for _, w := range e.Bits {
+				p.u64(w)
+			}
+		}
+	}
+
+	out := make([]byte, 0, 16+len(p.buf)+4)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(p.buf)))
+	out = append(out, p.buf...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+	return out
+}
+
+// Decode parses a snapshot file. On any failure it returns nil and an
+// error wrapping exactly one of the typed sentinels above — never a
+// partially-filled Session.
+func Decode(data []byte) (*Session, error) {
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the magic", ErrTruncated, len(data))
+	}
+	for i := range magic {
+		if data[i] != magic[i] {
+			return nil, ErrBadMagic
+		}
+	}
+	if len(data) < 16+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than an empty snapshot", ErrTruncated, len(data))
+	}
+	if v := binary.LittleEndian.Uint16(data[6:8]); v != Version {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d", ErrVersion, v, Version)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:16])
+	if plen != uint64(len(data)-16-4) {
+		return nil, fmt.Errorf("%w: header promises %d payload bytes, file carries %d",
+			ErrTruncated, plen, len(data)-16-4)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[:len(data)-4], crcTable); got != sum {
+		return nil, fmt.Errorf("%w: footer %08x, contents %08x", ErrChecksum, sum, got)
+	}
+
+	r := &payloadReader{buf: data[16 : len(data)-4]}
+	s := &Session{}
+	s.Hash = r.str()
+	s.Source = r.str()
+	s.Names = make([]string, 0, r.count(1))
+	for i := uint64(0); i < uint64(cap(s.Names)); i++ {
+		s.Names = append(s.Names, r.str())
+	}
+	s.Registry = r.str()
+	s.Doc = r.bytes()
+	nCells := r.count(6) // agent, numCells, len + ≥0 table bytes
+	for i := uint64(0); i < nCells && r.err == nil; i++ {
+		var c CellTable
+		c.Agent = int(r.uvarint())
+		c.NumCells = int(r.uvarint())
+		n := r.count(4)
+		c.CellOf = make([]int32, 0, n)
+		for j := uint64(0); j < n && r.err == nil; j++ {
+			v := int32(r.u32())
+			if r.err == nil && (v < 0 || int(v) >= c.NumCells) {
+				return nil, fmt.Errorf("%w: cell table for agent %d maps ID %d to cell %d of %d",
+					ErrCorrupt, c.Agent, j, v, c.NumCells)
+			}
+			c.CellOf = append(c.CellOf, v)
+		}
+		s.Cells = append(s.Cells, c)
+	}
+	nVerdicts := r.count(7)
+	for i := uint64(0); i < nVerdicts && r.err == nil; i++ {
+		var v Verdict
+		v.Assign = r.str()
+		v.Formula = r.str()
+		v.Valid = r.bool()
+		v.HoldsAt = int(r.uvarint())
+		v.Points = int(r.uvarint())
+		v.CounterTotal = int(r.uvarint())
+		nCE := r.count(1)
+		for j := uint64(0); j < nCE && r.err == nil; j++ {
+			v.CounterExamples = append(v.CounterExamples, r.str())
+		}
+		s.Verdicts = append(s.Verdicts, v)
+	}
+	nMemos := r.count(2)
+	for i := uint64(0); i < nMemos && r.err == nil; i++ {
+		var m MemoTable
+		m.Assign = r.str()
+		nEntries := r.count(2)
+		for j := uint64(0); j < nEntries && r.err == nil; j++ {
+			var e MemoEntry
+			e.Formula = r.str()
+			nWords := r.count(8)
+			e.Bits = make([]uint64, 0, nWords)
+			for k := uint64(0); k < nWords && r.err == nil; k++ {
+				e.Bits = append(e.Bits, r.u64())
+			}
+			m.Entries = append(m.Entries, e)
+		}
+		s.Memos = append(s.Memos, m)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(r.buf)-r.off)
+	}
+	if s.Source != "registry" && s.Source != "upload" {
+		return nil, fmt.Errorf("%w: unknown source %q", ErrCorrupt, s.Source)
+	}
+	return s, nil
+}
+
+// payloadWriter accumulates the payload section. Writes cannot fail.
+type payloadWriter struct {
+	buf []byte
+}
+
+func (p *payloadWriter) uvarint(v uint64) { p.buf = binary.AppendUvarint(p.buf, v) }
+func (p *payloadWriter) u32(v uint32)     { p.buf = binary.LittleEndian.AppendUint32(p.buf, v) }
+func (p *payloadWriter) u64(v uint64)     { p.buf = binary.LittleEndian.AppendUint64(p.buf, v) }
+func (p *payloadWriter) bytes(b []byte) {
+	p.uvarint(uint64(len(b)))
+	p.buf = append(p.buf, b...)
+}
+func (p *payloadWriter) str(s string) {
+	p.uvarint(uint64(len(s)))
+	p.buf = append(p.buf, s...)
+}
+func (p *payloadWriter) bool(v bool) {
+	if v {
+		p.buf = append(p.buf, 1)
+	} else {
+		p.buf = append(p.buf, 0)
+	}
+}
+
+// payloadReader walks the payload, latching the first structural error.
+// Every accessor returns a zero value once an error is set, so decoding
+// never indexes past the buffer, and count() bounds element counts by
+// the bytes actually remaining — a corrupt length field can therefore
+// never force a huge allocation.
+type payloadReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads an element count and rejects counts that could not
+// possibly fit in the remaining payload, given a minimum encoded size
+// per element.
+func (r *payloadReader) count(minPerElem int) uint64 {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.buf)-r.off)/uint64(minPerElem)+1 || n > math.MaxInt32 {
+		r.fail("count %d exceeds remaining payload at offset %d", n, r.off)
+		return 0
+	}
+	return n
+}
+
+func (r *payloadReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail("need %d bytes at offset %d, have %d", n, r.off, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *payloadReader) str() string {
+	n := r.uvarint()
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("string of %d bytes at offset %d overruns payload", n, r.off)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+func (r *payloadReader) bytes() []byte {
+	n := r.uvarint()
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("blob of %d bytes at offset %d overruns payload", n, r.off)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.take(int(n)))
+	return out
+}
+
+func (r *payloadReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *payloadReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *payloadReader) bool() bool {
+	b := r.take(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bad bool byte %d at offset %d", b[0], r.off-1)
+		return false
+	}
+}

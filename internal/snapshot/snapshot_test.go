@@ -1,0 +1,104 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// sampleSession builds a session exercising every field of the wire
+// model, sized well past 4KiB so the truncation sweep in corrupt_test.go
+// has many boundaries to cut at.
+func sampleSession() *Session {
+	s := &Session{
+		Hash:     "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+		Source:   "registry",
+		Names:    []string{"introcoin", "warm-alias"},
+		Registry: "introcoin",
+	}
+	cellOf := make([]int32, 4096)
+	for i := range cellOf {
+		cellOf[i] = int32(i % 97)
+	}
+	s.Cells = []CellTable{
+		{Agent: 0, NumCells: 97, CellOf: cellOf},
+		{Agent: 2, NumCells: 1, CellOf: make([]int32, 128)},
+	}
+	s.Verdicts = []Verdict{
+		{
+			Assign: "post", Formula: "(K 1 (prop heads))", Valid: false,
+			HoldsAt: 12, Points: 24, CounterTotal: 12,
+			CounterExamples: []string{"t0/r1@0", "t0/r1@1"},
+		},
+		{Assign: "fut", Formula: "(pr>= 1 1/2 (prop heads))", Valid: true, HoldsAt: 24, Points: 24},
+	}
+	bits := make([]uint64, 64)
+	for i := range bits {
+		bits[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	s.Memos = []MemoTable{
+		{Assign: "post", Entries: []MemoEntry{
+			{Formula: "(prop heads)", Bits: bits},
+			{Formula: "(not (prop heads))", Bits: bits[:8]},
+		}},
+		{Assign: "prior", Entries: []MemoEntry{{Formula: "(prop heads)", Bits: bits[:1]}}},
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleSession()
+	data := Encode(want)
+	if len(data) < 4096 {
+		t.Fatalf("sample snapshot is %d bytes; corruption sweep needs > 4096", len(data))
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRoundTripMinimal(t *testing.T) {
+	want := &Session{
+		Hash:   "deadbeef",
+		Source: "upload",
+		Names:  []string{"mine"},
+		Doc:    []byte(`{"trees":[]}`),
+	}
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEncodeDeterministic pins that equal sessions encode to identical
+// bytes: the chaos suite compares restarted state against an oracle
+// byte-for-byte, which is only meaningful if encoding is a function.
+func TestEncodeDeterministic(t *testing.T) {
+	a := Encode(sampleSession())
+	b := Encode(sampleSession())
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not deterministic for equal sessions")
+	}
+}
+
+func TestFilename(t *testing.T) {
+	if got := Filename("abc123"); got != "abc123.kpasnap" {
+		t.Fatalf("Filename = %q", got)
+	}
+}
+
+// patchCRC recomputes the footer over a mutated file so structural tests
+// reach the payload parser instead of tripping the checksum first.
+func patchCRC(data []byte) []byte {
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(data[:len(data)-4], crcTable))
+	return data
+}

@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // System is a probabilistic system in the sense of Section 3: a collection
@@ -31,8 +32,9 @@ type System struct {
 	localOnce sync.Once // guards byLocal
 	mapsOnce  sync.Once // guards points, byState, timeIndex, nodePoints
 
-	indexOnce sync.Once
-	index     *Index // dense point index, built lazily by Index()
+	indexOnce  sync.Once
+	index      *Index      // dense point index, built lazily by Index()
+	indexBuilt atomic.Bool // set after index is published; read by IndexIfBuilt
 }
 
 // New assembles a system from computation trees. It validates that every

@@ -1,0 +1,119 @@
+#!/bin/sh
+# load_bench.sh — the warm-restart benchmark gate: boot kpad cold over an
+# empty snapshot directory, replay a mixed /v1/check + /v1/batch workload
+# with kpaload, SIGTERM the daemon (flushing its snapshots), boot it again
+# over the same directory, and replay the identical workload. The two
+# kpaload reports — throughput, p50/p95/p99, and the lone first-request
+# probe that separates a cold index-and-partition rebuild from a
+# cache-warm restore — are recorded side by side as BENCH_RESTART.json,
+# and the warm first request must beat the cold one by the floor (default
+# 5x on the ~100k-point scale tier).
+#
+# Usage: [BENCH_OUT=BENCH_RESTART.json] scripts/load_bench.sh
+# Env: KPA_LOAD_SYSTEM (scale:100k), KPA_LOAD_PROPS (m2,m3,m5),
+#      KPA_LOAD_REQUESTS (600), KPA_LOAD_CONCURRENCY (4),
+#      KPA_LOAD_ADDR (127.0.0.1:18423), KPA_LOAD_FLOOR (5; 0 disables).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SYSTEM="${KPA_LOAD_SYSTEM:-scale:100k}"
+PROPS="${KPA_LOAD_PROPS:-m2,m3,m5}"
+REQUESTS="${KPA_LOAD_REQUESTS:-600}"
+CONCURRENCY="${KPA_LOAD_CONCURRENCY:-4}"
+ADDR="${KPA_LOAD_ADDR:-127.0.0.1:18423}"
+OUT="${BENCH_OUT:-BENCH_RESTART.json}"
+FLOOR="${KPA_LOAD_FLOOR:-5}"
+
+WORK="$(mktemp -d)"
+SNAPDIR="$WORK/snapshots"
+SEARCHDIR="$WORK/search"
+mkdir -p "$SNAPDIR" "$SEARCHDIR"
+KPAD_PID=""
+trap '[ -n "$KPAD_PID" ] && kill "$KPAD_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/kpad" ./cmd/kpad
+go build -o "$WORK/kpaload" ./cmd/kpaload
+
+start_kpad() {
+	"$WORK/kpad" -addr "$ADDR" -snapshot-dir "$SNAPDIR" -search-dir "$SEARCHDIR" &
+	KPAD_PID=$!
+	i=0
+	while [ $i -lt 240 ]; do
+		if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+			return 0
+		fi
+		kill -0 "$KPAD_PID" 2>/dev/null || { echo "kpad died during boot" >&2; exit 1; }
+		sleep 0.5
+		i=$((i + 1))
+	done
+	echo "kpad never became ready" >&2
+	exit 1
+}
+
+stop_kpad() {
+	kill -TERM "$KPAD_PID"
+	i=0
+	while [ $i -lt 120 ]; do
+		if ! kill -0 "$KPAD_PID" 2>/dev/null; then
+			KPAD_PID=""
+			return 0
+		fi
+		sleep 0.5
+		i=$((i + 1))
+	done
+	echo "kpad did not exit after SIGTERM" >&2
+	exit 1
+}
+
+run_load() {
+	"$WORK/kpaload" -url "http://$ADDR" -system "$SYSTEM" -props "$PROPS" \
+		-requests "$REQUESTS" -concurrency "$CONCURRENCY" >"$1"
+}
+
+echo "== cold boot: empty $SNAPDIR =="
+start_kpad
+run_load "$WORK/cold.json"
+stop_kpad
+
+[ -n "$(ls "$SNAPDIR")" ] || { echo "SIGTERM flushed no snapshots" >&2; exit 1; }
+
+echo "== warm restart: restored from $SNAPDIR =="
+start_kpad
+run_load "$WORK/warm.json"
+stop_kpad
+
+grep -q '"firstRequestCached": true' "$WORK/warm.json" || {
+	echo "warm first request was not served from the restored cache:" >&2
+	cat "$WORK/warm.json" >&2
+	exit 1
+}
+
+COLD_FIRST="$(sed -n 's/.*"firstRequestMs": \([0-9.]*\).*/\1/p' "$WORK/cold.json")"
+WARM_FIRST="$(sed -n 's/.*"firstRequestMs": \([0-9.]*\).*/\1/p' "$WORK/warm.json")"
+SPEEDUP="$(awk -v c="$COLD_FIRST" -v w="$WARM_FIRST" \
+	'BEGIN { if (w <= 0) w = 0.001; printf "%.2f", c / w }')"
+
+{
+	printf '{\n'
+	printf '  "system": "%s",\n' "$SYSTEM"
+	printf '  "requests": %s,\n' "$REQUESTS"
+	printf '  "concurrency": %s,\n' "$CONCURRENCY"
+	printf '  "firstRequestSpeedup": %s,\n' "$SPEEDUP"
+	printf '  "cold": '
+	cat "$WORK/cold.json"
+	printf ',\n  "warm": '
+	cat "$WORK/warm.json"
+	printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
+echo "cold first request ${COLD_FIRST}ms, warm first request ${WARM_FIRST}ms, speedup ${SPEEDUP}x"
+
+awk -v s="$SPEEDUP" -v floor="$FLOOR" 'BEGIN {
+	if (floor > 0 && s < floor) {
+		printf "FAIL: warm-restart first-request speedup %.2fx is below the %.0fx floor\n", s, floor
+		exit 1
+	}
+	if (floor > 0) printf "OK: speedup %.2fx >= %.0fx floor\n", s, floor
+}'

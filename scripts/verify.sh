@@ -43,3 +43,13 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # The scale-tier benchmarks are env-gated (they skip without KPA_SCALE_TIER),
 # so smoke the smallest tier explicitly, one iteration, budget 2.
 KPA_SCALE_TIER=100k KPA_SCALE_WORKERS=2 go test -run '^$' -bench 'Scale' -benchtime 1x ./internal/logic
+# The snapshot round-trip, named as its own gate: encode → disk → decode →
+# byte-identical warm answers must hold before a release, independent of
+# whatever subset the full -race run happened to exercise above.
+go test -race -count=1 -run 'Snapshot|Restore|WarmRestart' ./internal/snapshot ./internal/service ./cmd/kpad
+# Smoke the warm-restart load benchmark: one tiny cold/warm cycle against
+# a real kpad (floor off — the 5x gate only means something on the scale
+# tiers; `make loadtest` runs the real thing).
+KPA_LOAD_SYSTEM=introcoin KPA_LOAD_PROPS=heads KPA_LOAD_REQUESTS=25 \
+	KPA_LOAD_CONCURRENCY=2 KPA_LOAD_FLOOR=0 \
+	BENCH_OUT="$(mktemp)" ./scripts/load_bench.sh
